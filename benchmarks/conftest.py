@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once via
+``benchmark.pedantic(..., rounds=1, iterations=1)``: the interesting
+output is the regenerated table/figure (printed to stdout and asserted
+on), not a timing distribution — the "timer" here measures how long the
+simulation of the experiment takes, which is reported for orientation.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+regenerated tables inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

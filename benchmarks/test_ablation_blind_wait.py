@@ -1,0 +1,99 @@
+"""Ablation: "wait and see" while uninformed (DESIGN.md / provider notes).
+
+Our SamplingInputProvider answers NO_INPUT_AVAILABLE while it has no
+selectivity signal and work is still in flight, instead of grabbing a
+full GrabLimit quantum at every 4-second evaluation. This ablation
+removes the wait and lets the provider grab blindly.
+
+Expected: with blind grabbing, an aggressive policy (HA, WorkThreshold
+0) queues several uninformed quanta before its first map finishes —
+processing far more partitions and losing the size-independent response
+time that is the paper's headline property.
+"""
+
+from repro.core.input_provider import ProviderResponse, default_providers
+from repro.core.sampling_provider import SamplingInputProvider
+from repro.core.sampling_job import make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data.predicates import predicate_for_skew
+from repro.engine.cluster_engine import SimulatedCluster
+from repro.experiments.report import render_table
+from repro.experiments.setup import dataset_for
+
+
+class BlindGrabProvider(SamplingInputProvider):
+    """The paper's provider minus the uninformed-wait guard."""
+
+    def evaluate(self, progress, cluster):
+        self.estimator.observe_totals(
+            progress.records_processed, progress.outputs_produced
+        )
+        if progress.outputs_produced >= self.sample_size:
+            return ProviderResponse.end_of_input()
+        if self.remaining_splits == 0:
+            return ProviderResponse.end_of_input()
+        expected = self.estimator.expected_matches(progress.records_pending)
+        if self.sample_size - progress.outputs_produced - expected <= 0:
+            return ProviderResponse.no_input()
+        chosen = self.take_random(self.grab_limit(cluster))
+        if not chosen:
+            return ProviderResponse.no_input()
+        return ProviderResponse.input_available(chosen)
+
+
+def run_variant(provider_name: str, scale: int, seed: int):
+    providers = default_providers()
+    providers.register("blind", BlindGrabProvider)
+    cluster = SimulatedCluster(paper_topology(), providers=providers, seed=seed)
+    predicate = predicate_for_skew(0)
+    cluster.load_dataset("/d", dataset_for(scale, 0, seed))
+    conf = make_sampling_conf(
+        name=f"blind-{provider_name}-{scale}", input_path="/d",
+        predicate=predicate, sample_size=10_000, policy_name="HA",
+        provider_name=provider_name,
+    )
+    return cluster.run_job(conf)
+
+
+def test_blind_grabbing_breaks_size_independence(run_once):
+    def experiment():
+        rows = []
+        for provider_name in ("sampling", "blind"):
+            for scale in (5, 100):
+                responses, partitions = [], []
+                for seed in (0, 1):
+                    result = run_variant(provider_name, scale, seed)
+                    assert result.outputs_produced == 10_000
+                    responses.append(result.response_time)
+                    partitions.append(result.splits_processed)
+                rows.append(
+                    [
+                        provider_name,
+                        f"{scale}x",
+                        sum(responses) / len(responses),
+                        sum(partitions) / len(partitions),
+                    ]
+                )
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print(
+        render_table(
+            ("Provider", "Scale", "Response (s)", "Partitions/job"),
+            rows,
+            title="Ablation — uninformed wait vs blind grabbing (HA, uniform)",
+        )
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+
+    # With the wait, HA's response and work stay flat across 5x -> 100x.
+    assert (
+        by_key[("sampling", "100x")][2] <= by_key[("sampling", "5x")][2] * 2.0
+    )
+    # Blind grabbing processes several times more partitions at scale...
+    assert (
+        by_key[("blind", "100x")][3] >= 2 * by_key[("sampling", "100x")][3]
+    )
+    # ...and is no faster for it.
+    assert by_key[("blind", "100x")][2] >= by_key[("sampling", "100x")][2] * 0.95

@@ -1,0 +1,95 @@
+"""Ablation: the selectivity estimator with pending-work discount
+(DESIGN.md §5.2).
+
+The paper's Input Provider estimates selectivity online, discounts the
+expected output of in-flight maps, and converts only the *shortfall*
+into new splits. The ablated provider grabs a full GrabLimit quantum
+whenever finished output is below k — no estimation at all.
+
+Expected: the naive provider processes more partitions (wasted work)
+while achieving the same sample, at equal or worse response time.
+"""
+
+from repro.core import paper_policies
+from repro.core.input_provider import (
+    InputProvider,
+    ProviderResponse,
+    default_providers,
+)
+from repro.core.sampling_job import make_sampling_conf
+from repro.data.predicates import predicate_for_skew
+from repro.engine.cluster_engine import SimulatedCluster
+from repro.experiments.report import render_table
+from repro.experiments.setup import dataset_for
+
+
+class NaiveGrabProvider(InputProvider):
+    """Grab a full quantum whenever output is short; never estimate."""
+
+    def evaluate(self, progress, cluster):
+        k = self.conf.sample_size
+        if progress.outputs_produced >= k or self.remaining_splits == 0:
+            return ProviderResponse.end_of_input()
+        chosen = self.take_random(self.grab_limit(cluster))
+        if not chosen:
+            return ProviderResponse.no_input()
+        return ProviderResponse.input_available(chosen)
+
+
+def run_variant(provider_name: str, seed: int):
+    from repro.cluster import paper_topology
+
+    providers = default_providers()
+    providers.register("naive", NaiveGrabProvider)
+    cluster = SimulatedCluster(paper_topology(), providers=providers, seed=seed)
+    predicate = predicate_for_skew(0)
+    cluster.load_dataset("/d", dataset_for(40, 0, seed))
+    conf = make_sampling_conf(
+        name=f"ablate-{provider_name}", input_path="/d", predicate=predicate,
+        sample_size=10_000, policy_name="MA", provider_name=provider_name,
+    )
+    return cluster.run_job(conf)
+
+
+def test_estimator_reduces_wasted_partitions(run_once):
+    def experiment():
+        rows = []
+        for provider_name in ("sampling", "naive"):
+            partitions, responses = [], []
+            for seed in (0, 1, 2):
+                result = run_variant(provider_name, seed)
+                assert result.outputs_produced == 10_000
+                partitions.append(result.splits_processed)
+                responses.append(result.response_time)
+            rows.append(
+                [
+                    provider_name,
+                    sum(partitions) / len(partitions),
+                    sum(responses) / len(responses),
+                ]
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print(
+        render_table(
+            ("Provider", "Partitions/job", "Response (s)"),
+            rows,
+            title="Ablation — estimating provider vs naive grab-to-limit "
+            "(MA, 40x, uniform)",
+        )
+    )
+    estimating, naive = rows
+    assert estimating[1] < naive[1]  # less work
+    # On an otherwise idle cluster the tighter grabs can cost one extra
+    # round of latency; the estimator's win is resource waste, so allow
+    # a modest single-user response penalty.
+    assert estimating[2] <= naive[2] * 1.3
+
+
+def test_paper_policies_registry_untouched(run_once):
+    """The ablation must not leak the naive provider into defaults."""
+    registry = run_once(default_providers)
+    assert "naive" not in registry
+    assert paper_policies().get("MA").work_threshold_pct == 5.0

@@ -1,0 +1,89 @@
+"""Ablation: block placement and replication vs map-task locality.
+
+Our Figure 7/8 runs measure ~97% FIFO locality where the paper reports
+57%. The reason is placement: the paper-spec datasets are laid out one
+partition per disk (perfectly even), so FIFO almost always finds local
+work. This ablation swaps in HDFS-like random placement — data clumps
+onto some nodes — and shows (a) FIFO locality drops into the paper's
+range, and (b) raising the replication factor buys the locality back,
+which is exactly why production HDFS replicates.
+"""
+
+import random
+
+from repro import SimulatedCluster, make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.dfs.placement import RandomPlacement, RoundRobinPlacement
+from repro.experiments.report import render_table
+
+SCENARIOS = (
+    ("even spread (paper)", "even", 1),
+    ("random placement", "random", 1),
+    ("random + 3 replicas", "random", 3),
+)
+
+
+def run_scenario(kind: str, replication: int, seed: int):
+    predicate = predicate_for_skew(0)
+    data = build_profiled_dataset(dataset_spec_for_scale(5), {predicate: 0.0}, seed=1)
+    placement = (
+        RoundRobinPlacement()
+        if kind == "even"
+        else RandomPlacement(random.Random(seed + 100))
+    )
+    cluster = SimulatedCluster(paper_topology(), placement=placement, seed=seed)
+    cluster.dfs.write_dataset("/d", data, replication=replication)
+    for index in range(4):
+        cluster.submit(
+            make_sampling_conf(
+                name=f"q{index}", input_path="/d", predicate=predicate,
+                sample_size=10_000, policy_name="Hadoop",
+            )
+        )
+    cluster.run()
+    assert all(result.outputs_produced == 10_000 for result in cluster.results)
+    mean_response = sum(r.response_time for r in cluster.results) / len(
+        cluster.results
+    )
+    return cluster.metrics.locality_pct, mean_response
+
+
+def test_placement_and_replication_drive_locality(run_once):
+    def experiment():
+        rows = []
+        for label, kind, replication in SCENARIOS:
+            locality, response = [], []
+            for seed in (0, 1, 2):
+                loc, resp = run_scenario(kind, replication, seed)
+                locality.append(loc)
+                response.append(resp)
+            rows.append(
+                [
+                    label,
+                    sum(locality) / len(locality),
+                    sum(response) / len(response),
+                ]
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print(
+        render_table(
+            ("Scenario", "Locality (%)", "Mean response (s)"),
+            rows,
+            title="Ablation — placement & replication (4 concurrent jobs, "
+            "FIFO; paper measured 57% FIFO locality)",
+        )
+    )
+    even, random_placed, replicated = rows
+
+    # Even spread keeps FIFO near-perfectly local (our Figure 7/8 world).
+    assert even[1] > 95.0
+    # Random placement drops locality into the paper's measured range...
+    assert random_placed[1] < 80.0
+    # ...and replication buys much of it back.
+    assert replicated[1] > random_placed[1] + 5.0
+    # Remote reads cost time: even placement is fastest.
+    assert even[2] <= random_placed[2] * 1.05

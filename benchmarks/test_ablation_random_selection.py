@@ -1,0 +1,132 @@
+"""Ablation: random vs sequential split selection (DESIGN.md §5.3).
+
+The paper chooses every increment "randomly with a uniform distribution
+from the set of un-processed input partitions ... to introduce
+randomness in the produced sample". This ablation swaps in sequential
+(file-order) selection and measures the consequence on real data with
+the LocalRunner: the sample's contributing partitions collapse onto a
+prefix of the file, i.e. the sample stops being random over the dataset.
+"""
+
+import random
+
+from repro.core.input_provider import default_providers
+from repro.core.sampling_provider import SamplingInputProvider
+from repro.core.sampling_job import make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data import build_materialized_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.dfs import DistributedFileSystem
+from repro.engine.runtime import LocalRunner
+from repro.experiments.report import render_table
+
+
+class SequentialSamplingProvider(SamplingInputProvider):
+    """Identical estimation, but takes splits in file order."""
+
+    def take_random(self, count):
+        if count <= 0 or not self._remaining:
+            return []
+        take = len(self._remaining) if count >= len(self._remaining) else int(count)
+        self._remaining.sort(key=lambda split: split.index)
+        taken = self._remaining[:take]
+        del self._remaining[:take]
+        return taken
+
+
+def build_world(seed=0):
+    predicate = predicate_for_skew(0)
+    spec = dataset_spec_for_scale(0.004, num_partitions=32)  # 24k rows
+    data = build_materialized_dataset(
+        spec, {predicate: 0.0}, seed=seed, selectivity=0.01
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/t", data)
+    return predicate, dfs.open_splits("/t")
+
+
+def contributing_partitions(result):
+    """Partition indices whose rows appear in the sample (marker rows
+    carry the partition through the orderkey? no — recompute by value
+    identity is fragile; instead use splits_processed bookkeeping)."""
+    return result.splits_processed
+
+
+def run_variant(provider_name: str, seed: int):
+    providers = default_providers()
+    providers.register("sequential", SequentialSamplingProvider)
+    predicate, splits = build_world(seed)
+    runner = LocalRunner(providers=providers, seed=seed)
+    conf = make_sampling_conf(
+        name=f"select-{provider_name}", input_path="/t", predicate=predicate,
+        sample_size=60, policy_name="C", provider_name=provider_name,
+    )
+    result = runner.run(conf, splits)
+    return result, splits
+
+
+def sampled_partition_spread(provider_name: str, seeds) -> tuple[float, int]:
+    """Mean max-partition-index touched, and total distinct indices."""
+    max_indices, distinct = [], set()
+    for seed in seeds:
+        providers = default_providers()
+        providers.register("sequential", SequentialSamplingProvider)
+        predicate, splits = build_world(seed)
+        runner = LocalRunner(providers=providers, seed=seed)
+
+        # Track which splits were actually executed by wrapping iter_rows
+        # bookkeeping: LocalRunner reports splits_processed in order of
+        # execution via the result's counter only, so instead intercept
+        # through the provider: record what it hands out.
+        handed = []
+
+        class Recording(
+            SequentialSamplingProvider if provider_name == "sequential"
+            else SamplingInputProvider
+        ):
+            def take_random(self, count):
+                taken = super().take_random(count)
+                handed.extend(split.index for split in taken)
+                return taken
+
+        providers.register("recording", Recording)
+        conf = make_sampling_conf(
+            name=f"spread-{provider_name}-{seed}", input_path="/t",
+            predicate=predicate, sample_size=60, policy_name="C",
+            provider_name="recording",
+        )
+        result = runner.run(conf, splits)
+        assert result.outputs_produced == 60
+        max_indices.append(max(handed))
+        distinct.update(handed)
+    return sum(max_indices) / len(max_indices), len(distinct)
+
+
+def test_random_selection_spreads_the_sample(run_once):
+    def experiment():
+        seeds = (0, 1, 2, 3)
+        random_spread = sampled_partition_spread("sampling", seeds)
+        sequential_spread = sampled_partition_spread("sequential", seeds)
+        return random_spread, sequential_spread
+
+    (rand_max, rand_distinct), (seq_max, seq_distinct) = run_once(experiment)
+    print()
+    print(
+        render_table(
+            ("Selection", "Mean max partition index", "Distinct partitions over seeds"),
+            [
+                ["random (paper)", rand_max, rand_distinct],
+                ["sequential", seq_max, seq_distinct],
+            ],
+            title="Ablation — split selection (32 partitions, policy C)",
+        )
+    )
+    # Sequential selection always consumes a prefix: the furthest
+    # partition it ever touches is far below random selection's, and it
+    # revisits the same prefix on every run.
+    assert seq_max < rand_max
+    assert seq_distinct < rand_distinct
+
+
+def test_both_selections_reach_target(run_once):
+    result, _ = run_once(run_variant, "sequential", 0)
+    assert result.outputs_produced == 60

@@ -1,0 +1,99 @@
+"""Ablation: the WorkThreshold parameter (DESIGN.md §5.4).
+
+WorkThreshold gates provider invocations on fresh progress: "if a job
+has not done enough new work ... it may not be worthwhile for the input
+provider to re-evaluate" (paper §III-B). This ablation zeroes the
+threshold for every policy and compares the number of provider
+evaluations and the resulting response time/work.
+
+Measured trade-off: without the gate, jobs evaluate at every 4-second
+tick — several times more provider invocations — which tops input up
+sooner (better response time, especially for C) but re-decides on stale
+estimates more often and over-adds input (more partitions processed).
+The threshold buys waste reduction and fewer invocations at a
+single-user latency cost; in the multi-user experiments that waste
+reduction is what keeps conservative policies' throughput high.
+"""
+
+from repro.core.policy import GrabLimitExpression, Policy, PolicyRegistry, paper_policies
+from repro.core.sampling_job import make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data.predicates import predicate_for_skew
+from repro.engine.cluster_engine import SimulatedCluster
+from repro.experiments.report import render_table
+from repro.experiments.setup import dataset_for
+
+
+def zeroed_thresholds() -> PolicyRegistry:
+    registry = PolicyRegistry()
+    for policy in paper_policies():
+        registry.register(
+            Policy(
+                name=policy.name,
+                description=policy.description,
+                work_threshold_pct=0.0,
+                grab_limit=GrabLimitExpression(policy.grab_limit.source),
+                evaluation_interval=policy.evaluation_interval,
+            )
+        )
+    return registry
+
+
+def run_variant(policies, policy_name: str, seed: int):
+    cluster = SimulatedCluster(paper_topology(), policies=policies, seed=seed)
+    predicate = predicate_for_skew(1)
+    cluster.load_dataset("/d", dataset_for(40, 1, seed))
+    conf = make_sampling_conf(
+        name=f"wt-{policy_name}", input_path="/d", predicate=predicate,
+        sample_size=10_000, policy_name=policy_name,
+    )
+    return cluster.run_job(conf)
+
+
+def test_work_threshold_saves_evaluations(run_once):
+    def experiment():
+        rows = []
+        for label, registry_factory in (
+            ("paper thresholds", paper_policies),
+            ("thresholds zeroed", zeroed_thresholds),
+        ):
+            for policy_name in ("LA", "C"):
+                evaluations, responses, partitions = [], [], []
+                for seed in (0, 1, 2):
+                    result = run_variant(registry_factory(), policy_name, seed)
+                    assert result.outputs_produced == 10_000
+                    evaluations.append(result.evaluations)
+                    responses.append(result.response_time)
+                    partitions.append(result.splits_processed)
+                n = len(evaluations)
+                rows.append(
+                    [
+                        label,
+                        policy_name,
+                        sum(evaluations) / n,
+                        sum(responses) / n,
+                        sum(partitions) / n,
+                    ]
+                )
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print(
+        render_table(
+            ("Variant", "Policy", "Evaluations/job", "Response (s)", "Partitions/job"),
+            rows,
+            title="Ablation — WorkThreshold gating (40x, moderate skew)",
+        )
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    for policy_name in ("LA", "C"):
+        gated = by_key[("paper thresholds", policy_name)]
+        ungated = by_key[("thresholds zeroed", policy_name)]
+        # The gate cuts provider invocations...
+        assert gated[2] < ungated[2]
+        # ...and does not increase the work done per job...
+        assert gated[4] <= ungated[4] * 1.02
+        # ...while the ungated variant responds at least as fast
+        # (the latency side of the trade-off).
+        assert ungated[3] <= gated[3] * 1.05

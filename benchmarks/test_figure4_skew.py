@@ -1,0 +1,51 @@
+"""Figure 4: distribution of matching records across the 40 partitions
+of the 5x dataset, for z = 0, 1 and 2.
+
+Paper reference points (one multinomial draw, 15,000 matches):
+z=0 gives ~350-375 per partition; z=1 puts ~3.1K in the hottest
+partition; z=2 puts ~8.7K there.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.skew_figure import figure4_series
+
+
+def test_figure4_match_distribution(run_once):
+    series = run_once(figure4_series, scale=5, seed=0)
+
+    rows = []
+    for rank in range(10):
+        rows.append(
+            [rank + 1]
+            + [series[z].counts_by_rank[rank] for z in (0, 1, 2)]
+        )
+    print()
+    print(
+        render_table(
+            ("Partition rank", "z=0", "z=1", "z=2"),
+            rows,
+            title="Figure 4 — matches per partition (top 10 of 40, 5x data)",
+        )
+    )
+    print(
+        f"max/partition: z=0 {series[0].max_count}, "
+        f"z=1 {series[1].max_count}, z=2 {series[2].max_count} "
+        f"(paper: ~375, ~3128, ~8700)"
+    )
+
+    for z in (0, 1, 2):
+        assert series[z].total_matches == 15_000
+        assert len(series[z].counts_by_rank) == 40
+
+    # z=0: even spread, ~375 per partition give or take sampling noise.
+    assert 300 <= series[0].max_count <= 460
+    assert series[0].nonzero_partitions == 40
+
+    # z=1: a clear head in the low thousands.
+    assert 2_500 <= series[1].max_count <= 4_200
+
+    # z=2: most matches land in one partition.
+    assert 7_800 <= series[2].max_count <= 10_200
+
+    # Skew ordering holds pointwise at the head.
+    assert series[0].max_count < series[1].max_count < series[2].max_count

@@ -1,0 +1,103 @@
+"""Figure 5: single-user response times and partitions processed.
+
+Regenerates the paper's 75-combination grid (5 scales x 3 skews x 5
+policies) on the idle 40-slot cluster, averaged over seeds, and checks
+the qualitative findings of §V-C:
+
+1. The Hadoop policy's response time grows with input size and is
+   unaffected by skew.
+2. Dynamic policies' response times are roughly flat across input sizes
+   (they depend on the sample, not the input).
+3. On the idle cluster, aggressive beats conservative: HA <= MA <= C in
+   response time, and HA beats Hadoop at scale.
+4. Partitions processed (Fig 5d): Hadoop processes everything; dynamic
+   policies process a small, size-independent number.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.single_user import (
+    partitions_rows,
+    response_time_rows,
+    run_single_user_experiment,
+)
+from repro.experiments.setup import PAPER_POLICIES, PAPER_SCALES
+
+SEEDS = (0, 1, 2)
+SKEW_LABEL = {0: "(a) zero skew", 1: "(b) moderate skew", 2: "(c) high skew"}
+
+_CACHE: dict = {}
+
+
+def compute_cells():
+    """The 75-cell grid, computed once and shared by both tests."""
+    if "cells" not in _CACHE:
+        _CACHE["cells"] = run_single_user_experiment(seeds=SEEDS)
+    return _CACHE["cells"]
+
+
+def test_figure5_response_times(run_once):
+    grid = run_once(compute_cells)
+    print()
+    for z in (0, 1, 2):
+        rows = response_time_rows(grid, z)
+        print(
+            render_table(
+                ("Scale",) + PAPER_POLICIES,
+                rows,
+                title=f"Figure 5 {SKEW_LABEL[z]} — response time (s)",
+            )
+        )
+
+    def response(scale, z, policy):
+        return grid[(scale, z, policy)].mean_response
+
+    # (1) Hadoop grows ~linearly with scale and ignores skew.
+    for z in (0, 1, 2):
+        assert response(100, z, "Hadoop") > 5 * response(5, z, "Hadoop") * 0.8
+    for scale in PAPER_SCALES:
+        z_spread = [response(scale, z, "Hadoop") for z in (0, 1, 2)]
+        assert max(z_spread) - min(z_spread) < 0.15 * max(z_spread)
+
+    # (2) Dynamic response is roughly flat across scale at zero skew.
+    for policy in ("HA", "MA", "LA", "C"):
+        assert response(100, 0, policy) < 2.5 * response(5, 0, policy)
+
+    # (3) Idle-cluster ordering at zero skew: HA <= MA <= C; HA beats
+    # Hadoop at 100x by a wide margin.
+    for scale in PAPER_SCALES:
+        assert response(scale, 0, "HA") <= response(scale, 0, "MA") * 1.05
+        assert response(scale, 0, "MA") <= response(scale, 0, "C") * 1.05
+    assert response(100, 0, "HA") * 3 < response(100, 0, "Hadoop")
+
+    # Every job in every cell returned the full 10,000-record sample.
+    for cell in grid.values():
+        assert cell.sample_size.minimum == 10_000
+
+
+def test_figure5d_partitions_processed(run_once):
+    grid = run_once(compute_cells)
+    rows = partitions_rows(grid, z=1)
+    print()
+    print(
+        render_table(
+            ("Scale",) + PAPER_POLICIES,
+            rows,
+            title="Figure 5 (d) — partitions processed per job (moderate skew)",
+        )
+    )
+
+    def partitions(scale, policy):
+        return grid[(scale, 1, policy)].mean_partitions
+
+    # Hadoop processes every partition: 8 per scale unit.
+    for scale in PAPER_SCALES:
+        assert partitions(scale, "Hadoop") == 8 * scale
+
+    # Dynamic policies process far less at scale...
+    for policy in ("HA", "MA", "LA", "C"):
+        assert partitions(100, policy) < 0.4 * partitions(100, "Hadoop")
+
+    # ...and the Hadoop policy does the most work in every cell.
+    for scale in PAPER_SCALES:
+        for policy in ("HA", "MA", "LA", "C"):
+            assert partitions(scale, policy) <= partitions(scale, "Hadoop")

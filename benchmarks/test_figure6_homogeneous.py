@@ -1,0 +1,101 @@
+"""Figure 6: homogeneous multi-user workload (paper §V-D).
+
+Ten closed-loop sampling users on the 16-slots-per-node cluster, 100x
+data, per policy; first with a uniform match distribution, then with
+high skew (z=2). Checks the qualitative findings:
+
+1. The Hadoop policy gives the least throughput in both settings, with
+   the highest CPU utilization and disk reads (inefficient execution).
+2. Dynamic policies with tighter GrabLimits avoid over-addition:
+   HA trails MA/LA by a wide margin; MA and LA lead the field; C sits
+   below the leader (more conservative than needed).
+3. High skew lowers throughput and raises per-job resource use for the
+   dynamic policies; the Hadoop policy is unaffected by skew.
+"""
+
+from repro.experiments.multiuser import (
+    FIGURE6_HEADERS,
+    figure6_rows,
+    run_homogeneous_experiment,
+)
+from repro.experiments.report import render_table
+from repro.experiments.setup import PAPER_POLICIES
+
+SEEDS = (0, 1)
+_CACHE: dict = {}
+
+
+def compute_cells():
+    if "cells" not in _CACHE:
+        _CACHE["cells"] = run_homogeneous_experiment(
+            skews=(0, 2), seeds=SEEDS, warmup=600.0, measurement=2400.0
+        )
+    return _CACHE["cells"]
+
+
+def _throughputs(cells, z):
+    return {policy: cells[(policy, z)].throughput.mean for policy in PAPER_POLICIES}
+
+
+def test_figure6_uniform_distribution(run_once):
+    cells = run_once(compute_cells)
+    print()
+    print(
+        render_table(
+            FIGURE6_HEADERS,
+            figure6_rows(cells, 0),
+            title="Figure 6 — homogeneous multiuser, uniform distribution",
+        )
+    )
+    thr = _throughputs(cells, 0)
+
+    # (1) Hadoop: least throughput by a wide margin, most resources.
+    for policy in ("HA", "MA", "LA", "C"):
+        assert thr[policy] > 3 * thr["Hadoop"]
+    hadoop = cells[("Hadoop", 0)]
+    for policy in ("MA", "LA", "C"):
+        cell = cells[(policy, 0)]
+        assert hadoop.cpu_utilization_pct.mean >= cell.cpu_utilization_pct.mean - 1
+        assert hadoop.disk_read_kbps.mean >= cell.disk_read_kbps.mean * 0.99
+
+    # (2) HA trails the mid policies; C sits below the leader.
+    assert thr["HA"] < 0.75 * max(thr["MA"], thr["LA"])
+    assert thr["C"] < max(thr["MA"], thr["LA"])
+    # MA and LA are the two best dynamic policies.
+    ranked = sorted(("HA", "MA", "LA", "C"), key=thr.get, reverse=True)
+    assert set(ranked[:2]) == {"MA", "LA"}
+
+    # Per-job work explains it: Hadoop processes all 800 partitions.
+    assert hadoop.partitions_per_job.mean == 800
+    assert cells[("LA", 0)].partitions_per_job.mean < 40
+
+
+def test_figure6_high_skew(run_once):
+    cells = run_once(compute_cells)
+    print()
+    print(
+        render_table(
+            FIGURE6_HEADERS,
+            figure6_rows(cells, 2),
+            title="Figure 6 — homogeneous multiuser, high skew (z=2)",
+        )
+    )
+    uniform = _throughputs(cells, 0)
+    skewed = _throughputs(cells, 2)
+
+    # (1) Hadoop is still the least-throughput policy.
+    for policy in ("HA", "MA", "LA", "C"):
+        assert skewed[policy] > skewed["Hadoop"]
+
+    # (3) Skew hurts the dynamic policies' throughput...
+    for policy in ("MA", "LA", "C"):
+        assert skewed[policy] < uniform[policy]
+    # ...but leaves the Hadoop policy essentially unchanged.
+    assert abs(skewed["Hadoop"] - uniform["Hadoop"]) <= 0.15 * uniform["Hadoop"]
+
+    # Skew raises per-job work (more partitions scanned to find matches).
+    for policy in ("MA", "LA", "C"):
+        assert (
+            cells[(policy, 2)].partitions_per_job.mean
+            > cells[(policy, 0)].partitions_per_job.mean
+        )

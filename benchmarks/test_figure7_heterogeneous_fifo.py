@@ -1,0 +1,89 @@
+"""Figure 7: heterogeneous workload under the default (FIFO) scheduler.
+
+Ten users, a fraction of them Sampling (dynamic, uniform-distribution
+predicate) and the rest Non-Sampling (static 0.05% select-project scans),
+100x data. Checks §V-E's findings:
+
+1. Sampling-class throughput rises with the Sampling fraction.
+2. Non-Sampling throughput is lowest when the Sampling class uses the
+   Hadoop policy and improves substantially under conservative policies
+   (paper: x3 at fraction 0.2 rising to x8 at 0.8; our simulated factors
+   are smaller at low fractions — see EXPERIMENTS.md).
+3. The improvement factor grows with the Sampling fraction.
+"""
+
+from repro.experiments.heterogeneous import (
+    class_throughput_rows,
+    run_heterogeneous_experiment,
+)
+from repro.experiments.report import render_table
+from repro.experiments.setup import PAPER_FRACTIONS, PAPER_POLICIES
+from repro.workload.user import UserClass
+
+_CACHE: dict = {}
+
+
+def compute_cells():
+    if "cells" not in _CACHE:
+        _CACHE["cells"] = run_heterogeneous_experiment(
+            scheduler="fifo", seeds=(0,), warmup=1200.0, measurement=3600.0
+        )
+    return _CACHE["cells"]
+
+
+def test_figure7a_sampling_class(run_once):
+    cells = run_once(compute_cells)
+    print()
+    print(
+        render_table(
+            ("Sampling fraction",) + PAPER_POLICIES,
+            class_throughput_rows(cells, UserClass.SAMPLING),
+            title="Figure 7 (a) — Sampling class throughput (jobs/h), FIFO",
+        )
+    )
+
+    # (1) Throughput grows with the fraction of sampling users.
+    for policy in PAPER_POLICIES:
+        low = cells[(policy, 0.2)].sampling_throughput.mean
+        high = cells[(policy, 0.8)].sampling_throughput.mean
+        assert high >= low
+
+    # Dynamic sampling beats Hadoop-policy sampling at high fractions.
+    hadoop = cells[("Hadoop", 0.8)].sampling_throughput.mean
+    for policy in ("MA", "LA"):
+        assert cells[(policy, 0.8)].sampling_throughput.mean > 2 * hadoop
+
+
+def test_figure7b_non_sampling_class(run_once):
+    cells = run_once(compute_cells)
+    print()
+    print(
+        render_table(
+            ("Sampling fraction",) + PAPER_POLICIES,
+            class_throughput_rows(cells, UserClass.NON_SAMPLING),
+            title="Figure 7 (b) — Non-Sampling class throughput (jobs/h), FIFO",
+        )
+    )
+
+    factors = {}
+    for fraction in PAPER_FRACTIONS:
+        hadoop = cells[("Hadoop", fraction)].non_sampling_throughput.mean
+        best_conservative = max(
+            cells[("LA", fraction)].non_sampling_throughput.mean,
+            cells[("C", fraction)].non_sampling_throughput.mean,
+        )
+        # (2) Hadoop-policy sampling always hurts the other class most.
+        for policy in ("HA", "MA", "LA", "C"):
+            assert (
+                cells[(policy, fraction)].non_sampling_throughput.mean >= hadoop
+            )
+        factors[fraction] = best_conservative / hadoop if hadoop > 0 else float("inf")
+
+    print(
+        "Non-Sampling boost, conservative vs Hadoop: "
+        + ", ".join(f"f={f}: x{factors[f]:.1f}" for f in PAPER_FRACTIONS)
+        + "  (paper: x3 at f=0.2 rising to x8 at f=0.8)"
+    )
+    # (3) The factor grows with the sampling fraction and gets large.
+    assert factors[0.8] > factors[0.2]
+    assert factors[0.8] >= 3.0

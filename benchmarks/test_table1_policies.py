@@ -1,0 +1,27 @@
+"""Table I: the growth policies, regenerated from the live registry."""
+
+from repro.core import paper_policies
+from repro.experiments.report import render_table
+from repro.experiments.tables import TABLE1_HEADERS, table1_rows
+
+
+def test_table1_policies(run_once):
+    rows = run_once(table1_rows)
+    print()
+    print(render_table(TABLE1_HEADERS, rows, title="Table I — Policies"))
+
+    by_name = {row[0]: row for row in rows}
+    assert list(by_name) == ["Hadoop", "HA", "MA", "LA", "C"]
+
+    # The exact Table I parameters.
+    assert by_name["Hadoop"][2] == "-"
+    assert by_name["Hadoop"][3] == "infinity"
+    assert by_name["HA"][2:] == ["0", "max(0.5 * TS, AS)"]
+    assert by_name["MA"][2:] == ["5", "AS > 0 ? 0.5 * AS : 0.2 * TS"]
+    assert by_name["LA"][2:] == ["10", "AS > 0 ? 0.2 * AS : 0.1 * TS"]
+    assert by_name["C"][2:] == ["15", "0.1 * AS"]
+
+    # The registry's evaluation interval is the paper's 4 seconds.
+    registry = paper_policies()
+    for name in ("HA", "MA", "LA", "C"):
+        assert registry.get(name).evaluation_interval == 4.0

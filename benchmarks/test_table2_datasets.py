@@ -1,0 +1,25 @@
+"""Table II: properties of the generated LINEITEM datasets."""
+
+from repro.data import dataset_spec_for_scale
+from repro.experiments.report import render_table
+from repro.experiments.tables import TABLE2_HEADERS, table2_rows
+
+
+def test_table2_datasets(run_once):
+    rows = run_once(table2_rows)
+    print()
+    print(render_table(TABLE2_HEADERS, rows, title="Table II — Datasets"))
+
+    assert [row[0] for row in rows] == ["5x", "10x", "20x", "40x", "100x"]
+
+    # Cardinalities follow the TPC-H rule (SF x 6M) and the paper's
+    # partitioning (5x -> 40 partitions; Figure 4 premise).
+    spec5 = dataset_spec_for_scale(5)
+    assert spec5.num_rows == 30_000_000
+    assert spec5.num_partitions == 40
+    assert dataset_spec_for_scale(100).num_partitions == 800
+
+    # Partition size stays constant across scales (even spread, ~94 MB).
+    partition_mb = [float(row[4]) for row in rows]
+    assert max(partition_mb) - min(partition_mb) < 1.0
+    assert 80 <= partition_mb[0] <= 110

@@ -1,0 +1,313 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the deliverables:
+
+* ``tables`` — print Tables I, II and III.
+* ``figure4`` … ``figure8`` — regenerate one figure of the evaluation.
+* ``sample`` — run a single sampling job on the simulated cluster.
+* ``query`` — execute a SQL statement against a small demo warehouse
+  with real (LocalRunner) execution.
+* ``policies`` — write the default policy catalogue as policy.xml.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.policy_file import dump_policies
+from repro.core.policy import paper_policies
+from repro.core.sampling_job import make_sampling_conf
+from repro.data.predicates import predicate_for_skew
+from repro.engine.cluster_engine import SimulatedCluster
+from repro.experiments.heterogeneous import (
+    class_throughput_rows,
+    run_heterogeneous_experiment,
+    scheduler_stats,
+)
+from repro.experiments.multiuser import (
+    FIGURE6_HEADERS,
+    figure6_rows,
+    run_homogeneous_experiment,
+)
+from repro.experiments.report import render_table
+from repro.experiments.setup import (
+    PAPER_FRACTIONS,
+    PAPER_POLICIES,
+    PAPER_SCALES,
+    dataset_for,
+    single_user_cluster,
+)
+from repro.experiments.single_user import (
+    partitions_rows,
+    response_time_rows,
+    run_single_user_experiment,
+)
+from repro.experiments.skew_figure import figure4_series
+from repro.experiments.tables import (
+    TABLE1_HEADERS,
+    TABLE2_HEADERS,
+    TABLE3_HEADERS,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.workload.user import UserClass
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _float_list(text: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Extending Map-Reduce for Efficient "
+            "Predicate-Based Sampling' (Grover & Carey, ICDE 2012)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("tables", help="print Tables I, II and III")
+
+    fig4 = commands.add_parser("figure4", help="match-placement distribution")
+    fig4.add_argument("--scale", type=float, default=5)
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument("--top", type=int, default=10)
+
+    fig5 = commands.add_parser("figure5", help="single-user response times")
+    fig5.add_argument("--scales", type=_int_list, default=PAPER_SCALES)
+    fig5.add_argument("--skews", type=_int_list, default=(0, 1, 2))
+    fig5.add_argument("--seeds", type=_int_list, default=(0, 1, 2))
+
+    fig6 = commands.add_parser("figure6", help="homogeneous multiuser throughput")
+    fig6.add_argument("--skews", type=_int_list, default=(0, 2))
+    fig6.add_argument("--seeds", type=_int_list, default=(0,))
+    fig6.add_argument("--measurement", type=float, default=2400.0)
+
+    for name in ("figure7", "figure8"):
+        fig = commands.add_parser(
+            name,
+            help=f"heterogeneous workload ({'FIFO' if name == 'figure7' else 'Fair'})",
+        )
+        fig.add_argument("--fractions", type=_float_list, default=PAPER_FRACTIONS)
+        fig.add_argument("--seeds", type=_int_list, default=(0,))
+        fig.add_argument("--measurement", type=float, default=3600.0)
+
+    sample = commands.add_parser("sample", help="run one sampling job")
+    sample.add_argument("--scale", type=float, default=100)
+    sample.add_argument("--skew", type=int, default=0, choices=(0, 1, 2))
+    sample.add_argument("--policy", default="LA")
+    sample.add_argument("--k", type=int, default=10_000)
+    sample.add_argument("--seed", type=int, default=0)
+
+    query = commands.add_parser("query", help="execute SQL on a demo warehouse")
+    query.add_argument("sql", help="e.g. \"SELECT * FROM lineitem WHERE l_quantity = 51 LIMIT 5\"")
+    query.add_argument("--rows", type=int, default=20_000, help="demo table size")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--max-print", type=int, default=10)
+
+    policies = commands.add_parser("policies", help="write policy.xml")
+    policies.add_argument("--out", default="policy.xml")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command handlers
+# ---------------------------------------------------------------------------
+def cmd_tables(_args, out) -> int:
+    print(render_table(TABLE1_HEADERS, table1_rows(), title="Table I — Policies"), file=out)
+    print(file=out)
+    print(render_table(TABLE2_HEADERS, table2_rows(), title="Table II — Datasets"), file=out)
+    print(file=out)
+    print(render_table(TABLE3_HEADERS, table3_rows(), title="Table III — Predicates"), file=out)
+    return 0
+
+
+def cmd_figure4(args, out) -> int:
+    series = figure4_series(scale=args.scale, seed=args.seed)
+    rows = [
+        [rank + 1] + [series[z].counts_by_rank[rank] for z in (0, 1, 2)]
+        for rank in range(min(args.top, len(series[0].counts_by_rank)))
+    ]
+    print(
+        render_table(
+            ("Partition rank", "z=0", "z=1", "z=2"),
+            rows,
+            title=f"Figure 4 — matches per partition ({args.scale:g}x data)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_figure5(args, out) -> int:
+    cells = run_single_user_experiment(
+        scales=args.scales, skews=args.skews, seeds=args.seeds
+    )
+    for z in args.skews:
+        print(
+            render_table(
+                ("Scale",) + PAPER_POLICIES,
+                response_time_rows(cells, z, scales=args.scales),
+                title=f"Figure 5 — response time (s), z={z}",
+            ),
+            file=out,
+        )
+        print(file=out)
+    if 1 in args.skews:
+        print(
+            render_table(
+                ("Scale",) + PAPER_POLICIES,
+                partitions_rows(cells, 1, scales=args.scales),
+                title="Figure 5 (d) — partitions processed (moderate skew)",
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_figure6(args, out) -> int:
+    cells = run_homogeneous_experiment(
+        skews=args.skews, seeds=args.seeds, measurement=args.measurement
+    )
+    for z in args.skews:
+        print(
+            render_table(
+                FIGURE6_HEADERS,
+                figure6_rows(cells, z),
+                title=f"Figure 6 — homogeneous multiuser, z={z}",
+            ),
+            file=out,
+        )
+        print(file=out)
+    return 0
+
+
+def _cmd_heterogeneous(args, out, *, scheduler: str, figure: str) -> int:
+    cells = run_heterogeneous_experiment(
+        scheduler=scheduler,
+        fractions=args.fractions,
+        seeds=args.seeds,
+        measurement=args.measurement,
+    )
+    for user_class, label in (
+        (UserClass.SAMPLING, "(a) Sampling"),
+        (UserClass.NON_SAMPLING, "(b) Non-Sampling"),
+    ):
+        print(
+            render_table(
+                ("Sampling fraction",) + PAPER_POLICIES,
+                class_throughput_rows(cells, user_class, fractions=args.fractions),
+                title=f"{figure} {label} class throughput (jobs/h), {scheduler}",
+            ),
+            file=out,
+        )
+        print(file=out)
+    stats = scheduler_stats(cells)
+    print(
+        f"locality {stats['locality_pct']:.1f}%  "
+        f"slot occupancy {stats['slot_occupancy_pct']:.1f}%",
+        file=out,
+    )
+    return 0
+
+
+def cmd_sample(args, out) -> int:
+    predicate = predicate_for_skew(args.skew)
+    cluster = single_user_cluster(seed=args.seed)
+    cluster.load_dataset("/d", dataset_for(args.scale, args.skew, args.seed))
+    conf = make_sampling_conf(
+        name="cli-sample", input_path="/d", predicate=predicate,
+        sample_size=args.k, policy_name=args.policy,
+    )
+    result = cluster.run_job(conf)
+    print(
+        render_table(
+            ("Metric", "Value"),
+            [
+                ["policy", args.policy],
+                ["dataset", f"{args.scale:g}x (z={args.skew})"],
+                ["sample size", result.outputs_produced],
+                ["response time (s)", result.response_time],
+                ["partitions processed", f"{result.splits_processed}/{result.splits_total}"],
+                ["records scanned", f"{result.records_processed:,}"],
+                ["input increments", result.input_increments],
+                ["provider evaluations", result.evaluations],
+            ],
+            title="Sampling job result",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_query(args, out) -> int:
+    from repro.cluster import paper_topology
+    from repro.data import LINEITEM_SCHEMA
+    from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
+    from repro.dfs import DistributedFileSystem
+    from repro.engine.runtime import LocalRunner
+    from repro.hive import HiveSession
+
+    spec = dataset_spec_for_scale(args.rows / 6_000_000, num_partitions=16)
+    predicates = {predicate_for_skew(z): float(z) for z in (0, 1, 2)}
+    dataset = build_materialized_dataset(
+        spec, predicates, seed=args.seed, selectivity=0.01
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/warehouse/lineitem", dataset)
+    session = HiveSession(runner=LocalRunner(seed=args.seed), dfs=dfs)
+    session.register_table("lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA)
+    result = session.execute(args.sql)
+    print(f"-- {result.statement}", file=out)
+    for row in result.rows[: args.max_print]:
+        print(row, file=out)
+    remaining = result.num_rows - args.max_print
+    if remaining > 0:
+        print(f"... {remaining} more rows", file=out)
+    if result.job is not None:
+        print(
+            f"-- {result.num_rows} rows; scanned "
+            f"{result.job.records_processed:,} records in "
+            f"{result.job.splits_processed}/{result.job.splits_total} partitions",
+            file=out,
+        )
+    return 0
+
+
+def cmd_policies(args, out) -> int:
+    dump_policies(paper_policies(), args.out)
+    print(f"wrote {args.out}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": cmd_tables,
+        "figure4": cmd_figure4,
+        "figure5": cmd_figure5,
+        "figure6": cmd_figure6,
+        "figure7": lambda a, o: _cmd_heterogeneous(
+            a, o, scheduler="fifo", figure="Figure 7"
+        ),
+        "figure8": lambda a, o: _cmd_heterogeneous(
+            a, o, scheduler="fair", figure="Figure 8"
+        ),
+        "sample": cmd_sample,
+        "query": cmd_query,
+        "policies": cmd_policies,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Cluster model: nodes, slots, disks, the task cost model, and metrics.
+
+Models the paper's testbed — a 10-node IBM x3650 cluster, each node with
+four cores, four disks, and a configured number of map/reduce slots
+(4 per node in the single-user experiments, 16 per node in the multi-user
+experiments). The :class:`~repro.cluster.costmodel.CostModel` converts a
+task's input size, locality, and the contention it encounters into a
+simulated duration; :class:`~repro.cluster.metrics.MetricsMonitor`
+samples CPU utilization and disk read rates at a fixed interval the way
+the paper's monitoring did (30-second samples, §V-D).
+"""
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.metrics import ClusterMetrics, MetricsMonitor
+from repro.cluster.node import Node, NodeSpec, RunningTask
+from repro.cluster.topology import ClusterTopology, paper_topology
+
+__all__ = [
+    "ClusterMetrics",
+    "ClusterTopology",
+    "CostModel",
+    "MetricsMonitor",
+    "Node",
+    "NodeSpec",
+    "RunningTask",
+    "paper_topology",
+]

@@ -1,0 +1,212 @@
+"""The task cost model.
+
+Converts a task's input volume, locality, and the contention it meets
+into a simulated duration. The constants below are calibrated to
+2011-era commodity hardware and Hadoop 0.20 overheads (the paper's
+testbed): ~90 MB/s sequential disk reads, gigabit Ethernet, multi-second
+JVM/task launch costs, and a map function throughput of a few MB/s once
+deserialization and predicate evaluation are included.
+
+Experimental *shapes* (which policy wins, crossover points) are
+insensitive to these constants within a factor of ~2; this is checked by
+the TestCostSensitivity suite in
+``tests/integration/test_simulated_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ClusterConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Timing constants plus the duration formulas that use them."""
+
+    disk_bandwidth_bps: float = 90e6
+    """Sequential read bandwidth of one disk, shared among its readers."""
+
+    network_bandwidth_bps: float = 100e6
+    """Per-stream cap for a remote (non-local) split read."""
+
+    cpu_seconds_per_record: float = 8e-6
+    """Map-side per-record cost: deserialize + predicate evaluation.
+
+    Calibration notes: a ~94 MB LINEITEM split holds ~750 K records, so a
+    solo map task costs ~6 s of CPU on top of ~1 s of sequential disk
+    read — matching Hadoop-0.20-era task times of roughly 8 s uncontended
+    and ~25 s in the 16-slots-per-4-core multi-user configuration. Under
+    load the cluster saturates on CPU-seconds, so wasted partitions
+    translate directly into lost throughput (the Figure 6 effect).
+    """
+
+    map_task_overhead: float = 2.0
+    """Slot acquisition + JVM/task launch + commit, per map task."""
+
+    reduce_cpu_seconds_per_record: float = 5e-6
+    """Reduce-side per-record cost over the shuffled values."""
+
+    reduce_task_overhead: float = 3.0
+    """Reduce launch + sort/merge + output commit."""
+
+    shuffle_bandwidth_bps: float = 60e6
+    """Effective rate at which map output moves to the reducer."""
+
+    job_setup_seconds: float = 4.0
+    """Job submission, split computation, JobTracker initialization."""
+
+    job_cleanup_seconds: float = 2.0
+    """Job finalization after the last reduce."""
+
+    output_record_bytes: int = 24
+    """Serialized size of one sampled output record (3 int columns + key)."""
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "disk_bandwidth_bps",
+            "network_bandwidth_bps",
+            "cpu_seconds_per_record",
+            "reduce_cpu_seconds_per_record",
+            "shuffle_bandwidth_bps",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ClusterConfigError(f"cost model: {attr} must be positive")
+        for attr in (
+            "map_task_overhead",
+            "reduce_task_overhead",
+            "job_setup_seconds",
+            "job_cleanup_seconds",
+        ):
+            if getattr(self, attr) < 0:
+                raise ClusterConfigError(f"cost model: {attr} must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Map tasks
+    # ------------------------------------------------------------------
+    def map_read_rate_bps(self, *, local: bool, disk_readers: int) -> float:
+        """Effective read rate for one map task.
+
+        The storage disk's bandwidth is split evenly among its concurrent
+        readers; a remote read is additionally capped by the per-stream
+        network bandwidth.
+        """
+        readers = max(1, disk_readers)
+        rate = self.disk_bandwidth_bps / readers
+        if not local:
+            rate = min(rate, self.network_bandwidth_bps)
+        return rate
+
+    def map_task_duration(
+        self,
+        *,
+        split_bytes: int,
+        split_records: int,
+        local: bool,
+        disk_readers: int,
+        cpu_contention: float = 1.0,
+    ) -> float:
+        """Simulated wall-clock seconds for one map task.
+
+        Reading and computing are pipelined, so the data-path time is the
+        max of I/O time and CPU time; ``cpu_contention`` (>= 1) stretches
+        the CPU term when more slots than cores are configured.
+        """
+        if cpu_contention < 1.0:
+            raise ClusterConfigError(
+                f"cpu_contention must be >= 1.0, got {cpu_contention}"
+            )
+        io_seconds = split_bytes / self.map_read_rate_bps(
+            local=local, disk_readers=disk_readers
+        )
+        cpu_seconds = split_records * self.cpu_seconds_per_record * cpu_contention
+        return self.map_task_overhead + max(io_seconds, cpu_seconds)
+
+    # ------------------------------------------------------------------
+    # Reduce tasks
+    # ------------------------------------------------------------------
+    def reduce_task_duration(self, *, shuffle_records: int) -> float:
+        """Simulated seconds for the lone reduce task of a sampling job."""
+        shuffle_bytes = shuffle_records * self.output_record_bytes
+        shuffle_seconds = shuffle_bytes / self.shuffle_bandwidth_bps
+        cpu_seconds = shuffle_records * self.reduce_cpu_seconds_per_record
+        return self.reduce_task_overhead + shuffle_seconds + cpu_seconds
+
+    # ------------------------------------------------------------------
+    # Scaling helper
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "CostModel":
+        """A cost model with all data-path rates divided by ``factor``.
+
+        ``factor > 1`` models uniformly slower hardware. Used by the
+        cost-sensitivity tests.
+        """
+        if factor <= 0:
+            raise ClusterConfigError(f"scale factor must be positive, got {factor}")
+        return CostModel(
+            disk_bandwidth_bps=self.disk_bandwidth_bps / factor,
+            network_bandwidth_bps=self.network_bandwidth_bps / factor,
+            cpu_seconds_per_record=self.cpu_seconds_per_record * factor,
+            map_task_overhead=self.map_task_overhead,
+            reduce_cpu_seconds_per_record=self.reduce_cpu_seconds_per_record * factor,
+            reduce_task_overhead=self.reduce_task_overhead,
+            shuffle_bandwidth_bps=self.shuffle_bandwidth_bps / factor,
+            job_setup_seconds=self.job_setup_seconds,
+            job_cleanup_seconds=self.job_cleanup_seconds,
+            output_record_bytes=self.output_record_bytes,
+        )
+
+
+class StragglerModel:
+    """Task-duration variance: jitter plus occasional stragglers.
+
+    The deterministic cost model makes every wave finish in lockstep;
+    real Hadoop waves are ragged — most tasks vary a little, and a small
+    fraction straggle badly (slow disk, contended node, lost heartbeats).
+    The model multiplies a task's data-path time by
+
+    * a lognormal jitter with ``log``-space standard deviation ``sigma``
+      (median 1.0), and
+    * with probability ``straggler_probability``, an additional
+      ``straggler_factor``.
+
+    Draws come from a dedicated seeded stream, so runs remain
+    reproducible and the noise does not perturb any other randomness.
+    """
+
+    def __init__(
+        self,
+        *,
+        sigma: float = 0.1,
+        straggler_probability: float = 0.01,
+        straggler_factor: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if sigma < 0:
+            raise ClusterConfigError(f"sigma must be >= 0, got {sigma}")
+        if not 0.0 <= straggler_probability <= 1.0:
+            raise ClusterConfigError(
+                f"straggler_probability must be in [0, 1], got {straggler_probability}"
+            )
+        if straggler_factor < 1.0:
+            raise ClusterConfigError(
+                f"straggler_factor must be >= 1, got {straggler_factor}"
+            )
+        self.sigma = sigma
+        self.straggler_probability = straggler_probability
+        self.straggler_factor = straggler_factor
+        self._rng = random.Random(seed)
+        self.stragglers_drawn = 0
+
+    def multiplier(self) -> float:
+        """One duration multiplier (> 0, median ~1.0 for small sigma)."""
+        value = math.exp(self._rng.gauss(0.0, self.sigma)) if self.sigma else 1.0
+        if (
+            self.straggler_probability > 0.0
+            and self._rng.random() < self.straggler_probability
+        ):
+            self.stragglers_drawn += 1
+            value *= self.straggler_factor
+        return value

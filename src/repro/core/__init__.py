@@ -1,0 +1,64 @@
+"""The paper's contribution: incremental job expansion.
+
+* :mod:`repro.core.input_provider` — the Input Provider protocol (paper
+  §III-A): the three-way response (end of input / input available / no
+  input available) and the provider registry.
+* :mod:`repro.core.policy` — growth policies (paper §III-B, Table I):
+  EvaluationInterval, WorkThreshold, GrabLimit — the latter as a small
+  expression language over ``TS`` (total map slots) and ``AS`` (available
+  map slots), which is what makes a policy.xml file expressive.
+* :mod:`repro.core.policy_file` — the policy.xml loader/writer (§IV).
+* :mod:`repro.core.selectivity` — online selectivity estimation.
+* :mod:`repro.core.sampling_provider` — the predicate-based-sampling
+  Input Provider (§IV).
+* :mod:`repro.core.static_provider` — processes-everything provider
+  (Hadoop's classic model, used by non-sampling jobs).
+* :mod:`repro.core.sampling_job` — Algorithms 1 & 2 plus JobConf builders.
+"""
+
+from repro.core.input_provider import (
+    InputProvider,
+    ProviderRegistry,
+    ProviderResponse,
+    ResponseKind,
+    default_providers,
+)
+from repro.core.policy import (
+    GrabLimitExpression,
+    Policy,
+    PolicyRegistry,
+    PAPER_POLICY_NAMES,
+    paper_policies,
+)
+from repro.core.policy_file import dump_policies, load_policies
+from repro.core.sampling_job import (
+    SamplingMapper,
+    SamplingReducer,
+    make_sampling_conf,
+    make_scan_conf,
+)
+from repro.core.sampling_provider import SamplingInputProvider
+from repro.core.selectivity import SelectivityEstimator
+from repro.core.static_provider import StaticInputProvider
+
+__all__ = [
+    "GrabLimitExpression",
+    "InputProvider",
+    "PAPER_POLICY_NAMES",
+    "Policy",
+    "PolicyRegistry",
+    "ProviderRegistry",
+    "ProviderResponse",
+    "ResponseKind",
+    "SamplingInputProvider",
+    "SamplingMapper",
+    "SamplingReducer",
+    "SelectivityEstimator",
+    "StaticInputProvider",
+    "default_providers",
+    "dump_policies",
+    "load_policies",
+    "make_sampling_conf",
+    "make_scan_conf",
+    "paper_policies",
+]

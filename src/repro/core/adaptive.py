@@ -1,0 +1,156 @@
+"""Runtime policy adaptation (the paper's future work, §VII).
+
+"As part of future work, it could be interesting to implement a more
+flexible model wherein a job could decide and change the policy at
+runtime, based on the discovered characteristics of the input data
+together with the existing load on the cluster."
+
+:class:`AdaptiveSamplingProvider` implements that model. It reuses the
+sampling provider's estimation machinery unchanged, but at every
+evaluation re-selects the *policy* whose GrabLimit governs the step:
+
+* **Cluster load** (1 - AS/TS): an idle cluster rewards aggression
+  (paper §V-C), a loaded one rewards conservatism (paper §V-D/E).
+* **Observed skew**: when the per-evaluation match yield is erratic
+  (high dispersion), aggressive grabbing overcomes skew faster
+  (paper §V-C finding 2), so the provider escalates one step.
+
+The ladder of policies and the load thresholds are configurable via
+JobConf parameters::
+
+    dynamic.adaptive.ladder        comma list, conservative -> aggressive
+                                   (default "C,LA,MA,HA")
+    dynamic.adaptive.idle.load     load below which the most aggressive
+                                   rung is used (default 0.25)
+    dynamic.adaptive.busy.load     load above which the most conservative
+                                   rung is used (default 0.75)
+
+The job's configured ``dynamic.job.policy`` still supplies the
+EvaluationInterval and WorkThreshold (the cadence); only the GrabLimit
+adapts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.input_provider import ProviderResponse
+from repro.core.policy import PolicyRegistry, paper_policies
+from repro.core.protocol import ClusterStatus, JobProgress
+from repro.core.sampling_provider import SamplingInputProvider
+from repro.errors import InputProviderError
+
+LADDER_PARAM = "dynamic.adaptive.ladder"
+IDLE_LOAD_PARAM = "dynamic.adaptive.idle.load"
+BUSY_LOAD_PARAM = "dynamic.adaptive.busy.load"
+
+DEFAULT_LADDER = ("C", "LA", "MA", "HA")
+
+
+class AdaptiveSamplingProvider(SamplingInputProvider):
+    """Sampling provider that re-picks its growth policy every step."""
+
+    #: Registry the ladder names are resolved against. Swappable in tests.
+    policy_registry: PolicyRegistry | None = None
+
+    def on_initialize(self) -> None:
+        super().on_initialize()
+        registry = self.policy_registry or paper_policies()
+        ladder_text = self.conf.get(LADDER_PARAM)
+        names = (
+            tuple(name.strip() for name in ladder_text.split(","))
+            if ladder_text
+            else DEFAULT_LADDER
+        )
+        if not names:
+            raise InputProviderError("adaptive ladder must not be empty")
+        self._ladder = tuple(registry.get(name) for name in names)
+        self._idle_load = self._load_param(IDLE_LOAD_PARAM, 0.25)
+        self._busy_load = self._load_param(BUSY_LOAD_PARAM, 0.75)
+        if self._idle_load > self._busy_load:
+            raise InputProviderError(
+                f"adaptive thresholds inverted: idle {self._idle_load} > "
+                f"busy {self._busy_load}"
+            )
+        # Per-evaluation match yields, for the skew signal.
+        self._yield_history: list[float] = []
+        self._last_outputs = 0
+        self._last_splits = 0
+        self.policy_decisions: list[str] = []
+
+    def _load_param(self, key: str, default: float) -> float:
+        raw = self.conf.get(key)
+        if raw is None:
+            return default
+        value = float(raw)
+        if not 0.0 <= value <= 1.0:
+            raise InputProviderError(f"{key} must be in [0, 1], got {value}")
+        return value
+
+    # ------------------------------------------------------------------
+    # Policy selection
+    # ------------------------------------------------------------------
+    def select_policy(self, progress: JobProgress, cluster: ClusterStatus):
+        """The ladder rung for the current load and skew signal."""
+        rung = self._rung_for_load(self._cluster_load(cluster))
+        if self._skew_detected():
+            rung = min(rung + 1, len(self._ladder) - 1)
+        policy = self._ladder[rung]
+        self.policy_decisions.append(policy.name)
+        return policy
+
+    def _cluster_load(self, cluster: ClusterStatus) -> float:
+        if cluster.total_map_slots <= 0:
+            return 1.0
+        return 1.0 - cluster.available_map_slots / cluster.total_map_slots
+
+    def _rung_for_load(self, load: float) -> int:
+        """Map load onto the ladder: idle -> top rung, busy -> rung 0."""
+        top = len(self._ladder) - 1
+        if load <= self._idle_load:
+            return top
+        if load >= self._busy_load:
+            return 0
+        span = self._busy_load - self._idle_load
+        fraction = (load - self._idle_load) / span
+        return round((1.0 - fraction) * top)
+
+    def _skew_detected(self) -> bool:
+        """High dispersion of per-evaluation match yield signals skew."""
+        history = [y for y in self._yield_history if not math.isnan(y)]
+        if len(history) < 2:
+            return False
+        mean = sum(history) / len(history)
+        if mean <= 0:
+            return False
+        variance = sum((y - mean) ** 2 for y in history) / len(history)
+        return math.sqrt(variance) > mean  # coefficient of variation > 1
+
+    def _record_yield(self, progress: JobProgress) -> None:
+        new_splits = progress.splits_completed - self._last_splits
+        if new_splits > 0:
+            new_outputs = progress.outputs_produced - self._last_outputs
+            self._yield_history.append(new_outputs / new_splits)
+            self._last_splits = progress.splits_completed
+            self._last_outputs = progress.outputs_produced
+
+    # ------------------------------------------------------------------
+    # Hook into the sampling provider
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, progress: JobProgress, cluster: ClusterStatus
+    ) -> ProviderResponse:
+        self._record_yield(progress)
+        self._active_policy = self.select_policy(progress, cluster)
+        return super().evaluate(progress, cluster)
+
+    def grab_limit(self, cluster: ClusterStatus) -> float:
+        policy = getattr(self, "_active_policy", None)
+        if policy is None:
+            # The initial grab (before any evaluation): pick from load alone.
+            policy = self._ladder[self._rung_for_load(self._cluster_load(cluster))]
+            self.policy_decisions.append(policy.name)
+        return policy.max_grab(
+            total_slots=cluster.total_map_slots,
+            available_slots=cluster.available_map_slots,
+        )

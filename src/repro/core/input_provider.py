@@ -1,0 +1,211 @@
+"""The Input Provider protocol (paper §III-A).
+
+An Input Provider is pluggable, client-side logic that decides how a
+dynamic job consumes its input. At each invocation it receives the job's
+progress statistics and the cluster's load summary and answers one of
+three ways (Figure 3 of the paper):
+
+* ``END_OF_INPUT`` — the job needs no more input; in-flight maps finish,
+  the provider is never invoked again, and the job proceeds to shuffle.
+* ``INPUT_AVAILABLE`` — here are additional partitions to process next.
+* ``NO_INPUT_AVAILABLE`` — wait and see; re-assess at the next invocation.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.policy import Policy
+from repro.core.protocol import ClusterStatus, JobProgress
+from repro.dfs.split import InputSplit
+from repro.errors import InputProviderError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.engine.jobconf import JobConf
+
+
+class ResponseKind(enum.Enum):
+    END_OF_INPUT = "end_of_input"
+    INPUT_AVAILABLE = "input_available"
+    NO_INPUT_AVAILABLE = "no_input_available"
+
+
+@dataclass(frozen=True)
+class ProviderResponse:
+    """One answer from an Input Provider evaluation."""
+
+    kind: ResponseKind
+    splits: tuple[InputSplit, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind is ResponseKind.INPUT_AVAILABLE and not self.splits:
+            raise InputProviderError(
+                "INPUT_AVAILABLE response must carry at least one split"
+            )
+        if self.kind is not ResponseKind.INPUT_AVAILABLE and self.splits:
+            raise InputProviderError(f"{self.kind.value} response cannot carry splits")
+
+    @staticmethod
+    def end_of_input() -> "ProviderResponse":
+        return ProviderResponse(ResponseKind.END_OF_INPUT)
+
+    @staticmethod
+    def input_available(splits: list[InputSplit]) -> "ProviderResponse":
+        return ProviderResponse(ResponseKind.INPUT_AVAILABLE, tuple(splits))
+
+    @staticmethod
+    def no_input() -> "ProviderResponse":
+        return ProviderResponse(ResponseKind.NO_INPUT_AVAILABLE)
+
+
+class InputProvider:
+    """Base class for Input Providers.
+
+    Lifecycle: ``initialize`` once with the complete input partition set
+    (paper §IV: "As part of its initialization, the Input Provider is
+    provided with the set of input partitions that form the complete
+    input for the job"), then ``initial_input`` once at submission, then
+    ``evaluate`` at each evaluation point until END_OF_INPUT.
+
+    The base class manages the unprocessed-split pool and the random,
+    GrabLimit-capped selection both built-in providers share.
+    """
+
+    def __init__(self) -> None:
+        self._remaining: list[InputSplit] = []
+        self._conf: "JobConf | None" = None
+        self._policy: Policy | None = None
+        self._rng: random.Random | None = None
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(
+        self,
+        splits: list[InputSplit],
+        conf: "JobConf",
+        policy: Policy,
+        rng: random.Random,
+    ) -> None:
+        if self._initialized:
+            raise InputProviderError("InputProvider.initialize called twice")
+        self._remaining = list(splits)
+        self._conf = conf
+        self._policy = policy
+        self._rng = rng
+        self._initialized = True
+        self.on_initialize()
+
+    def on_initialize(self) -> None:
+        """Subclass hook; runs after base initialization."""
+
+    def initial_input(self, cluster: ClusterStatus) -> tuple[list[InputSplit], bool]:
+        """The initial split set, plus whether input is already complete."""
+        self._check_initialized()
+        taken = self.take_random(self.grab_limit(cluster))
+        return taken, not self._remaining
+
+    def evaluate(
+        self, progress: JobProgress, cluster: ClusterStatus
+    ) -> ProviderResponse:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    @property
+    def conf(self) -> "JobConf":
+        self._check_initialized()
+        return self._conf  # type: ignore[return-value]
+
+    @property
+    def policy(self) -> Policy:
+        self._check_initialized()
+        return self._policy  # type: ignore[return-value]
+
+    @property
+    def remaining_splits(self) -> int:
+        return len(self._remaining)
+
+    def grab_limit(self, cluster: ClusterStatus) -> float:
+        """This step's GrabLimit under the configured policy."""
+        return self.policy.max_grab(
+            total_slots=cluster.total_map_slots,
+            available_slots=cluster.available_map_slots,
+        )
+
+    def take_random(self, count: float) -> list[InputSplit]:
+        """Remove up to ``count`` splits, chosen uniformly at random.
+
+        Random selection is what makes the produced sample random
+        (paper §IV); ``count`` may be ``inf`` to take everything.
+        """
+        self._check_initialized()
+        if count <= 0 or not self._remaining:
+            return []
+        if count >= len(self._remaining):
+            taken = list(self._remaining)
+            self._remaining.clear()
+            self._rng.shuffle(taken)  # type: ignore[union-attr]
+            return taken
+        taken = self._rng.sample(self._remaining, int(count))  # type: ignore[union-attr]
+        taken_ids = {split.split_id for split in taken}
+        self._remaining = [
+            split for split in self._remaining if split.split_id not in taken_ids
+        ]
+        return taken
+
+    def _check_initialized(self) -> None:
+        if not self._initialized:
+            raise InputProviderError("InputProvider used before initialize()")
+
+
+class ProviderRegistry:
+    """Maps the ``dynamic.input.provider`` JobConf value to a class."""
+
+    def __init__(self) -> None:
+        self._providers: dict[str, type[InputProvider]] = {}
+
+    def register(self, name: str, cls: type[InputProvider], *, replace: bool = False) -> None:
+        if not name:
+            raise InputProviderError("provider name must be non-empty")
+        if name in self._providers and not replace:
+            raise InputProviderError(f"provider {name!r} already registered")
+        self._providers[name] = cls
+
+    def create(self, name: str) -> InputProvider:
+        try:
+            cls = self._providers[name]
+        except KeyError:
+            raise InputProviderError(
+                f"unknown input provider {name!r}; registered: {sorted(self._providers)}"
+            ) from None
+        return cls()
+
+    def names(self) -> list[str]:
+        return sorted(self._providers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._providers
+
+
+def default_providers() -> ProviderRegistry:
+    """Registry with the built-in providers.
+
+    ``sampling`` and ``static`` implement the paper; ``adaptive``
+    implements its §VII future-work direction (runtime policy switching).
+    """
+    # Imported here to avoid a circular import at module load.
+    from repro.core.adaptive import AdaptiveSamplingProvider
+    from repro.core.sampling_provider import SamplingInputProvider
+    from repro.core.static_provider import StaticInputProvider
+
+    registry = ProviderRegistry()
+    registry.register("sampling", SamplingInputProvider)
+    registry.register("static", StaticInputProvider)
+    registry.register("adaptive", AdaptiveSamplingProvider)
+    return registry

@@ -1,0 +1,98 @@
+"""policy.xml: the on-disk policy catalogue (paper §IV).
+
+"The available policies are defined in a policy.xml file ... The end-user
+is currently required to choose amongst the configured policies (which
+are listed in the policy.xml file)."
+
+Format::
+
+    <policies>
+      <policy name="LA" description="Less Aggressive policy">
+        <workThreshold>10</workThreshold>
+        <grabLimit>AS &gt; 0 ? 0.2 * AS : 0.1 * TS</grabLimit>
+        <evaluationInterval>4</evaluationInterval>
+      </policy>
+      ...
+    </policies>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.core.policy import GrabLimitExpression, Policy, PolicyRegistry
+from repro.errors import PolicyError
+
+
+def load_policies(path: str | Path) -> PolicyRegistry:
+    """Parse a policy.xml file into a registry."""
+    try:
+        tree = ET.parse(str(path))
+    except (ET.ParseError, OSError) as exc:
+        raise PolicyError(f"cannot load policy file {path}: {exc}") from exc
+    root = tree.getroot()
+    if root.tag != "policies":
+        raise PolicyError(f"policy file {path}: root element must be <policies>")
+    registry = PolicyRegistry()
+    for element in root.findall("policy"):
+        registry.register(_parse_policy(element, path))
+    if len(registry) == 0:
+        raise PolicyError(f"policy file {path}: defines no policies")
+    return registry
+
+
+def _parse_policy(element: ET.Element, path: str | Path) -> Policy:
+    name = element.get("name")
+    if not name:
+        raise PolicyError(f"policy file {path}: <policy> missing name attribute")
+    description = element.get("description", "")
+    work_threshold = _child_text(element, "workThreshold", path, name)
+    grab_limit = _child_text(element, "grabLimit", path, name)
+    interval_el = element.find("evaluationInterval")
+    interval = 4.0 if interval_el is None else _parse_float(
+        interval_el.text or "", "evaluationInterval", path, name
+    )
+    return Policy(
+        name=name,
+        description=description,
+        work_threshold_pct=_parse_float(work_threshold, "workThreshold", path, name),
+        grab_limit=GrabLimitExpression(grab_limit),
+        evaluation_interval=interval,
+    )
+
+
+def _child_text(element: ET.Element, tag: str, path, name: str) -> str:
+    child = element.find(tag)
+    if child is None or child.text is None or not child.text.strip():
+        raise PolicyError(f"policy file {path}: policy {name!r} missing <{tag}>")
+    return child.text.strip()
+
+
+def _parse_float(text: str, tag: str, path, name: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise PolicyError(
+            f"policy file {path}: policy {name!r} <{tag}> is not a number: {text!r}"
+        ) from None
+
+
+def dump_policies(registry: PolicyRegistry, path: str | Path) -> None:
+    """Write a registry out as policy.xml."""
+    root = ET.Element("policies")
+    for policy in sorted(registry, key=lambda p: p.name):
+        element = ET.SubElement(
+            root, "policy", name=policy.name, description=policy.description
+        )
+        # repr() keeps full float precision so load(dump(x)) == x.
+        ET.SubElement(element, "workThreshold").text = repr(
+            float(policy.work_threshold_pct)
+        )
+        ET.SubElement(element, "grabLimit").text = policy.grab_limit.source
+        ET.SubElement(element, "evaluationInterval").text = repr(
+            float(policy.evaluation_interval)
+        )
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    tree.write(str(path), encoding="unicode", xml_declaration=True)

@@ -1,0 +1,113 @@
+"""The predicate-based-sampling Input Provider (paper §IV).
+
+Decision procedure at each evaluation point:
+
+1. If the completed map tasks have already produced >= k output tuples,
+   stop adding input (END_OF_INPUT).
+2. Otherwise estimate the predicate's selectivity from the records
+   processed and matches found so far, compute the *expected* output of
+   the splits already added but not yet finished, and derive the
+   shortfall. If the in-flight work is expected to cover the shortfall,
+   wait (NO_INPUT_AVAILABLE).
+3. Otherwise convert the shortfall into a number of additional splits
+   (via the observed records-per-split) and grab that many — capped by
+   the policy's GrabLimit — uniformly at random from the unprocessed
+   remainder (INPUT_AVAILABLE).
+
+When no selectivity information exists yet (no matches seen), the
+provider grabs up to the GrabLimit: it cannot bound the need, so the
+policy alone governs growth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.input_provider import InputProvider, ProviderResponse
+from repro.core.selectivity import SelectivityEstimator
+from repro.core.protocol import ClusterStatus, JobProgress
+from repro.errors import InputProviderError
+
+
+class SamplingInputProvider(InputProvider):
+    """Input Provider for fixed-size predicate-based sampling jobs."""
+
+    def on_initialize(self) -> None:
+        k = self.conf.sample_size
+        if k is None or k <= 0:
+            raise InputProviderError(
+                f"sampling job {self.conf.name!r} must set a positive "
+                "sampling.size parameter"
+            )
+        self._k = k
+        self._estimator = SelectivityEstimator()
+
+    @property
+    def sample_size(self) -> int:
+        return self._k
+
+    @property
+    def estimator(self) -> SelectivityEstimator:
+        return self._estimator
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, progress: JobProgress, cluster: ClusterStatus
+    ) -> ProviderResponse:
+        self._estimator.observe_totals(
+            progress.records_processed, progress.outputs_produced
+        )
+
+        # (1) Enough output already produced by finished maps.
+        if progress.outputs_produced >= self._k:
+            return ProviderResponse.end_of_input()
+
+        # Nothing left to add: the sample will be whatever the in-flight
+        # maps find; declare end of input so reduce can start once they
+        # finish.
+        if self.remaining_splits == 0:
+            return ProviderResponse.end_of_input()
+
+        # (2) Account for the expected output of pending map tasks.
+        expected_pending = self._estimator.expected_matches(progress.records_pending)
+        shortfall = self._k - progress.outputs_produced - expected_pending
+        if shortfall <= 0:
+            return ProviderResponse.no_input()
+
+        # Without a usable selectivity estimate, the need cannot be
+        # bounded. While uninformed work is still in flight, "wait and
+        # see" — grabbing blindly every evaluation would queue unbounded,
+        # likely wasted, work behind splits whose outcome is unknown.
+        # Once nothing is pending, probing more input is the only way
+        # forward.
+        estimate = self._estimator.estimate
+        if (estimate is None or estimate <= 0) and progress.records_pending > 0:
+            return ProviderResponse.no_input()
+
+        # (3) Convert shortfall into splits, capped by the GrabLimit.
+        limit = self.grab_limit(cluster)
+        if limit <= 0:
+            return ProviderResponse.no_input()
+        needed_splits = self._needed_splits(progress, shortfall)
+        take = min(needed_splits, limit)
+        chosen = self.take_random(take)
+        if not chosen:
+            return ProviderResponse.no_input()
+        return ProviderResponse.input_available(chosen)
+
+    # ------------------------------------------------------------------
+    def _needed_splits(self, progress: JobProgress, shortfall: float) -> float:
+        """Estimated number of additional splits covering ``shortfall`` matches.
+
+        Uses the observed average records per completed split ("the Input
+        Provider computes the expected number of records in each split",
+        §IV). With no completed splits or a zero selectivity estimate the
+        need is unbounded and the GrabLimit alone applies.
+        """
+        records_needed = self._estimator.records_needed(shortfall)
+        if math.isinf(records_needed):
+            return math.inf
+        if progress.splits_completed <= 0 or progress.records_processed <= 0:
+            return math.inf
+        avg_records_per_split = progress.records_processed / progress.splits_completed
+        return math.ceil(records_needed / avg_records_per_split)

@@ -1,0 +1,88 @@
+"""Online selectivity estimation (paper §IV).
+
+"Given the number of input records processed so far and the number of
+matching records found among them, the Input Provider estimates the
+predicate selectivity for the input data."
+
+The estimator is a running ratio with an optional pseudo-count prior.
+The paper's provider uses the raw ratio; the prior (disabled by default)
+is exposed for the ablation benchmark on estimator design.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InputProviderError
+
+
+class SelectivityEstimator:
+    """Running estimate of ``matches / records`` over observed input."""
+
+    def __init__(
+        self,
+        *,
+        prior_matches: float = 0.0,
+        prior_records: float = 0.0,
+    ) -> None:
+        if prior_matches < 0 or prior_records < 0:
+            raise InputProviderError("priors must be non-negative")
+        if prior_matches > 0 and prior_records <= 0:
+            raise InputProviderError("a match prior requires a record prior")
+        self._prior_matches = prior_matches
+        self._prior_records = prior_records
+        self._records = 0
+        self._matches = 0
+
+    # ------------------------------------------------------------------
+    def observe_totals(self, records_processed: int, matches_found: int) -> None:
+        """Update with *cumulative* totals (monotonically non-decreasing)."""
+        if records_processed < self._records or matches_found < self._matches:
+            raise InputProviderError(
+                "selectivity totals went backwards: "
+                f"records {self._records}->{records_processed}, "
+                f"matches {self._matches}->{matches_found}"
+            )
+        if matches_found > records_processed:
+            raise InputProviderError(
+                f"more matches ({matches_found}) than records ({records_processed})"
+            )
+        self._records = records_processed
+        self._matches = matches_found
+
+    @property
+    def records_observed(self) -> int:
+        return self._records
+
+    @property
+    def matches_observed(self) -> int:
+        return self._matches
+
+    @property
+    def estimate(self) -> float | None:
+        """Current selectivity estimate, or None before any observation."""
+        records = self._records + self._prior_records
+        if records <= 0:
+            return None
+        return (self._matches + self._prior_matches) / records
+
+    # ------------------------------------------------------------------
+    def expected_matches(self, records: int) -> float:
+        """Expected matching records among ``records`` unseen records."""
+        if records < 0:
+            raise InputProviderError(f"records must be >= 0, got {records}")
+        selectivity = self.estimate
+        if selectivity is None:
+            return 0.0
+        return selectivity * records
+
+    def records_needed(self, matches_needed: float) -> float:
+        """Records that must be processed to find ``matches_needed`` more
+        matches, under the current estimate (``inf`` when the estimate is
+        zero or unavailable)."""
+        if matches_needed <= 0:
+            return 0.0
+        selectivity = self.estimate
+        if selectivity is None or selectivity <= 0:
+            return math.inf
+        return matches_needed / selectivity

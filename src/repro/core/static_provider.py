@@ -1,0 +1,26 @@
+"""The processes-everything Input Provider.
+
+Models Hadoop's classic execution: all input partitions are added in a
+single step at submission and input is immediately complete. A dynamic
+job configured with the 'Hadoop' policy behaves identically through the
+sampling provider (its GrabLimit is infinite), but non-sampling jobs and
+tests use this provider directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.input_provider import InputProvider, ProviderResponse
+from repro.core.protocol import ClusterStatus, JobProgress
+
+
+class StaticInputProvider(InputProvider):
+    """Adds the entire input up front; never grows the job afterwards."""
+
+    def initial_input(self, cluster: ClusterStatus) -> tuple[list, bool]:
+        taken = self.take_random(float("inf"))
+        return taken, True
+
+    def evaluate(
+        self, progress: JobProgress, cluster: ClusterStatus
+    ) -> ProviderResponse:
+        return ProviderResponse.end_of_input()

@@ -1,0 +1,220 @@
+"""Predicate objects.
+
+Two concerns meet here:
+
+1. *Evaluation* — the sampling map task needs a fast ``matches(row)``
+   callable; the Hive layer compiles WHERE clauses down to these objects.
+2. *Controlled generation* — the paper's experiments fix overall predicate
+   selectivity at exactly 0.05% and control the per-partition placement of
+   matching records. :class:`MarkerEquals` supports that: it matches a
+   marker value placed just outside a column's normal TPC-H domain, so the
+   generator can mint matching and non-matching rows at will.
+
+The paper's Table III (one predicate per skew level) does not print the
+concrete predicates; :func:`predicate_for_skew` defines our substitution
+(documented in DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.data.record import Row
+from repro.errors import DataGenerationError
+
+PAPER_SELECTIVITY = 0.0005
+"""Overall fraction of matching records in every experiment (0.05%)."""
+
+_OPERATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Predicate:
+    """Base class: a boolean condition over a row."""
+
+    name: str = "predicate"
+
+    def matches(self, row: Mapping) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, row: Mapping) -> bool:
+        return self.matches(row)
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row (used for plain scans)."""
+
+    name: str = "true"
+
+    def matches(self, row: Mapping) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class ColumnCompare(Predicate):
+    """``column <op> literal`` for op in ``= != < <= > >=``."""
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise DataGenerationError(f"unsupported comparison operator {self.op!r}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.column}{self.op}{self.value}"
+
+    def matches(self, row: Mapping) -> bool:
+        return _OPERATORS[self.op](row[self.column], self.value)
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    children: tuple[Predicate, ...]
+
+    @property
+    def name(self) -> str:
+        return " AND ".join(c.name for c in self.children)
+
+    def matches(self, row: Mapping) -> bool:
+        return all(child.matches(row) for child in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    children: tuple[Predicate, ...]
+
+    @property
+    def name(self) -> str:
+        return " OR ".join(c.name for c in self.children)
+
+    def matches(self, row: Mapping) -> bool:
+        return any(child.matches(row) for child in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    child: Predicate
+
+    @property
+    def name(self) -> str:
+        return f"NOT {self.child.name}"
+
+    def matches(self, row: Mapping) -> bool:
+        return not self.child.matches(row)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.child})"
+
+
+@dataclass(frozen=True)
+class FunctionPredicate(Predicate):
+    """Wraps an arbitrary callable; used by the Hive expression compiler."""
+
+    fn: Callable[[Mapping], bool]
+    label: str
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def matches(self, row: Mapping) -> bool:
+        return bool(self.fn(row))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class MarkerEquals(Predicate):
+    """``column = marker`` where ``marker`` lies outside the column's
+    normal generated domain.
+
+    Because no organically generated row carries the marker, the data
+    builder controls selectivity and placement exactly: it stamps the
+    marker onto designated rows (:meth:`make_matching`) and leaves all
+    other rows untouched (they cannot match by construction).
+    """
+
+    column: str
+    marker: object
+
+    @property
+    def name(self) -> str:
+        return f"{self.column}={self.marker}"
+
+    def matches(self, row: Mapping) -> bool:
+        return row[self.column] == self.marker
+
+    def make_matching(self, row: Row) -> Row:
+        """Stamp the marker onto ``row`` (in place) and return it."""
+        row[self.column] = self.marker
+        return row
+
+    def ensure_non_matching(self, row: Row, rng: random.Random) -> Row:
+        """Guarantee ``row`` does not match (no-op for marker values by design)."""
+        if row[self.column] == self.marker:
+            raise DataGenerationError(
+                f"generator produced marker value {self.marker!r} organically "
+                f"for column {self.column}; marker domain is not disjoint"
+            )
+        return row
+
+    def __str__(self) -> str:
+        return f"{self.column} = {self.marker!r}"
+
+
+# ---------------------------------------------------------------------------
+# The paper's Table III predicates (our substitution; see DESIGN.md §3).
+# Marker values sit one notch outside each column's TPC-H domain:
+#   l_discount in {0.00..0.10}  -> marker 0.11
+#   l_tax      in {0.00..0.08}  -> marker 0.09
+#   l_quantity in {1..50}       -> marker 51
+# ---------------------------------------------------------------------------
+_SKEW_PREDICATES: dict[int, MarkerEquals] = {
+    0: MarkerEquals("l_discount", 0.11),
+    1: MarkerEquals("l_tax", 0.09),
+    2: MarkerEquals("l_quantity", 51),
+}
+
+
+def predicate_for_skew(z: int | float) -> MarkerEquals:
+    """The Table III predicate associated with Zipf exponent ``z`` (0, 1 or 2)."""
+    key = int(z)
+    if key != z or key not in _SKEW_PREDICATES:
+        raise DataGenerationError(
+            f"no Table III predicate for skew z={z}; choose z in {sorted(_SKEW_PREDICATES)}"
+        )
+    return _SKEW_PREDICATES[key]

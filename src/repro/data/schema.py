@@ -1,0 +1,91 @@
+"""Column schemas.
+
+Rows are plain dicts (see :mod:`repro.data.record`); a :class:`Schema`
+carries the column metadata needed by the query layer (name resolution,
+type checking) and by the data generators (row sizing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DataGenerationError
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single column: name, Python type, and an average encoded width.
+
+    ``avg_bytes`` approximates the column's width in the text-serialized
+    form Hive tables use; it feeds the dataset size estimates of Table II.
+    """
+
+    name: str
+    py_type: type
+    avg_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise DataGenerationError(f"invalid field name {self.name!r}")
+        if self.avg_bytes <= 0:
+            raise DataGenerationError(
+                f"field {self.name}: avg_bytes must be positive, got {self.avg_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Field` objects."""
+
+    name: str
+    fields: tuple[Field, ...]
+    _by_name: dict[str, Field] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise DataGenerationError(f"schema {self.name}: duplicate field names")
+        object.__setattr__(self, "_by_name", {f.name: f for f in self.fields})
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    @property
+    def avg_row_bytes(self) -> int:
+        """Average serialized row width, including one delimiter per column."""
+        return sum(f.avg_bytes for f in self.fields) + len(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def field_named(self, name: str) -> Field:
+        """Look up a field by (case-insensitive) name."""
+        found = self._by_name.get(name)
+        if found is None:
+            found = self._by_name.get(name.lower())
+        if found is None:
+            raise DataGenerationError(f"schema {self.name}: no field named {name!r}")
+        return found
+
+    def validate_row(self, row: dict) -> None:
+        """Raise if ``row`` is missing columns or holds mistyped values.
+
+        bool is rejected where int is expected (a common silent bug).
+        """
+        for f in self.fields:
+            if f.name not in row:
+                raise DataGenerationError(f"row missing column {f.name!r}")
+            value = row[f.name]
+            if f.py_type is float and isinstance(value, int) and not isinstance(value, bool):
+                continue  # ints are acceptable where floats are expected
+            if not isinstance(value, f.py_type) or (
+                f.py_type is int and isinstance(value, bool)
+            ):
+                raise DataGenerationError(
+                    f"column {f.name!r}: expected {f.py_type.__name__}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+
+    def __len__(self) -> int:
+        return len(self.fields)

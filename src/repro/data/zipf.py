@@ -1,0 +1,79 @@
+"""The Zipfian distribution of paper equation (1).
+
+    f(k; z, N) = (1 / k^z) / sum_{n=1..N} (1 / n^z)
+
+``z = 0`` degenerates to the uniform distribution; larger ``z``
+concentrates probability mass on low ranks. The paper draws the containing
+partition of every matching record from this distribution to model skewed
+placement (section V-B, "Modeling data skew").
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+
+
+class ZipfDistribution:
+    """Zipf over ranks ``1..n`` with exponent ``z``."""
+
+    def __init__(self, n: int, z: float) -> None:
+        if n < 1:
+            raise DataGenerationError(f"Zipf population must have n >= 1, got {n}")
+        if z < 0:
+            raise DataGenerationError(f"Zipf exponent must be >= 0, got {z}")
+        self.n = n
+        self.z = float(z)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-self.z)
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+        # Guard against floating point leaving the last cdf entry below 1.
+        self._cdf[-1] = 1.0
+
+    def pmf(self, rank: int) -> float:
+        """Probability of rank ``rank`` (1-based)."""
+        if not 1 <= rank <= self.n:
+            raise DataGenerationError(f"rank {rank} outside 1..{self.n}")
+        return float(self._pmf[rank - 1])
+
+    def pmf_vector(self) -> np.ndarray:
+        """The full probability vector, index 0 = rank 1."""
+        return self._pmf.copy()
+
+    def sample_rank(self, rng: random.Random) -> int:
+        """Draw one rank (1-based) via inverse-CDF sampling."""
+        u = rng.random()
+        return int(np.searchsorted(self._cdf, u, side="right")) + 1
+
+    def sample_counts(self, total: int, rng: random.Random) -> np.ndarray:
+        """Multinomial draw: how many of ``total`` items land on each rank.
+
+        This mirrors the paper's procedure of drawing each matching
+        record's partition independently from the Zipfian.
+        """
+        if total < 0:
+            raise DataGenerationError(f"total must be non-negative, got {total}")
+        np_rng = np.random.default_rng(rng.getrandbits(64))
+        return np_rng.multinomial(total, self._pmf)
+
+    def expected_counts(self, total: int) -> np.ndarray:
+        """Deterministic expected counts, largest-remainder rounded to sum to total."""
+        if total < 0:
+            raise DataGenerationError(f"total must be non-negative, got {total}")
+        exact = self._pmf * total
+        floors = np.floor(exact).astype(np.int64)
+        remainder = int(total - floors.sum())
+        if remainder > 0:
+            fractional = exact - floors
+            # Stable sort on the negated fractions: ties go to the lower
+            # rank, keeping counts non-increasing in rank even at z = 0.
+            top = np.argsort(-fractional, kind="stable")[:remainder]
+            floors[top] += 1
+        return floors
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZipfDistribution(n={self.n}, z={self.z})"

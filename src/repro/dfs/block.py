@@ -1,0 +1,78 @@
+"""Blocks and storage locations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import PartitionData
+from repro.errors import DfsError
+
+
+@dataclass(frozen=True)
+class StorageLocation:
+    """A (node, disk) pair that physically holds a block.
+
+    Node and disk identifiers are opaque strings/ints owned by the cluster
+    model; the DFS never interprets them beyond equality.
+    """
+
+    node_id: str
+    disk_id: int
+
+    def __str__(self) -> str:
+        return f"{self.node_id}/disk{self.disk_id}"
+
+
+@dataclass(frozen=True)
+class Block:
+    """One immutable block of a DFS file.
+
+    A block has one or more replica locations (HDFS-style). The paper's
+    datasets are unreplicated, so the default replication factor is 1
+    and ``location`` names the single/primary replica. ``payload``
+    carries the partition's data or profile
+    (:class:`~repro.data.datasets.PartitionData`).
+    """
+
+    block_id: str
+    file_path: str
+    index: int
+    num_bytes: int
+    location: StorageLocation
+    payload: PartitionData
+    replicas: tuple[StorageLocation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise DfsError(f"block {self.block_id}: negative size {self.num_bytes}")
+        if self.index < 0:
+            raise DfsError(f"block {self.block_id}: negative index {self.index}")
+        if not self.replicas:
+            object.__setattr__(self, "replicas", (self.location,))
+        elif self.replicas[0] != self.location:
+            raise DfsError(
+                f"block {self.block_id}: primary location must be replicas[0]"
+            )
+        nodes = [replica.node_id for replica in self.replicas]
+        if len(set(nodes)) != len(nodes):
+            raise DfsError(
+                f"block {self.block_id}: replicas must land on distinct nodes"
+            )
+
+    @property
+    def num_records(self) -> int:
+        return self.payload.num_records
+
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+    def is_local_to(self, node_id: str) -> bool:
+        return any(replica.node_id == node_id for replica in self.replicas)
+
+    def replica_on(self, node_id: str) -> StorageLocation | None:
+        """The replica stored on ``node_id``, if any."""
+        for replica in self.replicas:
+            if replica.node_id == node_id:
+                return replica
+        return None

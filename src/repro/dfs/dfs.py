@@ -1,0 +1,98 @@
+"""The DistributedFileSystem facade.
+
+Ties together the namenode, a placement policy, and the storage
+locations exported by the cluster topology. Datasets built by
+:mod:`repro.data.datasets` are written in as one block per partition;
+jobs read them back as :class:`~repro.dfs.split.InputSplit` lists.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.data.datasets import PartitionedDataset
+from repro.dfs.block import Block, StorageLocation
+from repro.dfs.namenode import DfsFile, NameNode
+from repro.dfs.placement import PlacementPolicy, RoundRobinPlacement
+from repro.dfs.split import InputSplit
+from repro.errors import DfsError
+
+
+class DistributedFileSystem:
+    """Namespace + placement over a fixed set of storage locations."""
+
+    def __init__(
+        self,
+        storage_locations: list[StorageLocation],
+        placement: PlacementPolicy | None = None,
+        replication: int = 1,
+    ) -> None:
+        if not storage_locations:
+            raise DfsError("a DFS needs at least one storage location")
+        if replication < 1:
+            raise DfsError(f"replication must be >= 1, got {replication}")
+        self._locations = list(storage_locations)
+        self._placement = placement or RoundRobinPlacement()
+        self.replication = replication
+        self._namenode = NameNode()
+        self._block_counter = itertools.count()
+
+    @property
+    def namenode(self) -> NameNode:
+        return self._namenode
+
+    @property
+    def storage_locations(self) -> list[StorageLocation]:
+        return list(self._locations)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write_dataset(
+        self,
+        path: str,
+        dataset: PartitionedDataset,
+        *,
+        replication: int | None = None,
+    ) -> DfsFile:
+        """Store a partitioned dataset as one file, one block per partition.
+
+        ``replication`` overrides the filesystem default for this file.
+        """
+        factor = self.replication if replication is None else replication
+        placements = self._placement.place_replicas(
+            len(dataset.partitions), self._locations, factor
+        )
+        blocks = [
+            Block(
+                block_id=f"blk_{next(self._block_counter):08d}",
+                file_path=path,
+                index=partition.index,
+                num_bytes=partition.num_bytes,
+                location=replicas[0],
+                payload=partition,
+                replicas=replicas,
+            )
+            for partition, replicas in zip(dataset.partitions, placements)
+        ]
+        return self._namenode.create_file(path, blocks)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def open_splits(self, path: str) -> list[InputSplit]:
+        """The input splits of a file, one per block, in file order."""
+        dfs_file = self._namenode.get_file(path)
+        return [
+            InputSplit(split_id=f"{dfs_file.path}:{block.index}", block=block)
+            for block in dfs_file.blocks
+        ]
+
+    def file_info(self, path: str) -> DfsFile:
+        return self._namenode.get_file(path)
+
+    def exists(self, path: str) -> bool:
+        return self._namenode.exists(path)
+
+    def delete(self, path: str) -> None:
+        self._namenode.delete(path)

@@ -1,0 +1,46 @@
+"""The MapReduce engine (Hadoop 0.20 analogue).
+
+Two execution substrates share one job description
+(:class:`~repro.engine.jobconf.JobConf`):
+
+* :class:`~repro.engine.runtime.LocalRunner` executes map/reduce functions
+  for real, in process, over materialized splits — including the full
+  dynamic-job protocol run synchronously. It validates *what* is computed.
+* The simulated cluster (:class:`~repro.engine.cluster_engine.SimulatedCluster`)
+  executes jobs on the discrete-event cluster model — JobClient,
+  JobTracker, TaskTrackers, FIFO/Fair schedulers — and validates *how
+  long* execution takes and *which resources* it consumes.
+
+The incremental-processing extension of the paper lives in
+:mod:`repro.core`; this package provides the `dynamic job` hooks it plugs
+into (JobClient evaluation loop, deferred reduce-phase start, JobTracker
+"add input" message).
+"""
+
+from repro.engine.cluster_engine import SimulatedCluster
+from repro.engine.job import Job, JobProgress, JobResult, JobState
+from repro.engine.jobconf import JobConf
+from repro.engine.mapreduce import Mapper, MapContext, Reducer, ReduceContext
+from repro.engine.runtime import LocalRunner
+from repro.engine.scheduler import FairScheduler, FifoScheduler, TaskScheduler
+from repro.engine.task import MapTask, ReduceTask, TaskState
+
+__all__ = [
+    "FairScheduler",
+    "FifoScheduler",
+    "Job",
+    "JobConf",
+    "JobProgress",
+    "JobResult",
+    "JobState",
+    "LocalRunner",
+    "MapContext",
+    "MapTask",
+    "Mapper",
+    "ReduceContext",
+    "ReduceTask",
+    "Reducer",
+    "SimulatedCluster",
+    "TaskScheduler",
+    "TaskState",
+]

@@ -1,0 +1,75 @@
+"""Failure injection for the simulated cluster.
+
+Hadoop re-executes failed task attempts and gives up on a job once any
+single task has failed ``mapred.map.max.attempts`` (default 4) times.
+The simulator reproduces that behaviour so the dynamic-job machinery can
+be exercised under failures: a failed map's split goes back into the
+job's pending queue as a fresh attempt, counters never double-count, and
+an Input Provider sees the split as *pending* throughout.
+
+``FailureInjector`` decides which attempts fail. The default model is
+Bernoulli per attempt, optionally restricted to a set of "flaky" nodes;
+subclass and override :meth:`should_fail_map` for bespoke scenarios
+(e.g. deterministic "fail the first attempt of every task").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.task import MapTask
+from repro.errors import ClusterConfigError
+
+DEFAULT_MAX_ATTEMPTS = 4
+"""Attempts per map task before the job is killed (Hadoop's default)."""
+
+
+class FailureInjector:
+    """Decides whether a given map attempt fails at completion time."""
+
+    def __init__(
+        self,
+        map_failure_probability: float = 0.0,
+        *,
+        flaky_nodes: set[str] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= map_failure_probability <= 1.0:
+            raise ClusterConfigError(
+                f"failure probability must be in [0, 1], got {map_failure_probability}"
+            )
+        self.map_failure_probability = map_failure_probability
+        self.flaky_nodes = flaky_nodes
+        self._rng = random.Random(seed)
+        self.injected_failures = 0
+
+    def should_fail_map(self, task: MapTask, node_id: str) -> bool:
+        """Called once when the attempt would otherwise complete."""
+        if self.map_failure_probability <= 0.0:
+            return False
+        if self.flaky_nodes is not None and node_id not in self.flaky_nodes:
+            return False
+        if self._rng.random() < self.map_failure_probability:
+            self.injected_failures += 1
+            return True
+        return False
+
+
+class FailFirstAttempts(FailureInjector):
+    """Deterministically fail the first ``n`` attempts of every task.
+
+    ``n >= DEFAULT_MAX_ATTEMPTS`` therefore kills any job; smaller values
+    force retries without killing. Useful in tests.
+    """
+
+    def __init__(self, attempts_to_fail: int) -> None:
+        super().__init__(map_failure_probability=0.0)
+        if attempts_to_fail < 0:
+            raise ClusterConfigError("attempts_to_fail must be >= 0")
+        self.attempts_to_fail = attempts_to_fail
+
+    def should_fail_map(self, task: MapTask, node_id: str) -> bool:
+        if task.attempt <= self.attempts_to_fail:
+            self.injected_failures += 1
+            return True
+        return False

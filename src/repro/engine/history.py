@@ -1,0 +1,121 @@
+"""JobHistory: a structured event log of everything the JobTracker does.
+
+Hadoop writes per-job history files that tools like the JobTracker web
+UI and Rumen consume; this is the simulator's equivalent. When a
+:class:`JobHistory` is attached to the JobTracker, every lifecycle
+transition is recorded with its simulated timestamp, giving tests and
+analyses an audit trail of *how* an execution unfolded (wave structure,
+input increments, retries) rather than just its end state.
+
+Event kinds::
+
+    job_submitted      job_activated     input_added     input_complete
+    map_started        map_finished      map_failed
+    reduce_started     reduce_finished
+    job_succeeded      job_killed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One recorded lifecycle transition."""
+
+    time: float
+    kind: str
+    job_id: str
+    task_id: str | None = None
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        task = f" {self.task_id}" if self.task_id else ""
+        extra = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:10.3f}] {self.kind:15s} {self.job_id}{task}{extra}"
+
+
+class JobHistory:
+    """Append-only event log with per-job query helpers."""
+
+    def __init__(self, *, capacity: int | None = None) -> None:
+        """``capacity`` bounds memory for long workload runs: when set,
+        the oldest events are dropped once the log exceeds it."""
+        self._events: list[HistoryEvent] = []
+        self._capacity = capacity
+        self.dropped_events = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by the JobTracker)
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        time: float,
+        kind: str,
+        job_id: str,
+        *,
+        task_id: str | None = None,
+        **detail,
+    ) -> None:
+        self._events.append(
+            HistoryEvent(
+                time=time, kind=kind, job_id=job_id, task_id=task_id, detail=detail
+            )
+        )
+        if self._capacity is not None and len(self._events) > self._capacity:
+            overflow = len(self._events) - self._capacity
+            del self._events[:overflow]
+            self.dropped_events += overflow
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[HistoryEvent]:
+        return iter(self._events)
+
+    def events(
+        self, *, job_id: str | None = None, kind: str | None = None
+    ) -> list[HistoryEvent]:
+        return [
+            event
+            for event in self._events
+            if (job_id is None or event.job_id == job_id)
+            and (kind is None or event.kind == kind)
+        ]
+
+    def kinds(self, job_id: str) -> list[str]:
+        """The ordered sequence of event kinds for one job."""
+        return [event.kind for event in self._events if event.job_id == job_id]
+
+    def input_increment_sizes(self, job_id: str) -> list[int]:
+        """How many splits each ``input_added`` event carried."""
+        return [
+            event.detail.get("splits", 0)
+            for event in self.events(job_id=job_id, kind="input_added")
+        ]
+
+    def map_concurrency_timeline(self, job_id: str) -> list[tuple[float, int]]:
+        """(time, running-map-count) steps for one job — the wave shape."""
+        timeline = []
+        running = 0
+        for event in self._events:
+            if event.job_id != job_id:
+                continue
+            if event.kind == "map_started":
+                running += 1
+            elif event.kind in ("map_finished", "map_failed"):
+                running -= 1
+            else:
+                continue
+            timeline.append((event.time, running))
+        return timeline
+
+    def render(self, job_id: str | None = None, limit: int = 50) -> str:
+        """Human-readable tail of the log."""
+        selected = self.events(job_id=job_id)[-limit:]
+        return "\n".join(str(event) for event in selected)

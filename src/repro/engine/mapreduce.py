@@ -1,0 +1,105 @@
+"""User-facing map/reduce interfaces.
+
+Mirrors the classic Hadoop 0.20 contract:
+
+    map(k1, v1)            -> list(k2, v2)
+    reduce(k2, list(v2))   -> list(k3, v3)
+
+Mappers and reducers are instantiated per task from factories held in the
+JobConf, so task-local state (e.g. Algorithm 1's ``foundRecords`` counter)
+is private to each task, exactly as in Hadoop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class MapContext:
+    """Collects a map task's output and progress counters."""
+
+    __slots__ = ("outputs", "records_read")
+
+    def __init__(self) -> None:
+        self.outputs: list[tuple[Any, Any]] = []
+        self.records_read = 0
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.outputs.append((key, value))
+
+    @property
+    def outputs_produced(self) -> int:
+        return len(self.outputs)
+
+
+class ReduceContext:
+    """Collects a reduce task's final output."""
+
+    __slots__ = ("outputs",)
+
+    def __init__(self) -> None:
+        self.outputs: list[tuple[Any, Any]] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.outputs.append((key, value))
+
+
+class Mapper:
+    """Base mapper. Subclasses override :meth:`map`.
+
+    One instance is created per map task; :meth:`setup` / :meth:`cleanup`
+    bracket the record loop as in Hadoop.
+    """
+
+    def setup(self, context: MapContext) -> None:
+        """Called once before the first record."""
+
+    def map(self, key: Any, value: Any, context: MapContext) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, context: MapContext) -> None:
+        """Called once after the last record."""
+
+    def run(self, records: Iterable[tuple[Any, Any]], context: MapContext) -> None:
+        """The task main loop (override for whole-split algorithms)."""
+        self.setup(context)
+        for key, value in records:
+            context.records_read += 1
+            self.map(key, value, context)
+        self.cleanup(context)
+
+
+class Reducer:
+    """Base reducer. Subclasses override :meth:`reduce`."""
+
+    def setup(self, context: ReduceContext) -> None:
+        """Called once before the first key group."""
+
+    def reduce(self, key: Any, values: list, context: ReduceContext) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, context: ReduceContext) -> None:
+        """Called once after the last key group."""
+
+    def run(
+        self, groups: Iterable[tuple[Any, list]], context: ReduceContext
+    ) -> None:
+        self.setup(context)
+        for key, values in groups:
+            self.reduce(key, values, context)
+        self.cleanup(context)
+
+
+class IdentityMapper(Mapper):
+    """Emits every input pair unchanged."""
+
+    def map(self, key: Any, value: Any, context: MapContext) -> None:
+        context.emit(key, value)
+
+
+class IdentityReducer(Reducer):
+    """Emits every (key, value) of each group unchanged."""
+
+    def reduce(self, key: Any, values: list, context: ReduceContext) -> None:
+        for value in values:
+            context.emit(key, value)

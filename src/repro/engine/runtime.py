@@ -1,0 +1,198 @@
+"""LocalRunner: real, in-process MapReduce execution.
+
+Runs a job's actual map and reduce functions over materialized splits,
+with no simulated time — the correctness substrate. Dynamic jobs execute
+the full Input Provider protocol synchronously: grab a batch, run its
+map tasks for real, report progress, evaluate, repeat until end of
+input, then shuffle and reduce.
+
+Because execution is synchronous, the LocalRunner models the cluster
+status handed to providers with a configurable virtual slot pool: all
+slots are "available" at every evaluation (nothing else is running), so
+policies degrade gracefully to their idle-cluster grab limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.input_provider import (
+    ProviderRegistry,
+    ResponseKind,
+    default_providers,
+)
+from repro.core.policy import PolicyRegistry, paper_policies
+from repro.dfs.split import InputSplit
+from repro.engine.job import ClusterStatus, JobProgress, JobResult, JobState
+from repro.engine.jobconf import JobConf
+from repro.engine.mapreduce import MapContext, ReduceContext
+from repro.engine.shuffle import group_outputs
+from repro.errors import JobConfError, JobError
+from repro.sim.random_source import RandomSource
+
+
+@dataclass
+class LocalMapResult:
+    """Outcome of one locally executed map task."""
+
+    split: InputSplit
+    records_processed: int
+    outputs: list
+
+
+class LocalRunner:
+    """Executes MapReduce jobs in process, over materialized splits."""
+
+    def __init__(
+        self,
+        *,
+        policies: PolicyRegistry | None = None,
+        providers: ProviderRegistry | None = None,
+        seed: int = 0,
+        virtual_map_slots: int = 40,
+    ) -> None:
+        if virtual_map_slots < 1:
+            raise JobConfError("virtual_map_slots must be >= 1")
+        self._policies = policies or paper_policies()
+        self._providers = providers or default_providers()
+        self._random = RandomSource(seed)
+        self._slots = virtual_map_slots
+        self._runs = 0
+
+    # ------------------------------------------------------------------
+    def run(self, conf: JobConf, splits: list[InputSplit]) -> JobResult:
+        """Execute ``conf`` over ``splits`` and return its result.
+
+        All splits must be materialized and the conf must define a
+        mapper factory (real execution only — this runner never consults
+        split profiles).
+        """
+        if conf.mapper_factory is None:
+            raise JobConfError(f"job {conf.name!r}: LocalRunner needs a mapper_factory")
+        if not splits:
+            raise JobConfError(f"job {conf.name!r}: no input splits")
+        for split in splits:
+            if not split.materialized:
+                raise JobError(
+                    f"job {conf.name!r}: split {split.split_id} is not materialized; "
+                    "LocalRunner executes real rows only"
+                )
+        self._runs += 1
+        if conf.is_dynamic:
+            map_results, evaluations, increments = self._run_dynamic(conf, splits)
+        else:
+            map_results = [self._run_map(conf, split) for split in splits]
+            evaluations, increments = 0, 1
+
+        output_data = self._run_reduce(conf, map_results)
+        records = sum(r.records_processed for r in map_results)
+        map_outputs = sum(len(r.outputs) for r in map_results)
+        return JobResult(
+            job_id=f"local_{self._runs:06d}",
+            name=conf.name,
+            state=JobState.SUCCEEDED,
+            submit_time=0.0,
+            finish_time=0.0,
+            splits_total=len(splits),
+            splits_processed=len(map_results),
+            records_processed=records,
+            map_outputs_produced=map_outputs,
+            outputs_produced=len(output_data),
+            output_data=output_data,
+            evaluations=evaluations,
+            input_increments=increments,
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic protocol, synchronous
+    # ------------------------------------------------------------------
+    def _run_dynamic(
+        self, conf: JobConf, splits: list[InputSplit]
+    ) -> tuple[list[LocalMapResult], int, int]:
+        conf.validate_dynamic()
+        policy = self._policies.get(conf.policy_name)  # type: ignore[arg-type]
+        provider = self._providers.create(conf.input_provider_name)  # type: ignore[arg-type]
+        rng = self._random.stream(f"local-provider:{conf.name}:{self._runs}")
+        provider.initialize(splits, conf, policy, rng)
+
+        total = len(splits)
+        cluster = self._cluster_status()
+        batch, complete = provider.initial_input(cluster)
+        map_results: list[LocalMapResult] = []
+        evaluations = 0
+        increments = 1 if batch else 0
+        idle_evaluations = 0
+
+        while True:
+            for split in batch:
+                map_results.append(self._run_map(conf, split))
+            if complete:
+                break
+            evaluations += 1
+            progress = self._progress(conf, total, map_results)
+            response = provider.evaluate(progress, self._cluster_status())
+            if response.kind is ResponseKind.END_OF_INPUT:
+                break
+            if response.kind is ResponseKind.INPUT_AVAILABLE:
+                batch = list(response.splits)
+                increments += 1
+                idle_evaluations = 0
+                continue
+            # NO_INPUT_AVAILABLE: with synchronous execution nothing is
+            # pending, so repeated waits cannot make progress.
+            batch = []
+            idle_evaluations += 1
+            if idle_evaluations > 2:
+                raise JobError(
+                    f"job {conf.name!r}: provider waited {idle_evaluations} times "
+                    "with no work in flight; the provider is livelocked"
+                )
+        return map_results, evaluations, increments
+
+    def _progress(
+        self, conf: JobConf, total_splits: int, map_results: list[LocalMapResult]
+    ) -> JobProgress:
+        records = sum(r.records_processed for r in map_results)
+        outputs = sum(len(r.outputs) for r in map_results)
+        return JobProgress(
+            job_id="local",
+            total_splits_known=total_splits,
+            splits_added=len(map_results),
+            splits_completed=len(map_results),
+            splits_pending=0,
+            records_processed=records,
+            outputs_produced=outputs,
+            records_pending=0,
+        )
+
+    def _cluster_status(self) -> ClusterStatus:
+        return ClusterStatus(
+            total_map_slots=self._slots,
+            available_map_slots=self._slots,
+            running_map_tasks=0,
+            queued_map_tasks=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def _run_map(self, conf: JobConf, split: InputSplit) -> LocalMapResult:
+        context = MapContext()
+        mapper = conf.mapper_factory()  # type: ignore[misc]
+        mapper.run(
+            ((index, row) for index, row in enumerate(split.iter_rows())), context
+        )
+        return LocalMapResult(
+            split=split,
+            records_processed=context.records_read,
+            outputs=context.outputs,
+        )
+
+    def _run_reduce(self, conf: JobConf, map_results: list[LocalMapResult]) -> list:
+        all_outputs = [r.outputs for r in map_results]
+        if conf.num_reduce_tasks == 0 or conf.reducer_factory is None:
+            return [pair for outputs in all_outputs for pair in outputs]
+        context = ReduceContext()
+        reducer = conf.reducer_factory()
+        reducer.run(group_outputs(all_outputs), context)
+        return context.outputs

@@ -1,0 +1,7 @@
+"""Task schedulers: FIFO (Hadoop default) and Fair (paper §V-F)."""
+
+from repro.engine.scheduler.base import TaskScheduler
+from repro.engine.scheduler.fair import FairScheduler
+from repro.engine.scheduler.fifo import FifoScheduler
+
+__all__ = ["FairScheduler", "FifoScheduler", "TaskScheduler"]

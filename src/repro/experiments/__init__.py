@@ -1,0 +1,61 @@
+"""The paper's evaluation (§V), experiment by experiment.
+
+Each module regenerates one table or figure:
+
+* :mod:`repro.experiments.tables` — Tables I (policies), II (datasets),
+  III (predicates/skew).
+* :mod:`repro.experiments.skew_figure` — Figure 4 (distribution of
+  matching records across the 5x dataset's 40 partitions).
+* :mod:`repro.experiments.single_user` — Figure 5 (single-user response
+  times across scales/skews/policies + partitions processed).
+* :mod:`repro.experiments.multiuser` — Figure 6 (homogeneous multiuser
+  throughput and resource use).
+* :mod:`repro.experiments.heterogeneous` — Figures 7 and 8
+  (Sampling/Non-Sampling class throughput under FIFO and Fair
+  scheduling, plus the locality/occupancy comparison of §V-F).
+
+The benchmark harness (``benchmarks/``) drives these functions and
+prints the same rows/series the paper reports.
+"""
+
+from repro.experiments.heterogeneous import (
+    HeterogeneousCell,
+    run_heterogeneous_experiment,
+)
+from repro.experiments.multiuser import MultiuserCell, run_homogeneous_experiment
+from repro.experiments.report import render_table
+from repro.experiments.setup import (
+    PAPER_FRACTIONS,
+    PAPER_POLICIES,
+    PAPER_SAMPLE_SIZE,
+    PAPER_SCALES,
+    PAPER_SKEWS,
+    dataset_for,
+    multiuser_cluster,
+    single_user_cluster,
+)
+from repro.experiments.single_user import SingleUserCell, run_single_user_experiment
+from repro.experiments.skew_figure import figure4_series
+from repro.experiments.tables import table1_rows, table2_rows, table3_rows
+
+__all__ = [
+    "HeterogeneousCell",
+    "MultiuserCell",
+    "PAPER_FRACTIONS",
+    "PAPER_POLICIES",
+    "PAPER_SAMPLE_SIZE",
+    "PAPER_SCALES",
+    "PAPER_SKEWS",
+    "SingleUserCell",
+    "dataset_for",
+    "figure4_series",
+    "multiuser_cluster",
+    "render_table",
+    "run_heterogeneous_experiment",
+    "run_homogeneous_experiment",
+    "run_single_user_experiment",
+    "single_user_cluster",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,151 @@
+"""Figures 7 and 8: heterogeneous workload, FIFO vs Fair scheduling
+(paper §V-E/F).
+
+Ten users split into a Sampling class (dynamic predicate-based sampling
+with a uniform match distribution) and a Non-Sampling class (static
+select-project scans at 0.05% selectivity), both over 100x data. The
+Sampling fraction sweeps 0.2-0.8, and the whole grid runs once under the
+default FIFO scheduler (Figure 7) and once under the Fair Scheduler
+(Figure 8). Section V-F additionally compares map-task locality % and
+slot occupancy % across the two schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.predicates import predicate_for_skew
+from repro.experiments.setup import (
+    PAPER_FRACTIONS,
+    PAPER_NUM_USERS,
+    PAPER_POLICIES,
+    PAPER_SAMPLE_SIZE,
+    dataset_for,
+    multiuser_cluster,
+)
+from repro.workload.generator import heterogeneous_workload
+from repro.workload.runner import WorkloadRunner
+from repro.workload.stats import Summary, summarize
+from repro.workload.user import UserClass
+
+
+@dataclass(frozen=True)
+class HeterogeneousCell:
+    """One (policy, fraction) cell of Figure 7 or 8."""
+
+    policy: str
+    sampling_fraction: float
+    scheduler: str
+    sampling_throughput: Summary
+    non_sampling_throughput: Summary
+    locality_pct: Summary
+    slot_occupancy_pct: Summary
+
+
+def run_heterogeneous_cell(
+    *,
+    policy: str,
+    sampling_fraction: float,
+    scheduler: str = "fifo",
+    seeds: tuple[int, ...] = (0,),
+    scale: float = 100,
+    num_users: int = PAPER_NUM_USERS,
+    warmup: float = 1200.0,
+    measurement: float = 3600.0,
+) -> HeterogeneousCell:
+    predicate = predicate_for_skew(0)  # uniform distribution (§V-E)
+    sampling_thr, non_sampling_thr, locality, occupancy = [], [], [], []
+    for seed in seeds:
+        cluster = multiuser_cluster(seed=seed, scheduler=scheduler)
+        dataset = dataset_for(scale, 0, seed)
+        spec = heterogeneous_workload(
+            cluster,
+            num_users=num_users,
+            sampling_fraction=sampling_fraction,
+            sampling_policy=policy,
+            sampling_predicate=predicate,
+            scan_predicate=predicate,
+            sample_size=PAPER_SAMPLE_SIZE,
+            dataset=dataset,
+        )
+        result = WorkloadRunner(
+            cluster, spec, warmup=warmup, measurement=measurement
+        ).run()
+        sampling_thr.append(result.throughput_jobs_per_hour(UserClass.SAMPLING))
+        non_sampling_thr.append(
+            result.throughput_jobs_per_hour(UserClass.NON_SAMPLING)
+        )
+        locality.append(result.metrics.locality_pct)
+        occupancy.append(result.metrics.avg_slot_occupancy_pct)
+    return HeterogeneousCell(
+        policy=policy,
+        sampling_fraction=sampling_fraction,
+        scheduler=scheduler,
+        sampling_throughput=summarize(sampling_thr),
+        non_sampling_throughput=summarize(non_sampling_thr),
+        locality_pct=summarize(locality),
+        slot_occupancy_pct=summarize(occupancy),
+    )
+
+
+def run_heterogeneous_experiment(
+    *,
+    scheduler: str = "fifo",
+    fractions: tuple[float, ...] = PAPER_FRACTIONS,
+    policies: tuple[str, ...] = PAPER_POLICIES,
+    seeds: tuple[int, ...] = (0,),
+    scale: float = 100,
+    num_users: int = PAPER_NUM_USERS,
+    warmup: float = 1200.0,
+    measurement: float = 3600.0,
+) -> dict[tuple[str, float], HeterogeneousCell]:
+    """One full figure (7 or 8), keyed by (policy, fraction)."""
+    cells = {}
+    for fraction in fractions:
+        for policy in policies:
+            cells[(policy, fraction)] = run_heterogeneous_cell(
+                policy=policy,
+                sampling_fraction=fraction,
+                scheduler=scheduler,
+                seeds=seeds,
+                scale=scale,
+                num_users=num_users,
+                warmup=warmup,
+                measurement=measurement,
+            )
+    return cells
+
+
+def class_throughput_rows(
+    cells: dict[tuple[str, float], HeterogeneousCell],
+    user_class: UserClass,
+    *,
+    fractions: tuple[float, ...] = PAPER_FRACTIONS,
+    policies: tuple[str, ...] = PAPER_POLICIES,
+) -> list[list[object]]:
+    """Figure 7/8 (a) or (b): one row per fraction, one column per policy."""
+    rows = []
+    for fraction in fractions:
+        row: list[object] = [f"{fraction:.1f}"]
+        for policy in policies:
+            cell = cells[(policy, fraction)]
+            summary = (
+                cell.sampling_throughput
+                if user_class is UserClass.SAMPLING
+                else cell.non_sampling_throughput
+            )
+            row.append(summary.mean)
+        rows.append(row)
+    return rows
+
+
+def scheduler_stats(
+    cells: dict[tuple[str, float], HeterogeneousCell]
+) -> dict[str, float]:
+    """§V-F: mean locality % and slot occupancy % over the grid."""
+    locality = [cell.locality_pct.mean for cell in cells.values()]
+    occupancy = [cell.slot_occupancy_pct.mean for cell in cells.values()]
+    return {
+        "locality_pct": summarize(locality).mean,
+        "slot_occupancy_pct": summarize(occupancy).mean,
+    }

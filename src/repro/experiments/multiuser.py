@@ -1,0 +1,133 @@
+"""Figure 6: homogeneous multi-user workload (paper §V-D).
+
+Ten closed-loop users, each sampling its own 100x dataset copy with the
+same policy, on the 16-slots-per-node cluster. Reported per policy:
+steady-state throughput (jobs/hour), average CPU utilization (%), and
+average disk reads (KB/s) — first for a uniform distribution of matching
+records and again for high skew (z=2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.predicates import predicate_for_skew
+from repro.experiments.setup import (
+    PAPER_NUM_USERS,
+    PAPER_POLICIES,
+    PAPER_SAMPLE_SIZE,
+    dataset_for,
+    multiuser_cluster,
+)
+from repro.workload.generator import homogeneous_sampling_workload
+from repro.workload.runner import WorkloadRunner
+from repro.workload.stats import Summary, summarize
+
+
+@dataclass(frozen=True)
+class MultiuserCell:
+    """One (policy, skew) cell of Figure 6."""
+
+    policy: str
+    z: int
+    throughput: Summary
+    cpu_utilization_pct: Summary
+    disk_read_kbps: Summary
+    partitions_per_job: Summary
+    slot_occupancy_pct: Summary
+
+
+def run_homogeneous_cell(
+    *,
+    policy: str,
+    z: int,
+    seeds: tuple[int, ...] = (0, 1),
+    scale: float = 100,
+    num_users: int = PAPER_NUM_USERS,
+    warmup: float = 600.0,
+    measurement: float = 2400.0,
+    sample_size: int = PAPER_SAMPLE_SIZE,
+) -> MultiuserCell:
+    predicate = predicate_for_skew(z)
+    throughput, cpu, disk, parts, occupancy = [], [], [], [], []
+    for seed in seeds:
+        cluster = multiuser_cluster(seed=seed)
+        dataset = dataset_for(scale, z, seed)
+        spec = homogeneous_sampling_workload(
+            cluster,
+            num_users=num_users,
+            policy_name=policy,
+            predicate=predicate,
+            sample_size=sample_size,
+            dataset=dataset,
+        )
+        result = WorkloadRunner(
+            cluster, spec, warmup=warmup, measurement=measurement
+        ).run()
+        throughput.append(result.throughput_jobs_per_hour())
+        cpu.append(result.metrics.avg_cpu_utilization_pct)
+        disk.append(result.metrics.avg_disk_read_kbps)
+        parts.append(result.mean_partitions_processed())
+        occupancy.append(result.metrics.avg_slot_occupancy_pct)
+    return MultiuserCell(
+        policy=policy,
+        z=z,
+        throughput=summarize(throughput),
+        cpu_utilization_pct=summarize(cpu),
+        disk_read_kbps=summarize(disk),
+        partitions_per_job=summarize(parts),
+        slot_occupancy_pct=summarize(occupancy),
+    )
+
+
+def run_homogeneous_experiment(
+    *,
+    skews: tuple[int, ...] = (0, 2),
+    policies: tuple[str, ...] = PAPER_POLICIES,
+    seeds: tuple[int, ...] = (0, 1),
+    scale: float = 100,
+    num_users: int = PAPER_NUM_USERS,
+    warmup: float = 600.0,
+    measurement: float = 2400.0,
+) -> dict[tuple[str, int], MultiuserCell]:
+    """The Figure 6 grid, keyed by (policy, z)."""
+    cells = {}
+    for z in skews:
+        for policy in policies:
+            cells[(policy, z)] = run_homogeneous_cell(
+                policy=policy, z=z, seeds=seeds, scale=scale,
+                num_users=num_users, warmup=warmup, measurement=measurement,
+            )
+    return cells
+
+
+def figure6_rows(
+    cells: dict[tuple[str, int], MultiuserCell],
+    z: int,
+    *,
+    policies: tuple[str, ...] = PAPER_POLICIES,
+) -> list[list[object]]:
+    rows = []
+    for policy in policies:
+        cell = cells[(policy, z)]
+        rows.append(
+            [
+                policy,
+                cell.throughput.mean,
+                cell.cpu_utilization_pct.mean,
+                cell.disk_read_kbps.mean,
+                cell.partitions_per_job.mean,
+                cell.slot_occupancy_pct.mean,
+            ]
+        )
+    return rows
+
+
+FIGURE6_HEADERS = (
+    "Policy",
+    "Throughput (jobs/h)",
+    "CPU util (%)",
+    "Disk reads (KB/s)",
+    "Partitions/job",
+    "Slot occupancy (%)",
+)

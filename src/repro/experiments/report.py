@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table (right-aligned numeric columns)."""
+    cells = [[_format(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    numeric = [
+        all(_is_numeric(row[i]) for row in cells) if cells else False
+        for i in range(len(headers))
+    ]
+
+    def line(row, pad=" "):
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for row in cells:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text.replace(",", ""))
+        return True
+    except ValueError:
+        return False

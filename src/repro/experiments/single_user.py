@@ -1,0 +1,133 @@
+"""Figure 5: single-user response times (paper §V-C).
+
+Seventy-five combinations — five dataset scales, three skews, five
+policies — each run on an otherwise idle cluster with 4 map slots per
+node, averaged over several seeds (the paper averages 5 runs). Graphs
+(a)-(c) plot response time per skew level; graph (d) plots partitions
+processed per job at moderate skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sampling_job import make_sampling_conf
+from repro.data.predicates import predicate_for_skew
+from repro.experiments.setup import (
+    PAPER_POLICIES,
+    PAPER_SAMPLE_SIZE,
+    PAPER_SCALES,
+    PAPER_SKEWS,
+    dataset_for,
+    single_user_cluster,
+)
+from repro.workload.stats import Summary, summarize
+
+
+@dataclass(frozen=True)
+class SingleUserCell:
+    """One (scale, skew, policy) cell of the Figure 5 grid."""
+
+    scale: float
+    z: int
+    policy: str
+    response_time: Summary
+    partitions_processed: Summary
+    sample_size: Summary
+
+    @property
+    def mean_response(self) -> float:
+        return self.response_time.mean
+
+    @property
+    def mean_partitions(self) -> float:
+        return self.partitions_processed.mean
+
+
+def run_single_user_cell(
+    *,
+    scale: float,
+    z: int,
+    policy: str,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    sample_size: int = PAPER_SAMPLE_SIZE,
+) -> SingleUserCell:
+    """Run one cell: one job per seed on a fresh idle cluster."""
+    predicate = predicate_for_skew(z)
+    responses, partitions, samples = [], [], []
+    for seed in seeds:
+        cluster = single_user_cluster(seed=seed)
+        cluster.load_dataset("/data/lineitem", dataset_for(scale, z, seed))
+        conf = make_sampling_conf(
+            name=f"fig5-{policy}-{scale}x-z{z}-s{seed}",
+            input_path="/data/lineitem",
+            predicate=predicate,
+            sample_size=sample_size,
+            policy_name=policy,
+        )
+        result = cluster.run_job(conf)
+        responses.append(result.response_time)
+        partitions.append(float(result.splits_processed))
+        samples.append(float(result.outputs_produced))
+    return SingleUserCell(
+        scale=scale,
+        z=z,
+        policy=policy,
+        response_time=summarize(responses),
+        partitions_processed=summarize(partitions),
+        sample_size=summarize(samples),
+    )
+
+
+def run_single_user_experiment(
+    *,
+    scales: tuple[float, ...] = PAPER_SCALES,
+    skews: tuple[int, ...] = PAPER_SKEWS,
+    policies: tuple[str, ...] = PAPER_POLICIES,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    sample_size: int = PAPER_SAMPLE_SIZE,
+) -> dict[tuple[float, int, str], SingleUserCell]:
+    """The full Figure 5 grid, keyed by (scale, z, policy)."""
+    cells = {}
+    for z in skews:
+        for scale in scales:
+            for policy in policies:
+                cells[(scale, z, policy)] = run_single_user_cell(
+                    scale=scale, z=z, policy=policy, seeds=seeds,
+                    sample_size=sample_size,
+                )
+    return cells
+
+
+def response_time_rows(
+    cells: dict[tuple[float, int, str], SingleUserCell],
+    z: int,
+    *,
+    scales: tuple[float, ...] = PAPER_SCALES,
+    policies: tuple[str, ...] = PAPER_POLICIES,
+) -> list[list[object]]:
+    """Figure 5(a-c) as table rows: one row per scale, one column per policy."""
+    rows = []
+    for scale in scales:
+        row: list[object] = [f"{scale:g}x"]
+        for policy in policies:
+            row.append(cells[(scale, z, policy)].mean_response)
+        rows.append(row)
+    return rows
+
+
+def partitions_rows(
+    cells: dict[tuple[float, int, str], SingleUserCell],
+    z: int = 1,
+    *,
+    scales: tuple[float, ...] = PAPER_SCALES,
+    policies: tuple[str, ...] = PAPER_POLICIES,
+) -> list[list[object]]:
+    """Figure 5(d): partitions processed per job (moderate skew)."""
+    rows = []
+    for scale in scales:
+        row: list[object] = [f"{scale:g}x"]
+        for policy in policies:
+            row.append(cells[(scale, z, policy)].mean_partitions)
+        rows.append(row)
+    return rows

@@ -1,0 +1,39 @@
+"""A mini-Hive: the high-level query layer (paper §IV).
+
+At Facebook, end-users express predicate-based sampling in Hive::
+
+    SELECT ORDERKEY, PARTKEY, SUPPKEY
+    FROM LINEITEM
+    WHERE predicate LIMIT 10000
+
+and the (modified) Hive compiler marks the compiled MapReduce job as
+*dynamic*, wires in the sampling Input Provider, and carries the policy
+chosen via ``SET dynamic.job.policy=...`` on the CLI.
+
+This package is a from-scratch equivalent: a lexer, a recursive-descent
+parser for SELECT/WHERE/LIMIT (plus SET and EXPLAIN), an expression
+compiler producing :class:`repro.data.predicates.Predicate` objects, and
+a :class:`~repro.hive.session.HiveSession` that compiles queries to
+JobConfs and executes them on either substrate.
+"""
+
+from repro.hive.ast import SelectStatement, SetStatement
+from repro.hive.compiler import QueryCompiler, TableCatalog
+from repro.hive.expressions import compile_predicate
+from repro.hive.lexer import Token, TokenKind, tokenize
+from repro.hive.parser import parse_statement
+from repro.hive.session import HiveSession, QueryResult
+
+__all__ = [
+    "HiveSession",
+    "QueryCompiler",
+    "QueryResult",
+    "SelectStatement",
+    "SetStatement",
+    "TableCatalog",
+    "Token",
+    "TokenKind",
+    "compile_predicate",
+    "parse_statement",
+    "tokenize",
+]

@@ -1,0 +1,167 @@
+"""Abstract syntax tree for the query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Column:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is None:
+            return "NULL"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # = != < <= > >=
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    op: str  # + - * / %
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class LogicalAnd:
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class LogicalOr:
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class LogicalNot:
+    operand: "Expression"
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: "Expression"
+    low: "Expression"
+    high: "Expression"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"{self.operand} {word} {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: "Expression"
+    options: tuple["Expression", ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(str(o) for o in self.options)
+        return f"{self.operand} {word} ({inner})"
+
+
+@dataclass(frozen=True)
+class Like:
+    operand: "Expression"
+    pattern: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.operand} {word} '{self.pattern}'"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expression"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand} {word}"
+
+
+Expression = Union[
+    Column, Literal, Comparison, Arithmetic,
+    LogicalAnd, LogicalOr, LogicalNot,
+    Between, InList, Like, IsNull,
+]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectStatement:
+    """``SELECT cols FROM table [WHERE expr] [LIMIT k]``.
+
+    ``columns`` is None for ``SELECT *``.
+    """
+
+    columns: tuple[str, ...] | None
+    table: str
+    where: Expression | None
+    limit: int | None
+    explain: bool = False
+
+    def __str__(self) -> str:
+        cols = "*" if self.columns is None else ", ".join(self.columns)
+        text = f"SELECT {cols} FROM {self.table}"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text
+
+
+@dataclass(frozen=True)
+class SetStatement:
+    """``SET key = value`` (configuration parameter assignment)."""
+
+    key: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"SET {self.key}={self.value}"
+
+
+Statement = Union[SelectStatement, SetStatement]

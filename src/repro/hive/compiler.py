@@ -1,0 +1,114 @@
+"""The query compiler: SELECT statements to JobConfs.
+
+This is the analogue of the paper's Hive compiler modification (§IV):
+a SELECT with a LIMIT compiles to a predicate-based sampling job whose
+JobConf carries ``dynamic.job = true``, the configured
+``dynamic.job.policy``, and ``dynamic.input.provider = sampling``; a
+SELECT without a LIMIT compiles to a plain static scan job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sampling_job import make_sampling_conf, make_scan_conf
+from repro.data.predicates import TruePredicate
+from repro.data.schema import Schema
+from repro.engine.jobconf import JobConf
+from repro.errors import HiveAnalysisError
+from repro.hive.ast import SelectStatement
+from repro.hive.expressions import compile_predicate, resolve_column
+
+# Session parameters understood by the compiler.
+PARAM_POLICY = "dynamic.job.policy"
+PARAM_DYNAMIC = "dynamic.job"
+PARAM_PROVIDER = "dynamic.input.provider"
+PARAM_FALLBACK_SELECTIVITY = "hive.scan.fallback.selectivity"
+
+DEFAULT_POLICY = "LA"
+DEFAULT_PROVIDER = "sampling"
+
+
+@dataclass(frozen=True)
+class Table:
+    """A catalogue entry: where a table lives and what it looks like."""
+
+    name: str
+    path: str
+    schema: Schema | None = None
+
+
+class TableCatalog:
+    """Name -> table registry (Hive metastore stand-in)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, name: str, path: str, schema: Schema | None = None) -> None:
+        if not name:
+            raise HiveAnalysisError("table name must be non-empty")
+        self._tables[name.lower()] = Table(name=name.lower(), path=path, schema=schema)
+
+    def lookup(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise HiveAnalysisError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            )
+        return table
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+
+class QueryCompiler:
+    """Compiles parsed SELECT statements against a catalogue + session params."""
+
+    def __init__(self, catalog: TableCatalog) -> None:
+        self._catalog = catalog
+        self._query_counter = 0
+
+    def compile(
+        self, statement: SelectStatement, params: dict[str, str], *, user: str = "default"
+    ) -> JobConf:
+        table = self._catalog.lookup(statement.table)
+        predicate = (
+            compile_predicate(statement.where, table.schema)
+            if statement.where is not None
+            else TruePredicate()
+        )
+        columns = self._resolve_projection(statement, table)
+        self._query_counter += 1
+        name = f"hive-q{self._query_counter}-{user}"
+
+        if statement.limit is not None:
+            dynamic = params.get(PARAM_DYNAMIC, "true").lower() != "false"
+            policy = params.get(PARAM_POLICY, DEFAULT_POLICY) if dynamic else None
+            return make_sampling_conf(
+                name=name,
+                input_path=table.path,
+                predicate=predicate,
+                sample_size=statement.limit,
+                policy_name=policy,
+                provider_name=params.get(PARAM_PROVIDER, DEFAULT_PROVIDER),
+                columns=columns,
+                user=user,
+            )
+        fallback = params.get(PARAM_FALLBACK_SELECTIVITY)
+        return make_scan_conf(
+            name=name,
+            input_path=table.path,
+            predicate=predicate,
+            columns=columns,
+            fallback_selectivity=float(fallback) if fallback is not None else None,
+            user=user,
+        )
+
+    def _resolve_projection(
+        self, statement: SelectStatement, table: Table
+    ) -> tuple[str, ...] | None:
+        if statement.columns is None:
+            return None
+        return tuple(
+            resolve_column(column, table.schema) for column in statement.columns
+        )

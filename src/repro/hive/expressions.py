@@ -1,0 +1,198 @@
+"""Compiling WHERE expressions into predicates.
+
+Two outputs matter:
+
+* a fast ``matches(row)`` callable (wrapped as a
+  :class:`~repro.data.predicates.Predicate`), used by the sampling map
+  tasks; and
+* a canonical predicate *name*. A simple ``column = literal`` equality
+  compiles to :class:`~repro.data.predicates.ColumnCompare`, whose name
+  (``l_quantity=51``) coincides with the marker-predicate names the data
+  generator controls — which is what lets profile-mode simulation look up
+  exact match counts for Hive-issued queries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Mapping
+
+from repro.data.predicates import ColumnCompare, FunctionPredicate, Predicate
+from repro.data.schema import Schema
+from repro.errors import HiveAnalysisError
+from repro.hive.ast import (
+    Arithmetic,
+    Between,
+    Column,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+)
+
+_COMPARE: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITHMETIC: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+def resolve_column(name: str, schema: Schema | None) -> str:
+    """Map a query column reference onto a schema field name.
+
+    Accepts exact (case-insensitive) field names and, for convenience,
+    the unprefixed TPC-H style (``ORDERKEY`` for ``l_orderkey``).
+    """
+    if schema is None:
+        return name.lower()
+    lowered = name.lower()
+    if lowered in schema:
+        return lowered
+    for field in schema.fields:
+        bare = field.name.split("_", 1)[-1]
+        if bare == lowered:
+            return field.name
+    raise HiveAnalysisError(
+        f"unknown column {name!r}; table {schema.name} has "
+        f"{', '.join(schema.field_names)}"
+    )
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """SQL LIKE pattern (% and _) compiled to an anchored regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _compile_value(expr: Expression, schema: Schema | None):
+    """Compile an expression to ``fn(row) -> value``."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, Column):
+        column = resolve_column(expr.name, schema)
+        return lambda row: row[column]
+    if isinstance(expr, Arithmetic):
+        left = _compile_value(expr.left, schema)
+        right = _compile_value(expr.right, schema)
+        op = _ARITHMETIC[expr.op]
+
+        def arithmetic(row: Mapping):
+            b = right(row)
+            if expr.op in ("/", "%") and b == 0:
+                raise HiveAnalysisError(f"division by zero evaluating {expr}")
+            return op(left(row), b)
+
+        return arithmetic
+    # Boolean sub-expressions used as values (rare but legal: WHERE (a AND b)).
+    boolean = _compile_bool(expr, schema)
+    return boolean
+
+
+def _compile_bool(expr: Expression, schema: Schema | None):
+    """Compile an expression to ``fn(row) -> bool``."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, bool):
+            value = expr.value
+            return lambda row: value
+        raise HiveAnalysisError(f"{expr} is not a boolean condition")
+    if isinstance(expr, LogicalAnd):
+        left = _compile_bool(expr.left, schema)
+        right = _compile_bool(expr.right, schema)
+        return lambda row: left(row) and right(row)
+    if isinstance(expr, LogicalOr):
+        left = _compile_bool(expr.left, schema)
+        right = _compile_bool(expr.right, schema)
+        return lambda row: left(row) or right(row)
+    if isinstance(expr, LogicalNot):
+        operand = _compile_bool(expr.operand, schema)
+        return lambda row: not operand(row)
+    if isinstance(expr, Comparison):
+        left = _compile_value(expr.left, schema)
+        right = _compile_value(expr.right, schema)
+        op = _COMPARE[expr.op]
+        return lambda row: op(left(row), right(row))
+    if isinstance(expr, Between):
+        operand = _compile_value(expr.operand, schema)
+        low = _compile_value(expr.low, schema)
+        high = _compile_value(expr.high, schema)
+        if expr.negated:
+            return lambda row: not (low(row) <= operand(row) <= high(row))
+        return lambda row: low(row) <= operand(row) <= high(row)
+    if isinstance(expr, InList):
+        operand = _compile_value(expr.operand, schema)
+        options = [_compile_value(o, schema) for o in expr.options]
+        if expr.negated:
+            return lambda row: operand(row) not in {o(row) for o in options}
+        return lambda row: operand(row) in {o(row) for o in options}
+    if isinstance(expr, Like):
+        operand = _compile_value(expr.operand, schema)
+        regex = like_to_regex(expr.pattern)
+        if expr.negated:
+            return lambda row: regex.match(str(operand(row))) is None
+        return lambda row: regex.match(str(operand(row))) is not None
+    if isinstance(expr, IsNull):
+        operand = _compile_value(expr.operand, schema)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, Column):
+        raise HiveAnalysisError(
+            f"bare column {expr.name!r} is not a boolean condition"
+        )
+    raise HiveAnalysisError(f"cannot use {expr} as a condition")
+
+
+def compile_predicate(expr: Expression, schema: Schema | None = None) -> Predicate:
+    """Compile a WHERE expression into a Predicate.
+
+    Simple ``column = literal`` equalities become
+    :class:`~repro.data.predicates.ColumnCompare` so their names line up
+    with the generator's controlled marker predicates; everything else
+    becomes a :class:`~repro.data.predicates.FunctionPredicate` labeled
+    with the SQL text.
+    """
+    simple = _as_simple_comparison(expr, schema)
+    if simple is not None:
+        return simple
+    return FunctionPredicate(fn=_compile_bool(expr, schema), label=str(expr))
+
+
+def _as_simple_comparison(
+    expr: Expression, schema: Schema | None
+) -> ColumnCompare | None:
+    if not isinstance(expr, Comparison):
+        return None
+    column, literal = None, None
+    op = expr.op
+    if isinstance(expr.left, Column) and isinstance(expr.right, Literal):
+        column, literal = expr.left, expr.right
+    elif isinstance(expr.right, Column) and isinstance(expr.left, Literal):
+        column, literal = expr.right, expr.left
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    if column is None or literal is None or literal.value is None:
+        return None
+    return ColumnCompare(resolve_column(column.name, schema), op, literal.value)

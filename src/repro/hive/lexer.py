@@ -1,0 +1,92 @@
+"""Tokenizer for the query language."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import HiveSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "LIMIT", "AND", "OR", "NOT",
+    "BETWEEN", "IN", "LIKE", "IS", "NULL", "TRUE", "FALSE",
+    "SET", "EXPLAIN",
+}
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word.upper()
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<end of query>"
+        return self.text
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<operator><=|>=|!=|<>|=|<|>)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+  | (?P<punct>[(),;*+\-/%])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize query text. Raises HiveSyntaxError on unrecognizable input."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise HiveSyntaxError(
+                f"unrecognized character {text[pos]!r}", position=pos
+            )
+        if match.lastgroup != "ws":
+            raw = match.group()
+            if match.lastgroup == "ident":
+                upper = raw.upper()
+                if upper in KEYWORDS:
+                    tokens.append(Token(TokenKind.KEYWORD, upper, pos))
+                else:
+                    tokens.append(Token(TokenKind.IDENTIFIER, raw, pos))
+            elif match.lastgroup == "number":
+                tokens.append(Token(TokenKind.NUMBER, raw, pos))
+            elif match.lastgroup == "string":
+                tokens.append(Token(TokenKind.STRING, raw, pos))
+            elif match.lastgroup == "operator":
+                # Normalize the SQL-92 inequality spelling.
+                text_op = "!=" if raw == "<>" else raw
+                tokens.append(Token(TokenKind.OPERATOR, text_op, pos))
+            else:
+                tokens.append(Token(TokenKind.PUNCT, raw, pos))
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", len(text)))
+    return tokens
+
+
+def unquote_string(raw: str) -> str:
+    """Strip quotes and resolve backslash escapes of a string literal."""
+    body = raw[1:-1]
+    return body.replace("\\'", "'").replace("\\\\", "\\")

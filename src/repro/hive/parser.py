@@ -1,0 +1,300 @@
+"""Recursive-descent parser for the query language.
+
+Grammar (lowest to highest precedence within expressions)::
+
+    statement  := select | set
+    set        := SET key '=' value
+    select     := [EXPLAIN] SELECT cols FROM ident [WHERE expr] [LIMIT num] [';']
+    cols       := '*' | ident (',' ident)*
+    expr       := or
+    or         := and (OR and)*
+    and        := not (AND not)*
+    not        := NOT not | predicate
+    predicate  := additive (compare | between | in | like | isnull)?
+    compare    := ('='|'!='|'<'|'<='|'>'|'>=') additive
+    between    := [NOT] BETWEEN additive AND additive
+    in         := [NOT] IN '(' expr (',' expr)* ')'
+    like       := [NOT] LIKE string
+    isnull     := IS [NOT] NULL
+    additive   := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary      := '-' unary | primary
+    primary    := number | string | TRUE | FALSE | NULL | ident | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import HiveSyntaxError
+from repro.hive.ast import (
+    Arithmetic,
+    Between,
+    Column,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SelectStatement,
+    SetStatement,
+    Statement,
+)
+from repro.hive.lexer import Token, TokenKind, tokenize, unquote_string
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return _Parser(text).parse()
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._next()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if not token.is_keyword(word):
+            raise HiveSyntaxError(
+                f"expected {word}, found {token}", position=token.position
+            )
+
+    def _accept_punct(self, text: str) -> bool:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text == text:
+            self._next()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> None:
+        token = self._next()
+        if token.kind is not TokenKind.PUNCT or token.text != text:
+            raise HiveSyntaxError(
+                f"expected {text!r}, found {token}", position=token.position
+            )
+
+    def _expect_identifier(self) -> str:
+        token = self._next()
+        if token.kind is not TokenKind.IDENTIFIER:
+            raise HiveSyntaxError(
+                f"expected an identifier, found {token}", position=token.position
+            )
+        return token.text
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse(self) -> Statement:
+        if self._peek().is_keyword("SET"):
+            statement = self._parse_set()
+        else:
+            statement = self._parse_select()
+        self._accept_punct(";")
+        trailing = self._peek()
+        if trailing.kind is not TokenKind.EOF:
+            raise HiveSyntaxError(
+                f"unexpected trailing input: {trailing}", position=trailing.position
+            )
+        return statement
+
+    def _parse_set(self) -> SetStatement:
+        self._expect_keyword("SET")
+        key = self._expect_identifier()
+        token = self._next()
+        if not (token.kind is TokenKind.OPERATOR and token.text == "="):
+            raise HiveSyntaxError(
+                f"expected '=' in SET, found {token}", position=token.position
+            )
+        value_token = self._next()
+        if value_token.kind is TokenKind.EOF:
+            raise HiveSyntaxError("missing value in SET", position=value_token.position)
+        value = (
+            unquote_string(value_token.text)
+            if value_token.kind is TokenKind.STRING
+            else value_token.text
+        )
+        return SetStatement(key=key, value=value)
+
+    def _parse_select(self) -> SelectStatement:
+        explain = self._accept_keyword("EXPLAIN")
+        self._expect_keyword("SELECT")
+        columns = self._parse_columns()
+        self._expect_keyword("FROM")
+        table = self._expect_identifier()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit_token = self._next()
+            if limit_token.kind is not TokenKind.NUMBER or "." in limit_token.text:
+                raise HiveSyntaxError(
+                    f"LIMIT needs an integer, found {limit_token}",
+                    position=limit_token.position,
+                )
+            limit = int(limit_token.text)
+            if limit <= 0:
+                raise HiveSyntaxError(
+                    f"LIMIT must be positive, got {limit}",
+                    position=limit_token.position,
+                )
+        return SelectStatement(
+            columns=columns, table=table, where=where, limit=limit, explain=explain
+        )
+
+    def _parse_columns(self) -> tuple[str, ...] | None:
+        if self._accept_punct("*"):
+            return None
+        columns = [self._expect_identifier()]
+        while self._accept_punct(","):
+            columns.append(self._expect_identifier())
+        return tuple(columns)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        node = self._parse_and()
+        while self._accept_keyword("OR"):
+            node = LogicalOr(node, self._parse_and())
+        return node
+
+    def _parse_and(self) -> Expression:
+        node = self._parse_not()
+        while self._accept_keyword("AND"):
+            node = LogicalAnd(node, self._parse_not())
+        return node
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return LogicalNot(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        node = self._parse_additive()
+        negated = self._accept_keyword("NOT")
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR:
+            if negated:
+                raise HiveSyntaxError(
+                    "NOT cannot precede a comparison operator",
+                    position=token.position,
+                )
+            op = self._next().text
+            return Comparison(op=op, left=node, right=self._parse_additive())
+        if token.is_keyword("BETWEEN"):
+            self._next()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return Between(operand=node, low=low, high=high, negated=negated)
+        if token.is_keyword("IN"):
+            self._next()
+            self._expect_punct("(")
+            options = [self._parse_expression()]
+            while self._accept_punct(","):
+                options.append(self._parse_expression())
+            self._expect_punct(")")
+            return InList(operand=node, options=tuple(options), negated=negated)
+        if token.is_keyword("LIKE"):
+            self._next()
+            pattern_token = self._next()
+            if pattern_token.kind is not TokenKind.STRING:
+                raise HiveSyntaxError(
+                    f"LIKE needs a string pattern, found {pattern_token}",
+                    position=pattern_token.position,
+                )
+            return Like(
+                operand=node,
+                pattern=unquote_string(pattern_token.text),
+                negated=negated,
+            )
+        if token.is_keyword("IS"):
+            self._next()
+            is_not = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(operand=node, negated=is_not)
+        if negated:
+            raise HiveSyntaxError(
+                f"expected BETWEEN/IN/LIKE after NOT, found {token}",
+                position=token.position,
+            )
+        return node
+
+    def _parse_additive(self) -> Expression:
+        node = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.PUNCT and token.text in ("+", "-"):
+                self._next()
+                node = Arithmetic(token.text, node, self._parse_multiplicative())
+            else:
+                return node
+
+    def _parse_multiplicative(self) -> Expression:
+        node = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.PUNCT and token.text in ("*", "/", "%"):
+                self._next()
+                node = Arithmetic(token.text, node, self._parse_unary())
+            else:
+                return node
+
+    def _parse_unary(self) -> Expression:
+        if self._peek().kind is TokenKind.PUNCT and self._peek().text == "-":
+            self._next()
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return Arithmetic("-", Literal(0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._next()
+        if token.kind is TokenKind.NUMBER:
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind is TokenKind.STRING:
+            return Literal(unquote_string(token.text))
+        if token.is_keyword("TRUE"):
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            return Literal(None)
+        if token.kind is TokenKind.IDENTIFIER:
+            return Column(token.text)
+        if token.kind is TokenKind.PUNCT and token.text == "(":
+            node = self._parse_expression()
+            self._expect_punct(")")
+            return node
+        raise HiveSyntaxError(
+            f"unexpected token {token} in expression", position=token.position
+        )

@@ -1,0 +1,119 @@
+"""HiveSession: the end-user entry point.
+
+Mirrors the Hive CLI workflow the paper describes: register tables,
+``SET`` configuration parameters (notably ``dynamic.job.policy``), and
+execute queries. A session runs on either execution substrate:
+
+* attached to a :class:`~repro.engine.cluster_engine.SimulatedCluster`,
+  queries run on the discrete-event cluster and results report simulated
+  response times;
+* attached to a :class:`~repro.engine.runtime.LocalRunner` plus a DFS,
+  queries execute for real over materialized data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.schema import Schema
+from repro.engine.cluster_engine import SimulatedCluster
+from repro.engine.job import JobResult
+from repro.engine.jobconf import JobConf
+from repro.engine.runtime import LocalRunner
+from repro.errors import HiveError
+from repro.hive.ast import SelectStatement, SetStatement
+from repro.hive.compiler import QueryCompiler, TableCatalog
+from repro.hive.parser import parse_statement
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one executed query."""
+
+    statement: str
+    rows: list
+    job: JobResult | None
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+class HiveSession:
+    """One user's query session."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster | None = None,
+        *,
+        runner: LocalRunner | None = None,
+        dfs=None,
+        user: str = "default",
+    ) -> None:
+        if cluster is None and runner is None:
+            raise HiveError("a session needs a cluster or a (runner, dfs) pair")
+        if cluster is not None and runner is not None:
+            raise HiveError("attach a session to one substrate, not both")
+        if runner is not None and dfs is None:
+            raise HiveError("a LocalRunner session needs a dfs to read splits from")
+        self._cluster = cluster
+        self._runner = runner
+        self._dfs = dfs if dfs is not None else (cluster.dfs if cluster else None)
+        self.user = user
+        self.catalog = TableCatalog()
+        self._compiler = QueryCompiler(self.catalog)
+        self.params: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, path: str, schema: Schema | None = None) -> None:
+        """Expose a DFS file as a queryable table."""
+        if self._dfs is not None and not self._dfs.exists(path):
+            raise HiveError(f"cannot register {name!r}: no DFS file at {path}")
+        self.catalog.register(name, path, schema)
+
+    def set_param(self, key: str, value: str) -> None:
+        self.params[key] = str(value)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, text: str) -> QueryResult:
+        """Parse and execute one statement (SELECT, EXPLAIN SELECT, or SET)."""
+        statement = parse_statement(text)
+        if isinstance(statement, SetStatement):
+            self.set_param(statement.key, statement.value)
+            return QueryResult(statement=str(statement), rows=[], job=None)
+        if statement.explain:
+            conf = self.compile(statement)
+            return QueryResult(
+                statement=str(statement), rows=[_explain(conf)], job=None
+            )
+        conf = self.compile(statement)
+        result = self._run(conf)
+        rows = [value for _key, value in (result.output_data or [])]
+        return QueryResult(statement=str(statement), rows=rows, job=result)
+
+    def compile(self, statement: SelectStatement) -> JobConf:
+        """Compile without executing (used by EXPLAIN and tests)."""
+        return self._compiler.compile(statement, self.params, user=self.user)
+
+    def _run(self, conf: JobConf) -> JobResult:
+        if self._cluster is not None:
+            return self._cluster.run_job(conf)
+        splits = self._dfs.open_splits(conf.input_path)
+        return self._runner.run(conf, splits)
+
+
+def _explain(conf: JobConf) -> dict:
+    """The execution-plan summary EXPLAIN returns."""
+    return {
+        "job": conf.name,
+        "input": conf.input_path,
+        "dynamic": conf.is_dynamic,
+        "policy": conf.policy_name,
+        "provider": conf.input_provider_name,
+        "sample_size": conf.sample_size,
+        "reduce_tasks": conf.num_reduce_tasks,
+    }

@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate on which the simulated Hadoop cluster runs.
+It provides a deterministic event loop (:class:`~repro.sim.simulator.Simulator`),
+a monotonically advancing simulated clock, cancellable event handles, and
+named, independently seeded random streams
+(:class:`~repro.sim.random_source.RandomSource`).
+"""
+
+from repro.sim.events import EventHandle
+from repro.sim.random_source import RandomSource
+from repro.sim.simulator import Simulator
+
+__all__ = ["EventHandle", "RandomSource", "Simulator"]

@@ -1,0 +1,41 @@
+"""Simulated clock.
+
+Kept separate from the simulator so that components which only need to
+*read* time (metrics monitors, loggers) can depend on the narrow
+:class:`SimClock` interface instead of the full event loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises :class:`~repro.errors.SimulationError` on any attempt to move
+        backwards, which would indicate a corrupted event queue.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock moving backwards: {self._now} -> {time}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.3f})"

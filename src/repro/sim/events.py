@@ -1,0 +1,70 @@
+"""Event objects and handles for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event sitting in the simulator's priority queue.
+
+    Ordering is by ``(time, seq)`` so that events scheduled for the same
+    instant fire in the order they were scheduled (FIFO tie-break), which
+    keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Returned by :meth:`repro.sim.simulator.Simulator.schedule`. Cancelling
+    is idempotent-safe via :meth:`cancel`; a cancelled event stays in the
+    heap but is skipped when popped.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event will fire (or would have)."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    def cancel(self) -> bool:
+        """Cancel the event. Returns True if it was live, False if already cancelled."""
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, {state}, label={self.label!r})"
+
+
+_sequence = itertools.count()
+
+
+def next_sequence() -> int:
+    """Global monotonically increasing tie-break counter."""
+    return next(_sequence)

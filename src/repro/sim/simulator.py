@@ -1,0 +1,226 @@
+"""The discrete-event simulator.
+
+A minimal, deterministic, callback-style event loop. Components schedule
+callbacks at future simulated instants; :meth:`Simulator.run` pops events in
+``(time, insertion order)`` order, advances the clock, and invokes them.
+
+The kernel is intentionally callback-based rather than coroutine-based:
+the Hadoop components built on top (JobTracker, TaskTrackers, JobClients)
+are naturally event-driven state machines, and callbacks keep stack traces
+shallow and runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventHandle, ScheduledEvent, next_sequence
+
+
+class Simulator:
+    """Deterministic discrete-event loop with a simulated clock.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: print("fires at t=5"))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._clock = SimClock(start_time)
+        self._heap: list[ScheduledEvent] = []
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay}s in the past")
+        return self.schedule_at(self.now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        event = ScheduledEvent(
+            time=float(time),
+            seq=next_sequence(),
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_now(self, callback: Callable[..., Any], *args: Any, label: str = "") -> EventHandle:
+        """Schedule ``callback`` at the current instant (after pending same-time events)."""
+        return self.schedule(0.0, callback, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        *,
+        advance_clock: bool = True,
+    ) -> float:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        Returns the simulated time at which the loop stopped. When ``until``
+        is given, the queue drains earlier, and ``advance_clock`` is true
+        (the default), the clock is advanced to ``until`` so repeated
+        ``run(until=...)`` calls compose predictably; pass
+        ``advance_clock=False`` to leave the clock at the last event.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        if until is not None and until < self.now:
+            raise SimulationError(f"cannot run until t={until}, already at t={self.now}")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and self._events_processed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._clock.advance_to(event.time)
+                self._events_processed += 1
+                event.callback(*event.args)
+            if (
+                until is not None
+                and advance_clock
+                and not self._stopped
+                and self.now < until
+            ):
+                self._clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Execute exactly one live event. Returns False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._clock.advance_to(event.time)
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to return after the active event."""
+        self._stopped = True
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.3f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )
+
+
+class PeriodicTask:
+    """Re-schedules a callback at a fixed period until cancelled.
+
+    Used for pollers such as the dynamic-job evaluation loop and the
+    cluster metrics monitor. The callback may call :meth:`cancel` from
+    within itself to stop the loop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        *,
+        start_delay: float | None = None,
+        label: str = "",
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"periodic task period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._cancelled = False
+        first = period if start_delay is None else start_delay
+        self._handle = sim.schedule(first, self._fire, label=label)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._handle = self._sim.schedule(self._period, self._fire, label=self._label)

@@ -1,0 +1,30 @@
+"""Workload generation and measurement (paper §V-D/E).
+
+Reimplements the methodology of the paper's workload generator [2]:
+closed-loop users who each submit a query, wait for its completion, and
+immediately submit the same query again — each against a private copy of
+the dataset so no query benefits from another's buffer cache. Runs are
+measured at steady state and reported as per-class throughput
+(jobs/hour) alongside the resource metrics of Figure 6.
+"""
+
+from repro.workload.generator import (
+    WorkloadSpec,
+    heterogeneous_workload,
+    homogeneous_sampling_workload,
+)
+from repro.workload.runner import WorkloadResult, WorkloadRunner
+from repro.workload.stats import summarize
+from repro.workload.user import ClosedLoopUser, UserClass, UserSpec
+
+__all__ = [
+    "ClosedLoopUser",
+    "UserClass",
+    "UserSpec",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "heterogeneous_workload",
+    "homogeneous_sampling_workload",
+    "summarize",
+]

@@ -1,0 +1,161 @@
+"""Workload builders for the paper's multi-user experiments.
+
+Each user queries a *private copy* of the dataset: "each works against a
+different copy of the dataset to ensure that each query requires
+fetching its input from the disk and does not leverage the buffer cache
+populated by some other query" (§V-D). The builders therefore load one
+dataset per user into the cluster's DFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sampling_job import make_sampling_conf, make_scan_conf
+from repro.data.datasets import PartitionedDataset
+from repro.data.predicates import Predicate
+from repro.engine.cluster_engine import SimulatedCluster
+from repro.errors import WorkloadError
+from repro.workload.user import UserClass, UserSpec
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A fully wired workload: users ready to run against a cluster."""
+
+    users: tuple[UserSpec, ...]
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    def users_of(self, user_class: UserClass) -> list[UserSpec]:
+        return [u for u in self.users if u.user_class == user_class]
+
+
+def _load_private_copies(
+    cluster: SimulatedCluster,
+    dataset_factory,
+    num_users: int,
+    path_prefix: str,
+) -> list[str]:
+    paths = []
+    for index in range(num_users):
+        path = f"{path_prefix}/copy{index:02d}"
+        cluster.load_dataset(path, dataset_factory(index))
+        paths.append(path)
+    return paths
+
+
+def homogeneous_sampling_workload(
+    cluster: SimulatedCluster,
+    *,
+    num_users: int,
+    policy_name: str,
+    predicate: Predicate,
+    sample_size: int = 10_000,
+    dataset_factory=None,
+    dataset: PartitionedDataset | None = None,
+    path_prefix: str = "/warehouse/sampling",
+) -> WorkloadSpec:
+    """All users run the same sampling query under the same policy (§V-D).
+
+    Provide either ``dataset`` (one instance reused as every user's
+    private copy — cheap, identical contents) or ``dataset_factory(i)``
+    (per-user datasets, e.g. different placement seeds).
+    """
+    factory = _resolve_dataset_factory(dataset, dataset_factory)
+    paths = _load_private_copies(cluster, factory, num_users, path_prefix)
+
+    def make_user(index: int) -> UserSpec:
+        path = paths[index]
+
+        def conf_factory(iteration: int):
+            return make_sampling_conf(
+                name=f"sample-u{index:02d}-i{iteration}",
+                input_path=path,
+                predicate=predicate,
+                sample_size=sample_size,
+                policy_name=policy_name,
+                user=f"user{index:02d}",
+            )
+
+        return UserSpec(
+            user_id=f"user{index:02d}",
+            user_class=UserClass.SAMPLING,
+            conf_factory=conf_factory,
+        )
+
+    return WorkloadSpec(users=tuple(make_user(i) for i in range(num_users)))
+
+
+def heterogeneous_workload(
+    cluster: SimulatedCluster,
+    *,
+    num_users: int,
+    sampling_fraction: float,
+    sampling_policy: str,
+    sampling_predicate: Predicate,
+    scan_predicate: Predicate,
+    sample_size: int = 10_000,
+    scan_selectivity: float = 0.0005,
+    dataset: PartitionedDataset | None = None,
+    dataset_factory=None,
+    path_prefix: str = "/warehouse/mixed",
+) -> WorkloadSpec:
+    """Sampling + Non-Sampling user mix (§V-E).
+
+    ``sampling_fraction`` of the users issue the dynamic sampling query
+    under ``sampling_policy``; the rest issue static select-project scans
+    with the given selectivity (0.05% in the paper).
+    """
+    if not 0 <= sampling_fraction <= 1:
+        raise WorkloadError(
+            f"sampling_fraction must be in [0, 1], got {sampling_fraction}"
+        )
+    factory = _resolve_dataset_factory(dataset, dataset_factory)
+    paths = _load_private_copies(cluster, factory, num_users, path_prefix)
+    num_sampling = round(num_users * sampling_fraction)
+
+    users = []
+    for index in range(num_users):
+        path = paths[index]
+        if index < num_sampling:
+            def conf_factory(iteration: int, path=path, index=index):
+                return make_sampling_conf(
+                    name=f"sample-u{index:02d}-i{iteration}",
+                    input_path=path,
+                    predicate=sampling_predicate,
+                    sample_size=sample_size,
+                    policy_name=sampling_policy,
+                    user=f"user{index:02d}",
+                )
+
+            user_class = UserClass.SAMPLING
+        else:
+            def conf_factory(iteration: int, path=path, index=index):
+                return make_scan_conf(
+                    name=f"scan-u{index:02d}-i{iteration}",
+                    input_path=path,
+                    predicate=scan_predicate,
+                    fallback_selectivity=scan_selectivity,
+                    user=f"user{index:02d}",
+                )
+
+            user_class = UserClass.NON_SAMPLING
+        users.append(
+            UserSpec(
+                user_id=f"user{index:02d}",
+                user_class=user_class,
+                conf_factory=conf_factory,
+            )
+        )
+    return WorkloadSpec(users=tuple(users))
+
+
+def _resolve_dataset_factory(dataset, dataset_factory):
+    if (dataset is None) == (dataset_factory is None):
+        raise WorkloadError("provide exactly one of dataset / dataset_factory")
+    if dataset is not None:
+        return lambda _index: dataset
+    return dataset_factory

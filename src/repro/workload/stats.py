@@ -1,0 +1,41 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / stdev / min / max of a series."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.stdev:.1f} (n={self.count})"
+
+
+def summarize(values: list[float]) -> Summary:
+    """Summary statistics of a non-empty series."""
+    if not values:
+        raise WorkloadError("cannot summarize an empty series")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,96 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_list_arguments_parse(self):
+        args = build_parser().parse_args(
+            ["figure5", "--scales", "5,10", "--skews", "0", "--seeds", "0,1"]
+        )
+        assert args.scales == (5, 10)
+        assert args.skews == (0,)
+        assert args.seeds == (0, 1)
+
+    def test_fraction_list_parses(self):
+        args = build_parser().parse_args(["figure7", "--fractions", "0.2,0.8"])
+        assert args.fractions == (0.2, 0.8)
+
+
+class TestCommands:
+    def test_tables(self):
+        code, text = run_cli(["tables"])
+        assert code == 0
+        assert "Table I — Policies" in text
+        assert "max(0.5 * TS, AS)" in text
+        assert "600,000,000" in text
+        assert "l_quantity = 51" in text
+
+    def test_figure4(self):
+        code, text = run_cli(["figure4", "--scale", "5", "--top", "3"])
+        assert code == 0
+        assert "Figure 4" in text
+        assert "z=2" in text
+
+    def test_figure5_reduced_grid(self):
+        code, text = run_cli(
+            ["figure5", "--scales", "5", "--skews", "0", "--seeds", "0"]
+        )
+        assert code == 0
+        assert "Figure 5 — response time (s), z=0" in text
+        assert "| 5x" in text
+
+    def test_sample(self):
+        code, text = run_cli(
+            ["sample", "--scale", "5", "--policy", "HA", "--seed", "1"]
+        )
+        assert code == 0
+        assert "Sampling job result" in text
+        assert "| sample size" in text
+        assert "10000" in text
+
+    def test_query_select(self):
+        code, text = run_cli(
+            [
+                "query",
+                "SELECT ORDERKEY FROM lineitem WHERE l_quantity = 51 LIMIT 3",
+                "--rows", "8000",
+                "--max-print", "2",
+            ]
+        )
+        assert code == 0
+        assert "l_orderkey" in text
+        assert "... 1 more rows" in text
+        assert "3 rows" in text
+
+    def test_query_set_statement(self):
+        code, text = run_cli(["query", "SET dynamic.job.policy = C", "--rows", "4000"])
+        assert code == 0
+        assert "SET dynamic.job.policy=C" in text
+
+    def test_policies_writes_file(self, tmp_path):
+        out_path = tmp_path / "policy.xml"
+        code, text = run_cli(["policies", "--out", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        content = out_path.read_text()
+        assert "<policies>" in content
+        assert "grabLimit" in content

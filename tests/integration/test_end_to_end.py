@@ -1,0 +1,106 @@
+"""One grand end-to-end scenario stitching every subsystem together.
+
+A miniature version of the paper's whole world: a warehouse with two
+tables (one materialized, one profiled at paper scale), a custom
+policy.xml, Hive sessions for two users with different policies, a
+background scan load, failure injection, metrics — everything running in
+one simulation.
+"""
+
+import pytest
+
+from repro import SimulatedCluster, make_scan_conf
+from repro.cluster import paper_topology
+from repro.core import load_policies, paper_policies, dump_policies
+from repro.data import (
+    LINEITEM_SCHEMA,
+    build_materialized_dataset,
+    build_profiled_dataset,
+    dataset_spec_for_scale,
+    predicate_for_skew,
+)
+from repro.engine.failures import FailureInjector
+from repro.engine.job import JobState
+from repro.hive import HiveSession
+
+
+@pytest.fixture()
+def world(tmp_path):
+    # Policy catalogue via policy.xml round trip.
+    policy_path = tmp_path / "policy.xml"
+    dump_policies(paper_policies(), policy_path)
+    policies = load_policies(policy_path)
+
+    cluster = SimulatedCluster(
+        paper_topology(map_slots_per_node=8),
+        policies=policies,
+        failure_injector=FailureInjector(map_failure_probability=0.05, seed=13),
+        seed=42,
+    )
+    pred_hot = predicate_for_skew(2)
+    pred_uniform = predicate_for_skew(0)
+
+    small = build_materialized_dataset(
+        dataset_spec_for_scale(0.005, num_partitions=20),
+        {pred_hot: 2.0, pred_uniform: 0.0},
+        seed=7,
+        selectivity=0.01,
+    )
+    big = build_profiled_dataset(
+        dataset_spec_for_scale(20), {pred_uniform: 0.0}, seed=8
+    )
+    cluster.load_dataset("/warehouse/lineitem_small", small)
+    cluster.load_dataset("/warehouse/lineitem_big", big)
+    cluster.start_metrics()
+    return cluster, pred_hot, pred_uniform
+
+
+class TestEndToEnd:
+    def test_full_stack_scenario(self, world):
+        cluster, pred_hot, pred_uniform = world
+
+        # Background batch load.
+        background_done = []
+        cluster.submit(
+            make_scan_conf(
+                name="etl", input_path="/warehouse/lineitem_big",
+                predicate=pred_uniform, fallback_selectivity=0.0005,
+            ),
+            lambda result: background_done.append(result),
+        )
+
+        # Analyst 1: conservative sampling over the big profiled table.
+        analyst1 = HiveSession(cluster=cluster, user="analyst1")
+        analyst1.register_table("lineitem", "/warehouse/lineitem_big", LINEITEM_SCHEMA)
+        analyst1.execute("SET dynamic.job.policy = C")
+        big_sample = analyst1.execute(
+            "SELECT ORDERKEY, PARTKEY, SUPPKEY FROM lineitem "
+            "WHERE L_DISCOUNT = 0.11 LIMIT 10000"
+        )
+        assert big_sample.job.outputs_produced == 10_000
+        assert big_sample.job.splits_processed < 160  # partial input only
+
+        # Analyst 2: real-row sampling over the materialized table with a
+        # compound predicate.
+        analyst2 = HiveSession(cluster=cluster, user="analyst2")
+        analyst2.register_table("small", "/warehouse/lineitem_small", LINEITEM_SCHEMA)
+        analyst2.execute("SET dynamic.job.policy = MA")
+        rows = analyst2.execute(
+            "SELECT * FROM small WHERE l_quantity = 51 AND l_extendedprice > 0 "
+            "LIMIT 25"
+        )
+        assert rows.num_rows == 25
+        assert all(row["l_quantity"] == 51 for row in rows.rows)
+
+        # Drain the background job too.
+        cluster.run(until=cluster.sim.now + 1e6)
+        assert background_done and background_done[0].state is JobState.SUCCEEDED
+
+        # Failures happened and were retried transparently.
+        total_failures = sum(r.failed_map_attempts for r in cluster.results)
+        assert total_failures > 0
+        assert all(r.state is JobState.SUCCEEDED for r in cluster.results)
+
+        # Metrics observed the action.
+        assert cluster.metrics.num_samples > 0
+        assert cluster.metrics.local_map_tasks > 0

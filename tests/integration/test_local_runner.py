@@ -1,0 +1,164 @@
+"""Integration tests: real MapReduce execution via the LocalRunner."""
+
+import pytest
+
+from repro import LocalRunner, make_sampling_conf, make_scan_conf
+from repro.cluster import paper_topology
+from repro.core.sampling_job import DUMMY_KEY
+from repro.data import (
+    build_materialized_dataset,
+    dataset_spec_for_scale,
+    predicate_for_skew,
+)
+from repro.dfs import DistributedFileSystem
+from repro.errors import JobConfError, JobError
+
+
+def build_splits(z=0, num_partitions=16, selectivity=0.01, seed=0, scale=0.002):
+    pred = predicate_for_skew(z)
+    spec = dataset_spec_for_scale(scale, num_partitions=num_partitions)
+    data = build_materialized_dataset(
+        spec, {pred: float(z)}, seed=seed, selectivity=selectivity
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/t", data)
+    return pred, data, dfs.open_splits("/t")
+
+
+class TestStaticSampling:
+    def test_full_scan_returns_exact_sample(self):
+        pred, data, splits = build_splits()
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=50,
+            policy_name=None,
+        )
+        result = LocalRunner().run(conf, splits)
+        assert result.outputs_produced == 50
+        assert result.splits_processed == 16
+        assert all(pred.matches(row) for row in result.sample)
+
+    def test_sample_smaller_than_k_when_scarce(self):
+        pred, data, splits = build_splits(selectivity=0.001)  # 12 matches
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=500,
+            policy_name=None,
+        )
+        result = LocalRunner().run(conf, splits)
+        assert result.outputs_produced == data.total_matches(pred.name)
+
+    def test_map_outputs_use_dummy_key(self):
+        pred, _data, splits = build_splits()
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=5,
+            policy_name=None,
+        )
+        result = LocalRunner().run(conf, splits)
+        assert all(key == DUMMY_KEY for key, _ in result.output_data)
+
+
+class TestDynamicSampling:
+    @pytest.mark.parametrize("policy", ["Hadoop", "HA", "MA", "LA", "C"])
+    def test_every_policy_reaches_target(self, policy):
+        pred, _data, splits = build_splits()
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=40,
+            policy_name=policy,
+        )
+        result = LocalRunner(seed=3).run(conf, splits)
+        assert result.outputs_produced == 40
+        assert all(pred.matches(row) for row in result.sample)
+
+    def test_dynamic_processes_fewer_splits_than_hadoop(self):
+        pred, _data, splits = build_splits(num_partitions=32, scale=0.004)
+        kwargs = dict(input_path="/t", predicate=pred, sample_size=30)
+        hadoop = LocalRunner(seed=1).run(
+            make_sampling_conf(name="h", policy_name="Hadoop", **kwargs), splits
+        )
+        conservative = LocalRunner(seed=1).run(
+            make_sampling_conf(name="c", policy_name="C", **kwargs), splits
+        )
+        assert hadoop.splits_processed == 32
+        assert conservative.splits_processed < hadoop.splits_processed
+        assert conservative.outputs_produced == 30
+
+    def test_high_skew_still_reaches_target(self):
+        pred, data, splits = build_splits(z=2, num_partitions=16)
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=60,
+            policy_name="C",
+        )
+        result = LocalRunner(seed=9).run(conf, splits)
+        assert result.outputs_produced == 60
+
+    def test_exhausting_input_returns_partial_sample(self):
+        pred, data, splits = build_splits(selectivity=0.001)  # 12 matches total
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=10_000,
+            policy_name="LA",
+        )
+        result = LocalRunner(seed=2).run(conf, splits)
+        assert result.splits_processed == 16  # had to read everything
+        assert result.outputs_produced == data.total_matches(pred.name)
+
+    def test_increments_counted(self):
+        pred, _data, splits = build_splits(num_partitions=32, scale=0.004)
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=200,
+            policy_name="C",
+        )
+        result = LocalRunner(seed=4).run(conf, splits)
+        assert result.input_increments >= 2
+
+    def test_deterministic_under_seed(self):
+        pred, _data, splits = build_splits()
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=40,
+            policy_name="LA",
+        )
+        a = LocalRunner(seed=5).run(conf, splits)
+        b = LocalRunner(seed=5).run(conf, splits)
+        assert a.sample == b.sample
+        assert a.splits_processed == b.splits_processed
+
+
+class TestScanJobs:
+    def test_scan_emits_all_matches(self):
+        pred, data, splits = build_splits()
+        conf = make_scan_conf(name="s", input_path="/t", predicate=pred)
+        result = LocalRunner().run(conf, splits)
+        assert result.outputs_produced == data.total_matches(pred.name)
+
+
+class TestRunnerValidation:
+    def test_profile_split_rejected(self):
+        from repro.data import build_profiled_dataset
+
+        pred = predicate_for_skew(0)
+        data = build_profiled_dataset(
+            dataset_spec_for_scale(5), {pred: 0.0}, seed=0
+        )
+        dfs = DistributedFileSystem(paper_topology().storage_locations())
+        dfs.write_dataset("/big", data)
+        conf = make_sampling_conf(
+            name="q", input_path="/big", predicate=pred, sample_size=10,
+            policy_name=None,
+        )
+        with pytest.raises(JobError):
+            LocalRunner().run(conf, dfs.open_splits("/big"))
+
+    def test_missing_mapper_rejected(self):
+        pred, _data, splits = build_splits(num_partitions=4, scale=0.0005)
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=10,
+        )
+        conf.mapper_factory = None
+        with pytest.raises(JobConfError):
+            LocalRunner().run(conf, splits)
+
+    def test_empty_splits_rejected(self):
+        pred, _data, _splits = build_splits(num_partitions=4, scale=0.0005)
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=10,
+        )
+        with pytest.raises(JobConfError):
+            LocalRunner().run(conf, [])

@@ -1,0 +1,220 @@
+"""Integration tests: the discrete-event cluster substrate."""
+
+import pytest
+
+from repro import CostModel, SimulatedCluster, make_sampling_conf, make_scan_conf
+from repro.data import (
+    build_materialized_dataset,
+    build_profiled_dataset,
+    dataset_spec_for_scale,
+    predicate_for_skew,
+)
+from repro.engine.job import JobState
+
+
+def profiled(scale=5, z=0, seed=0):
+    pred = predicate_for_skew(z)
+    return pred, build_profiled_dataset(
+        dataset_spec_for_scale(scale), {pred: float(z)}, seed=seed
+    )
+
+
+def sampling(pred, policy, name=None, k=10_000, path="/data/t"):
+    return make_sampling_conf(
+        name=name or f"q-{policy}", input_path=path, predicate=pred,
+        sample_size=k, policy_name=policy,
+    )
+
+
+class TestSingleJob:
+    def test_hadoop_policy_processes_everything(self):
+        pred, data = profiled()
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/t", data)
+        result = cluster.run_job(sampling(pred, "Hadoop"))
+        assert result.state is JobState.SUCCEEDED
+        assert result.splits_processed == 40
+        assert result.outputs_produced == 10_000
+
+    def test_dynamic_policy_processes_less_at_scale(self):
+        pred, data = profiled(scale=40)
+        hadoop_cluster = SimulatedCluster.paper_cluster()
+        hadoop_cluster.load_dataset("/data/t", data)
+        hadoop = hadoop_cluster.run_job(sampling(pred, "Hadoop"))
+
+        la_cluster = SimulatedCluster.paper_cluster()
+        la_cluster.load_dataset("/data/t", data)
+        la = la_cluster.run_job(sampling(pred, "LA"))
+
+        assert la.splits_processed < hadoop.splits_processed
+        assert la.response_time < hadoop.response_time
+        assert la.outputs_produced == 10_000
+
+    def test_response_time_independent_of_scale_for_dynamic(self):
+        """The paper's headline claim: dynamic response times depend on
+        the sample size, not the dataset size."""
+        times = {}
+        for scale in (5, 20):
+            pred, data = profiled(scale=scale)
+            cluster = SimulatedCluster.paper_cluster()
+            cluster.load_dataset("/data/t", data)
+            times[scale] = cluster.run_job(sampling(pred, "HA")).response_time
+        assert times[20] < times[5] * 2.0  # near-flat, not 4x
+
+    def test_hadoop_response_time_scales_with_input(self):
+        times = {}
+        for scale in (5, 20):
+            pred, data = profiled(scale=scale)
+            cluster = SimulatedCluster.paper_cluster()
+            cluster.load_dataset("/data/t", data)
+            times[scale] = cluster.run_job(sampling(pred, "Hadoop")).response_time
+        assert times[20] > times[5] * 2.0
+
+    def test_sample_capped_at_k(self):
+        pred, data = profiled()
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/t", data)
+        result = cluster.run_job(sampling(pred, "Hadoop", k=100))
+        assert result.outputs_produced == 100
+        assert result.map_outputs_produced >= 100
+
+    def test_static_scan_job(self):
+        pred, data = profiled()
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/t", data)
+        conf = make_scan_conf(
+            name="scan", input_path="/data/t", predicate=pred,
+            fallback_selectivity=0.0005,
+        )
+        result = cluster.run_job(conf)
+        assert result.splits_processed == 40
+        assert result.state is JobState.SUCCEEDED
+
+    def test_evaluations_and_increments_recorded(self):
+        pred, data = profiled(scale=20, z=2, seed=3)
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/t", data)
+        result = cluster.run_job(sampling(pred, "C"))
+        assert result.evaluations >= 1
+        assert result.input_increments >= 1
+
+
+class TestRealExecutionOnSimulatedCluster:
+    def test_materialized_dataset_yields_real_sample(self):
+        pred = predicate_for_skew(1)
+        spec = dataset_spec_for_scale(0.002, num_partitions=16)
+        data = build_materialized_dataset(
+            spec, {pred: 1.0}, seed=1, selectivity=0.01
+        )
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/small", data)
+        result = cluster.run_job(
+            sampling(pred, "LA", k=50, path="/data/small")
+        )
+        assert result.outputs_produced == 50
+        assert all(pred.matches(row) for row in result.sample)
+
+    def test_profile_and_real_execution_agree_on_counts(self):
+        """Same dataset, same seed: profile-mode map output counts must
+        equal real execution's (the profile is exact, not an estimate)."""
+        pred = predicate_for_skew(0)
+        spec = dataset_spec_for_scale(0.002, num_partitions=16)
+        data = build_materialized_dataset(spec, {pred: 0.0}, seed=2, selectivity=0.01)
+
+        real_cluster = SimulatedCluster.paper_cluster(seed=7)
+        real_cluster.load_dataset("/d", data)
+        real = real_cluster.run_job(sampling(pred, "Hadoop", k=500, path="/d"))
+
+        # Strip the rows so the engine must fall back to the profile.
+        stripped = build_materialized_dataset(
+            spec, {pred: 0.0}, seed=2, selectivity=0.01
+        )
+        for partition in stripped.partitions:
+            partition.rows = None
+        profile_cluster = SimulatedCluster.paper_cluster(seed=7)
+        profile_cluster.load_dataset("/d", stripped)
+        profiled_result = profile_cluster.run_job(
+            sampling(pred, "Hadoop", k=500, path="/d")
+        )
+
+        assert real.map_outputs_produced == profiled_result.map_outputs_produced
+        assert real.outputs_produced == profiled_result.outputs_produced
+        assert real.response_time == pytest.approx(profiled_result.response_time)
+
+
+class TestConcurrentJobs:
+    def test_two_jobs_share_the_cluster(self):
+        pred, data = profiled()
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/t", data)
+        results = []
+        cluster.submit(sampling(pred, "LA", name="a"), results.append)
+        cluster.submit(sampling(pred, "LA", name="b"), results.append)
+        cluster.run()
+        assert len(results) == 2
+        assert all(r.outputs_produced == 10_000 for r in results)
+
+    def test_fifo_head_job_finishes_first(self):
+        pred, data = profiled(scale=10)
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/t", data)
+        order = []
+        cluster.submit(sampling(pred, "Hadoop", name="first"), lambda r: order.append(r.name))
+        cluster.submit(sampling(pred, "Hadoop", name="second"), lambda r: order.append(r.name))
+        cluster.run()
+        assert order == ["first", "second"]
+
+    def test_results_collected_on_cluster(self):
+        pred, data = profiled()
+        cluster = SimulatedCluster.paper_cluster()
+        cluster.load_dataset("/data/t", data)
+        cluster.submit(sampling(pred, "HA"))
+        cluster.run()
+        assert len(cluster.results) == 1
+
+
+class TestSchedulers:
+    def test_fair_scheduler_runs_jobs(self):
+        pred, data = profiled()
+        cluster = SimulatedCluster.paper_cluster(scheduler="fair")
+        cluster.load_dataset("/data/t", data)
+        result = cluster.run_job(sampling(pred, "LA"))
+        assert result.outputs_produced == 10_000
+
+    def test_fair_scheduler_improves_locality(self):
+        """§V-F: Fair (delay scheduling) gets higher map locality than FIFO
+        under a contended multi-job load."""
+        locality = {}
+        for name in ("fifo", "fair"):
+            pred, data = profiled(scale=10)
+            cluster = SimulatedCluster.paper_cluster(scheduler=name)
+            cluster.load_dataset("/data/t", data)
+            for i in range(4):
+                cluster.submit(sampling(pred, "Hadoop", name=f"j{i}"))
+            cluster.run()
+            locality[name] = cluster.metrics.locality_pct
+        assert locality["fair"] >= locality["fifo"]
+
+    def test_unknown_scheduler_rejected(self):
+        from repro.errors import ClusterConfigError
+
+        with pytest.raises(ClusterConfigError):
+            SimulatedCluster.paper_cluster(scheduler="bogus")
+
+
+class TestCostSensitivity:
+    def test_policy_ordering_stable_under_2x_cost_scaling(self):
+        """DESIGN.md §5: experimental shapes survive a 2x slower cluster."""
+        orderings = []
+        for factor in (1.0, 2.0):
+            times = {}
+            for policy in ("Hadoop", "HA", "C"):
+                pred, data = profiled(scale=20)
+                cluster = SimulatedCluster.paper_cluster(
+                    cost_model=CostModel().scaled(factor)
+                )
+                cluster.load_dataset("/data/t", data)
+                times[policy] = cluster.run_job(sampling(pred, policy)).response_time
+            orderings.append(sorted(times, key=times.get))
+        assert orderings[0] == orderings[1]
+        assert orderings[0][0] == "HA"  # fastest on the idle cluster

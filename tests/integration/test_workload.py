@@ -1,0 +1,180 @@
+"""Integration tests for workload generation and measurement."""
+
+import pytest
+
+from repro import SimulatedCluster
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.errors import WorkloadError
+from repro.workload import (
+    UserClass,
+    WorkloadRunner,
+    heterogeneous_workload,
+    homogeneous_sampling_workload,
+)
+
+
+def make_cluster(seed=0):
+    return SimulatedCluster.paper_cluster(map_slots_per_node=16, seed=seed)
+
+
+def make_dataset(scale=5, z=0, seed=1):
+    pred = predicate_for_skew(z)
+    return pred, build_profiled_dataset(
+        dataset_spec_for_scale(scale), {pred: float(z)}, seed=seed
+    )
+
+
+class TestHomogeneousWorkload:
+    def test_users_and_private_copies(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = homogeneous_sampling_workload(
+            cluster, num_users=4, policy_name="LA", predicate=pred, dataset=data
+        )
+        assert spec.num_users == 4
+        assert all(u.user_class is UserClass.SAMPLING for u in spec.users)
+        for i in range(4):
+            assert cluster.dfs.exists(f"/warehouse/sampling/copy{i:02d}")
+
+    def test_conf_factory_builds_fresh_dynamic_confs(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = homogeneous_sampling_workload(
+            cluster, num_users=2, policy_name="MA", predicate=pred, dataset=data
+        )
+        conf0 = spec.users[0].conf_factory(0)
+        conf1 = spec.users[0].conf_factory(1)
+        assert conf0 is not conf1
+        assert conf0.is_dynamic
+        assert conf0.policy_name == "MA"
+
+    def test_closed_loop_produces_steady_completions(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = homogeneous_sampling_workload(
+            cluster, num_users=3, policy_name="HA", predicate=pred, dataset=data
+        )
+        result = WorkloadRunner(cluster, spec, warmup=120, measurement=1200).run()
+        assert result.throughput_jobs_per_hour() > 0
+        assert result.total_completions >= 3
+        # Every measured job reached the full sample.
+        for record in result.completions:
+            assert record.result.outputs_produced == 10_000
+
+    def test_metrics_cover_measurement_window(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = homogeneous_sampling_workload(
+            cluster, num_users=2, policy_name="LA", predicate=pred, dataset=data
+        )
+        result = WorkloadRunner(cluster, spec, warmup=100, measurement=600).run()
+        assert result.metrics is not None
+        assert result.metrics.num_samples >= 10
+        assert all(t > 100 for t in result.metrics.sample_times)
+
+    def test_dataset_and_factory_mutually_exclusive(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        with pytest.raises(WorkloadError):
+            homogeneous_sampling_workload(
+                cluster, num_users=2, policy_name="LA", predicate=pred,
+                dataset=data, dataset_factory=lambda i: data,
+            )
+        with pytest.raises(WorkloadError):
+            homogeneous_sampling_workload(
+                cluster, num_users=2, policy_name="LA", predicate=pred,
+            )
+
+
+class TestHeterogeneousWorkload:
+    def test_class_split(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = heterogeneous_workload(
+            cluster, num_users=10, sampling_fraction=0.4,
+            sampling_policy="LA", sampling_predicate=pred,
+            scan_predicate=pred, dataset=data,
+        )
+        assert len(spec.users_of(UserClass.SAMPLING)) == 4
+        assert len(spec.users_of(UserClass.NON_SAMPLING)) == 6
+
+    def test_scan_users_issue_static_jobs(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = heterogeneous_workload(
+            cluster, num_users=5, sampling_fraction=0.2,
+            sampling_policy="LA", sampling_predicate=pred,
+            scan_predicate=pred, dataset=data,
+        )
+        scan_conf = spec.users_of(UserClass.NON_SAMPLING)[0].conf_factory(0)
+        assert not scan_conf.is_dynamic
+        assert scan_conf.num_reduce_tasks == 0
+
+    def test_per_class_throughput_measured(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = heterogeneous_workload(
+            cluster, num_users=4, sampling_fraction=0.5,
+            sampling_policy="HA", sampling_predicate=pred,
+            scan_predicate=pred, dataset=data,
+        )
+        result = WorkloadRunner(cluster, spec, warmup=120, measurement=1200).run()
+        assert result.throughput_jobs_per_hour(UserClass.SAMPLING) > 0
+        assert result.throughput_jobs_per_hour(UserClass.NON_SAMPLING) > 0
+
+    def test_invalid_fraction_rejected(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        with pytest.raises(WorkloadError):
+            heterogeneous_workload(
+                cluster, num_users=4, sampling_fraction=1.5,
+                sampling_policy="LA", sampling_predicate=pred,
+                scan_predicate=pred, dataset=data,
+            )
+
+
+class TestWorkloadRunnerValidation:
+    def test_invalid_window_rejected(self):
+        cluster = make_cluster()
+        pred, data = make_dataset()
+        spec = homogeneous_sampling_workload(
+            cluster, num_users=1, policy_name="LA", predicate=pred, dataset=data
+        )
+        with pytest.raises(WorkloadError):
+            WorkloadRunner(cluster, spec, warmup=-1, measurement=10)
+        with pytest.raises(WorkloadError):
+            WorkloadRunner(cluster, spec, warmup=0, measurement=0)
+
+
+class TestPaperShapes:
+    """Coarse multi-user shape assertions (full sweeps live in benchmarks/)."""
+
+    def run_policy(self, policy, seed=3):
+        cluster = make_cluster(seed=seed)
+        pred, data = make_dataset(scale=20, seed=seed)
+        spec = homogeneous_sampling_workload(
+            cluster, num_users=6, policy_name=policy, predicate=pred, dataset=data
+        )
+        return WorkloadRunner(cluster, spec, warmup=300, measurement=1800).run()
+
+    def test_hadoop_policy_has_least_throughput_and_most_work(self):
+        hadoop = self.run_policy("Hadoop")
+        la = self.run_policy("LA")
+        assert (
+            la.throughput_jobs_per_hour() > 2 * hadoop.throughput_jobs_per_hour()
+        )
+        assert (
+            hadoop.mean_partitions_processed() > la.mean_partitions_processed()
+        )
+
+    def test_hadoop_policy_uses_most_resources(self):
+        hadoop = self.run_policy("Hadoop")
+        conservative = self.run_policy("C")
+        assert (
+            hadoop.metrics.avg_cpu_utilization_pct
+            >= conservative.metrics.avg_cpu_utilization_pct
+        )
+        assert (
+            hadoop.metrics.avg_disk_read_kbps
+            >= conservative.metrics.avg_disk_read_kbps
+        )

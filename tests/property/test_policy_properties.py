@@ -1,0 +1,134 @@
+"""Property-based tests for grab-limit expressions and policy.xml."""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GrabLimitExpression,
+    Policy,
+    PolicyRegistry,
+    dump_policies,
+    load_policies,
+    paper_policies,
+)
+
+slot_counts = st.integers(min_value=0, max_value=10_000)
+
+
+# Recursive generator of syntactically valid grab-limit expressions.
+def expressions():
+    atoms = st.sampled_from(["TS", "AS", "1", "2", "0.5", "0.1", "infinity"])
+
+    def extend(children):
+        binary = st.tuples(children, st.sampled_from(["+", "*"]), children).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        )
+        call = st.tuples(st.sampled_from(["max", "min"]), children, children).map(
+            lambda t: f"{t[0]}({t[1]}, {t[2]})"
+        )
+        conditional = st.tuples(
+            children, st.sampled_from([">", ">=", "<", "<="]), children,
+            children, children,
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]} ? {t[3]} : {t[4]})")
+        return st.one_of(binary, call, conditional)
+
+    return st.recursive(atoms, extend, max_leaves=8)
+
+
+class TestGrabLimitExpressionProperties:
+    @given(source=expressions(), ts=slot_counts, available=slot_counts)
+    @settings(max_examples=200)
+    def test_valid_expressions_always_evaluate(self, source, ts, available):
+        from repro.errors import PolicyError
+
+        try:
+            expr = GrabLimitExpression(source)
+            value = expr.evaluate(ts=ts, available=available)
+        except PolicyError:
+            # Degenerate values (e.g. infinity * 0 -> NaN) are rejected
+            # loudly, never returned.
+            return
+        assert isinstance(value, float)
+        assert not math.isnan(value)
+
+    @given(source=expressions())
+    @settings(max_examples=100)
+    def test_parsing_is_deterministic(self, source):
+        from repro.errors import PolicyError
+
+        a = GrabLimitExpression(source)
+        b = GrabLimitExpression(source)
+        for ts, available in ((1, 0), (40, 7), (160, 160)):
+            try:
+                expected = a.evaluate(ts=ts, available=available)
+            except PolicyError:
+                with pytest.raises(PolicyError):
+                    b.evaluate(ts=ts, available=available)
+                continue
+            assert expected == b.evaluate(ts=ts, available=available)
+
+    @given(ts=st.integers(min_value=1, max_value=10_000), available=slot_counts)
+    def test_paper_grab_limits_are_non_negative(self, ts, available):
+        available = min(available, ts)
+        for policy in paper_policies():
+            grab = policy.max_grab(total_slots=ts, available_slots=available)
+            assert grab >= 0
+            if not math.isinf(grab):
+                assert grab == int(grab)
+
+    @given(ts=st.integers(min_value=1, max_value=10_000), available=slot_counts)
+    def test_max_grab_positive_implies_expression_positive(self, ts, available):
+        available = min(available, ts)
+        for policy in paper_policies():
+            raw = policy.grab_limit.evaluate(ts=ts, available=available)
+            grab = policy.max_grab(total_slots=ts, available_slots=available)
+            if raw > 0:
+                assert grab >= 1  # ceil: entitlement is never rounded away
+            else:
+                assert grab == 0
+
+
+class TestPolicyFileRoundTrip:
+    @given(
+        sources=st.lists(expressions(), min_size=1, max_size=5, unique=True),
+        thresholds=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=5,
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=30)
+    def test_arbitrary_catalogue_round_trips(self, sources, thresholds, tmp_path_factory):
+        registry = PolicyRegistry()
+        for index, source in enumerate(sources):
+            registry.register(
+                Policy(
+                    name=f"p{index}",
+                    description=f"generated #{index}",
+                    work_threshold_pct=thresholds[index % len(thresholds)],
+                    grab_limit=GrabLimitExpression(source),
+                )
+            )
+        path = tmp_path_factory.mktemp("policies") / "policy.xml"
+        dump_policies(registry, path)
+        loaded = load_policies(path)
+        assert set(loaded.names()) == set(registry.names())
+        from repro.errors import PolicyError
+
+        for name in registry.names():
+            original, reloaded = registry.get(name), loaded.get(name)
+            assert original.work_threshold_pct == reloaded.work_threshold_pct
+            for ts, available in ((1, 0), (40, 13), (160, 160)):
+                try:
+                    expected = original.grab_limit.evaluate(ts=ts, available=available)
+                except PolicyError:
+                    with pytest.raises(PolicyError):
+                        reloaded.grab_limit.evaluate(ts=ts, available=available)
+                    continue
+                assert expected == reloaded.grab_limit.evaluate(
+                    ts=ts, available=available
+                )

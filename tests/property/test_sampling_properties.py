@@ -1,0 +1,106 @@
+"""Property-based tests on the core sampling invariants, end to end.
+
+These run the real LocalRunner over materialized data generated with
+arbitrary (bounded) parameters and check the contract of predicate-based
+sampling:
+
+* the sample contains exactly ``min(k, total matches)`` rows;
+* every sampled row satisfies the predicate;
+* a dynamic job never fabricates output a full scan would not produce.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import LocalRunner, make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data import build_materialized_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.dfs import DistributedFileSystem
+from repro.errors import DataGenerationError
+
+
+def try_build(spec, predicate, z, seed, selectivity):
+    """Build, or tell hypothesis the parameter combination is infeasible
+    (extreme skew can demand more matches than one partition holds)."""
+    try:
+        return build_materialized_dataset(
+            spec, {predicate: float(z)}, seed=seed, selectivity=selectivity
+        )
+    except DataGenerationError:
+        assume(False)
+
+
+@st.composite
+def sampling_scenarios(draw):
+    partitions = draw(st.integers(min_value=1, max_value=12))
+    rows_per_partition = draw(st.integers(min_value=20, max_value=120))
+    selectivity = draw(st.sampled_from([0.0, 0.01, 0.05, 0.2]))
+    z = draw(st.sampled_from([0, 1, 2]))
+    k = draw(st.integers(min_value=1, max_value=80))
+    policy = draw(st.sampled_from(["Hadoop", "HA", "MA", "LA", "C"]))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return partitions, rows_per_partition, selectivity, z, k, policy, seed
+
+
+class TestSamplingContract:
+    @given(scenario=sampling_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_sample_size_and_predicate_satisfaction(self, scenario):
+        partitions, rows_per_partition, selectivity, z, k, policy, seed = scenario
+        predicate = predicate_for_skew(z)
+        total_rows = partitions * rows_per_partition
+        spec = dataset_spec_for_scale(
+            total_rows / 6_000_000, num_partitions=partitions
+        )
+        dataset = try_build(spec, predicate, z, seed, selectivity)
+        dfs = DistributedFileSystem(paper_topology().storage_locations())
+        dfs.write_dataset("/t", dataset)
+        splits = dfs.open_splits("/t")
+
+        conf = make_sampling_conf(
+            name="prop", input_path="/t", predicate=predicate,
+            sample_size=k, policy_name=policy,
+        )
+        result = LocalRunner(seed=seed).run(conf, splits)
+
+        total_matches = dataset.total_matches(predicate.name)
+        # Exact sample size: k when enough matches exist, else all of them.
+        assert result.outputs_produced == min(k, total_matches)
+        # Soundness: every sampled row satisfies the predicate.
+        assert all(predicate.matches(row) for row in result.sample)
+        # The job never reads more than the whole input.
+        assert result.splits_processed <= partitions
+        assert result.records_processed <= total_rows
+
+    @given(scenario=sampling_scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_dynamic_agrees_with_full_scan(self, scenario):
+        """A dynamic job's sample size equals the static job's for the
+        same data (both are min(k, matches))."""
+        partitions, rows_per_partition, selectivity, z, k, _policy, seed = scenario
+        predicate = predicate_for_skew(z)
+        total_rows = partitions * rows_per_partition
+        spec = dataset_spec_for_scale(
+            total_rows / 6_000_000, num_partitions=partitions
+        )
+        dataset = try_build(spec, predicate, z, seed, selectivity)
+        dfs = DistributedFileSystem(paper_topology().storage_locations())
+        dfs.write_dataset("/t", dataset)
+        splits = dfs.open_splits("/t")
+
+        dynamic = LocalRunner(seed=seed).run(
+            make_sampling_conf(
+                name="dyn", input_path="/t", predicate=predicate,
+                sample_size=k, policy_name="LA",
+            ),
+            splits,
+        )
+        static = LocalRunner(seed=seed).run(
+            make_sampling_conf(
+                name="full", input_path="/t", predicate=predicate,
+                sample_size=k, policy_name=None,
+            ),
+            splits,
+        )
+        assert dynamic.outputs_produced == static.outputs_produced
+        assert dynamic.splits_processed <= static.splits_processed

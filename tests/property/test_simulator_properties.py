@@ -1,0 +1,82 @@
+"""Property-based tests for the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestEventOrdering:
+    @given(delays=delays)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(delays=delays)
+    def test_every_live_event_fires_exactly_once(self, delays):
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, fired.append, index)
+        sim.run()
+        assert sorted(fired) == list(range(len(delays)))
+
+    @given(delays=delays, cancel_mask=st.lists(st.booleans(), min_size=0, max_size=60))
+    def test_cancelled_events_never_fire(self, delays, cancel_mask):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(delay, fired.append, index)
+            for index, delay in enumerate(delays)
+        ]
+        cancelled = set()
+        for index, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+            if cancel:
+                handle.cancel()
+                cancelled.add(index)
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - cancelled
+
+    @given(delays=delays, until=st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=50)
+    def test_run_until_is_a_clean_partition(self, delays, until):
+        """Events at t <= until fire in the first run; the rest fire later."""
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=until)
+        early = list(fired)
+        assert all(d <= until for d in early)
+        sim.run()
+        late = fired[len(early):]
+        assert all(d >= until for d in late)
+        assert len(fired) == len(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_nested_scheduling_preserves_order(self, delays):
+        """Callbacks that schedule further events keep global time order."""
+        sim = Simulator()
+        fired = []
+
+        def chain(remaining):
+            fired.append(sim.now)
+            if remaining:
+                sim.schedule(remaining[0], chain, remaining[1:])
+
+        sim.schedule(delays[0], chain, delays[1:])
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,86 @@
+"""Property-based tests for the Zipf distribution and match placement."""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ZipfDistribution, place_matches
+
+n_values = st.integers(min_value=1, max_value=200)
+z_values = st.floats(min_value=0.0, max_value=4.0, allow_nan=False)
+totals = st.integers(min_value=0, max_value=100_000)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestZipfProperties:
+    @given(n=n_values, z=z_values)
+    def test_pmf_is_a_distribution(self, n, z):
+        zipf = ZipfDistribution(n, z)
+        pmf = zipf.pmf_vector()
+        assert np.all(pmf >= 0)
+        assert abs(pmf.sum() - 1.0) < 1e-9
+
+    @given(n=n_values, z=z_values)
+    def test_pmf_non_increasing_in_rank(self, n, z):
+        pmf = ZipfDistribution(n, z).pmf_vector()
+        assert np.all(np.diff(pmf) <= 1e-12)
+
+    @given(n=n_values, z=z_values, total=totals)
+    def test_expected_counts_sum_exactly(self, n, z, total):
+        counts = ZipfDistribution(n, z).expected_counts(total)
+        assert counts.sum() == total
+        assert np.all(counts >= 0)
+
+    @given(n=n_values, z=z_values, total=totals, seed=seeds)
+    @settings(max_examples=50)
+    def test_multinomial_counts_sum_exactly(self, n, z, total, seed):
+        counts = ZipfDistribution(n, z).sample_counts(total, random.Random(seed))
+        assert counts.sum() == total
+        assert np.all(counts >= 0)
+
+    @given(n=st.integers(min_value=2, max_value=100), seed=seeds)
+    @settings(max_examples=50)
+    def test_sample_rank_within_population(self, n, seed):
+        zipf = ZipfDistribution(n, 1.0)
+        rng = random.Random(seed)
+        assert all(1 <= zipf.sample_rank(rng) <= n for _ in range(100))
+
+
+class TestPlacementProperties:
+    @given(
+        partitions=st.integers(min_value=1, max_value=100),
+        total=st.integers(min_value=0, max_value=50_000),
+        z=z_values,
+        seed=seeds,
+    )
+    @settings(max_examples=50)
+    def test_placement_invariants(self, partitions, total, z, seed):
+        placement = place_matches(partitions, total, z, random.Random(seed))
+        # Mass conservation.
+        assert placement.counts.sum() == total
+        # Ranks form a permutation of 1..N.
+        assert sorted(placement.rank_of_partition.tolist()) == list(
+            range(1, partitions + 1)
+        )
+        # Sorted-by-rank view is a permutation of the counts.
+        assert sorted(placement.sorted_counts().tolist()) == sorted(
+            placement.counts.tolist()
+        )
+        # Gini stays in [0, 1).
+        assert 0.0 <= placement.gini() < 1.0
+
+    @given(
+        partitions=st.integers(min_value=1, max_value=100),
+        total=st.integers(min_value=0, max_value=50_000),
+        z=z_values,
+        seed=seeds,
+    )
+    @settings(max_examples=50)
+    def test_expected_placement_head_dominates(self, partitions, total, z, seed):
+        placement = place_matches(
+            partitions, total, z, random.Random(seed), method="expected"
+        )
+        ordered = placement.sorted_counts()
+        assert all(ordered[i] >= ordered[i + 1] for i in range(partitions - 1))

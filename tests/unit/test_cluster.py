@@ -1,0 +1,237 @@
+"""Unit tests for the cluster model: nodes, topology, cost model, metrics."""
+
+import pytest
+
+from repro.cluster import CostModel, MetricsMonitor, Node, NodeSpec, paper_topology
+from repro.cluster.node import RunningTask
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ClusterConfigError
+from repro.sim import Simulator
+
+
+def running(attempt_id="a1", kind="map", disk=0, rate=1e6, cpu=1.0):
+    return RunningTask(
+        attempt_id=attempt_id,
+        kind=kind,
+        disk_id=disk,
+        read_rate_bps=rate,
+        cpu_fraction=cpu,
+        start_time=0.0,
+    )
+
+
+class TestNode:
+    def test_slot_accounting(self):
+        node = Node(NodeSpec("n0", map_slots=2))
+        assert node.free_map_slots == 2
+        node.start_task(running("a"))
+        node.start_task(running("b"))
+        assert node.free_map_slots == 0
+        node.finish_task("a")
+        assert node.free_map_slots == 1
+
+    def test_over_allocation_rejected(self):
+        node = Node(NodeSpec("n0", map_slots=1))
+        node.start_task(running("a"))
+        with pytest.raises(ClusterConfigError):
+            node.start_task(running("b"))
+
+    def test_duplicate_attempt_rejected(self):
+        node = Node(NodeSpec("n0"))
+        node.start_task(running("a"))
+        with pytest.raises(ClusterConfigError):
+            node.start_task(running("a"))
+
+    def test_finish_unknown_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            Node(NodeSpec("n0")).finish_task("nope")
+
+    def test_reduce_slots_separate(self):
+        node = Node(NodeSpec("n0", map_slots=1, reduce_slots=1))
+        node.start_task(running("m", kind="map"))
+        node.start_task(running("r", kind="reduce"))
+        assert node.free_map_slots == 0
+        assert node.free_reduce_slots == 0
+
+    def test_cpu_utilization_saturates(self):
+        node = Node(NodeSpec("n0", cores=2, map_slots=8))
+        for i in range(4):
+            node.start_task(running(f"t{i}"))
+        assert node.cpu_utilization == 1.0
+        assert node.cpu_demand == 4.0
+
+    def test_disk_reader_accounting(self):
+        node = Node(NodeSpec("n0", disks=2))
+        node.add_disk_reader(1)
+        node.add_disk_reader(1)
+        assert node.disk_readers(1) == 2
+        node.remove_disk_reader(1)
+        assert node.disk_readers(1) == 1
+        with pytest.raises(ClusterConfigError):
+            node.remove_disk_reader(0)
+
+    def test_invalid_disk_rejected(self):
+        node = Node(NodeSpec("n0", disks=2))
+        with pytest.raises(ClusterConfigError):
+            node.add_disk_reader(5)
+
+    def test_disk_read_rate_sums_running_tasks(self):
+        node = Node(NodeSpec("n0", map_slots=4))
+        node.start_task(running("a", rate=10.0))
+        node.start_task(running("b", rate=5.0))
+        assert node.disk_read_rate_bps == 15.0
+
+
+class TestTopology:
+    def test_paper_topology_dimensions(self):
+        topo = paper_topology()
+        assert topo.num_nodes == 10
+        assert topo.total_map_slots == 40
+        assert len(topo.storage_locations()) == 40
+
+    def test_multiuser_configuration(self):
+        topo = paper_topology(map_slots_per_node=16)
+        assert topo.total_map_slots == 160
+
+    def test_storage_locations_interleaved_by_disk(self):
+        locations = paper_topology().storage_locations()
+        # First 10 entries: disk 0 of each node -> round robin spreads
+        # consecutive blocks across nodes first.
+        assert [loc.node_id for loc in locations[:10]] == [
+            f"node{i:02d}" for i in range(10)
+        ]
+        assert all(loc.disk_id == 0 for loc in locations[:10])
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterTopology([NodeSpec("n"), NodeSpec("n")])
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterTopology([])
+
+    def test_slot_occupancy(self):
+        topo = paper_topology()
+        assert topo.slot_occupancy == 0.0
+        topo.node("node00").start_task(running("a"))
+        assert topo.slot_occupancy == pytest.approx(1 / 40)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            paper_topology().node("nope")
+
+
+class TestCostModel:
+    def test_local_read_faster_than_remote(self):
+        cost = CostModel()
+        local = cost.map_read_rate_bps(local=True, disk_readers=1)
+        remote = cost.map_read_rate_bps(local=False, disk_readers=1)
+        assert remote <= local
+
+    def test_disk_sharing_halves_rate(self):
+        cost = CostModel()
+        solo = cost.map_read_rate_bps(local=True, disk_readers=1)
+        shared = cost.map_read_rate_bps(local=True, disk_readers=2)
+        assert shared == pytest.approx(solo / 2)
+
+    def test_map_duration_includes_overhead(self):
+        cost = CostModel()
+        duration = cost.map_task_duration(
+            split_bytes=0, split_records=0, local=True, disk_readers=1
+        )
+        assert duration == pytest.approx(cost.map_task_overhead)
+
+    def test_map_duration_grows_with_contention(self):
+        cost = CostModel()
+        base = cost.map_task_duration(
+            split_bytes=10_000_000,
+            split_records=10_000_000,
+            local=True,
+            disk_readers=1,
+        )
+        contended = cost.map_task_duration(
+            split_bytes=10_000_000,
+            split_records=10_000_000,
+            local=True,
+            disk_readers=1,
+            cpu_contention=4.0,
+        )
+        assert contended > base
+
+    def test_invalid_contention_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            CostModel().map_task_duration(
+                split_bytes=1, split_records=1, local=True,
+                disk_readers=1, cpu_contention=0.5,
+            )
+
+    def test_reduce_duration_grows_with_records(self):
+        cost = CostModel()
+        small = cost.reduce_task_duration(shuffle_records=10)
+        large = cost.reduce_task_duration(shuffle_records=1_000_000)
+        assert large > small
+
+    def test_scaled_slows_everything(self):
+        cost = CostModel()
+        slow = cost.scaled(2.0)
+        assert slow.disk_bandwidth_bps == pytest.approx(cost.disk_bandwidth_bps / 2)
+        assert slow.cpu_seconds_per_record == pytest.approx(
+            cost.cpu_seconds_per_record * 2
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            CostModel().scaled(0)
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            CostModel(disk_bandwidth_bps=0)
+        with pytest.raises(ClusterConfigError):
+            CostModel(map_task_overhead=-1)
+
+
+class TestMetricsMonitor:
+    def test_samples_on_interval(self):
+        sim = Simulator()
+        topo = paper_topology()
+        monitor = MetricsMonitor(sim, topo, interval=30.0)
+        monitor.start()
+        sim.run(until=95.0)
+        monitor.stop()
+        assert monitor.metrics.sample_times == [30.0, 60.0, 90.0]
+
+    def test_cpu_and_disk_sampled_from_nodes(self):
+        sim = Simulator()
+        topo = paper_topology()
+        topo.node("node00").start_task(running("a", rate=1000.0))
+        monitor = MetricsMonitor(sim, topo, interval=10.0)
+        monitor.start()
+        sim.run(until=10.0)
+        metrics = monitor.metrics
+        assert metrics.cpu_utilization_samples[0] == pytest.approx(0.25 / 10)
+        assert metrics.disk_read_bps_samples[0] == pytest.approx(100.0)
+
+    def test_locality_counter(self):
+        sim = Simulator()
+        monitor = MetricsMonitor(sim, paper_topology())
+        monitor.metrics.record_map_task(local=True)
+        monitor.metrics.record_map_task(local=True)
+        monitor.metrics.record_map_task(local=False)
+        assert monitor.metrics.locality_pct == pytest.approx(200 / 3)
+
+    def test_empty_metrics_safe(self):
+        sim = Simulator()
+        monitor = MetricsMonitor(sim, paper_topology())
+        assert monitor.metrics.avg_cpu_utilization_pct == 0.0
+        assert monitor.metrics.locality_pct == 0.0
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        monitor = MetricsMonitor(sim, paper_topology())
+        monitor.start()
+        with pytest.raises(ClusterConfigError):
+            monitor.start()
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MetricsMonitor(Simulator(), paper_topology(), interval=0)

@@ -1,0 +1,107 @@
+"""Unit tests for the experiments package (reduced configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_POLICIES,
+    PAPER_SCALES,
+    PAPER_SKEWS,
+    dataset_for,
+    figure4_series,
+    render_table,
+    run_single_user_experiment,
+    single_user_cluster,
+    multiuser_cluster,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.experiments.single_user import partitions_rows, response_time_rows
+
+
+class TestSetup:
+    def test_constants_match_paper(self):
+        assert PAPER_POLICIES == ("Hadoop", "HA", "MA", "LA", "C")
+        assert PAPER_SCALES == (5, 10, 20, 40, 100)
+        assert PAPER_SKEWS == (0, 1, 2)
+
+    def test_dataset_for_is_memoized(self):
+        assert dataset_for(5, 0, 0) is dataset_for(5, 0, 0)
+        assert dataset_for(5, 0, 0) is not dataset_for(5, 0, 1)
+
+    def test_cluster_configurations(self):
+        assert single_user_cluster().topology.total_map_slots == 40
+        assert multiuser_cluster().topology.total_map_slots == 160
+
+
+class TestTables:
+    def test_table1_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        assert all(len(row) == 4 for row in rows)
+
+    def test_table2_shape(self):
+        rows = table2_rows()
+        assert [row[0] for row in rows] == ["5x", "10x", "20x", "40x", "100x"]
+
+    def test_table3_shape(self):
+        rows = table3_rows()
+        assert [row[3] for row in rows] == ["uniform", "moderate", "high"]
+
+
+class TestFigure4:
+    def test_series_structure(self):
+        series = figure4_series(scale=5, seed=0)
+        assert set(series) == {0, 1, 2}
+        for z in (0, 1, 2):
+            assert series[z].total_matches == 15_000
+            assert len(series[z].counts_by_rank) == 40
+            assert series[z].top(3) == series[z].counts_by_rank[:3]
+
+
+class TestSingleUserExperiment:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_single_user_experiment(
+            scales=(5,), skews=(0,), policies=("Hadoop", "C"), seeds=(0,)
+        )
+
+    def test_grid_keys(self, grid):
+        assert set(grid) == {(5, 0, "Hadoop"), (5, 0, "C")}
+
+    def test_cell_contents(self, grid):
+        cell = grid[(5, 0, "Hadoop")]
+        assert cell.mean_response > 0
+        assert cell.mean_partitions == 40
+        assert cell.sample_size.mean == 10_000
+
+    def test_row_builders(self, grid):
+        rows = response_time_rows(
+            grid, 0, scales=(5,), policies=("Hadoop", "C")
+        )
+        assert rows[0][0] == "5x"
+        assert len(rows[0]) == 3
+        part_rows = partitions_rows(grid, 0, scales=(5,), policies=("Hadoop", "C"))
+        assert part_rows[0][1] == 40.0
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table(("Name", "Value"), [["a", 1.25], ["bb", 10.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| Name" in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        text = render_table(("H",), [["x"]], title="My Title")
+        assert text.startswith("My Title")
+
+    def test_empty_rows(self):
+        text = render_table(("A", "B"), [])
+        assert "| A" in text
+
+    def test_float_formatting(self):
+        text = render_table(("V",), [[3.14159]])
+        assert "3.1" in text
+        assert "3.14159" not in text

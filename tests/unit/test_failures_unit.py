@@ -1,0 +1,110 @@
+"""Unit tests for failure-injection models and task retry mechanics."""
+
+import pytest
+
+from repro.cluster import paper_topology
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.dfs import DistributedFileSystem
+from repro.engine.failures import FailFirstAttempts, FailureInjector
+from repro.engine.task import MapTask, TaskState
+from repro.errors import ClusterConfigError, JobError
+
+
+@pytest.fixture()
+def split():
+    pred = predicate_for_skew(0)
+    data = build_profiled_dataset(
+        dataset_spec_for_scale(0.001, num_partitions=2), {pred: 0.0}, seed=0
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/t", data)
+    return dfs.open_splits("/t")[0]
+
+
+def running_task(split, attempt=1):
+    task = MapTask(task_id=f"t1#{attempt}", job_id="j", split=split, attempt=attempt)
+    task.mark_running("node00", True, 0.0)
+    return task
+
+
+class TestInjectorModels:
+    def test_default_never_fails(self, split):
+        injector = FailureInjector()
+        task = running_task(split)
+        assert not any(injector.should_fail_map(task, "node00") for _ in range(100))
+
+    def test_probability_one_always_fails(self, split):
+        injector = FailureInjector(map_failure_probability=1.0)
+        assert injector.should_fail_map(running_task(split), "node00")
+        assert injector.injected_failures == 1
+
+    def test_probability_is_roughly_respected(self, split):
+        injector = FailureInjector(map_failure_probability=0.3, seed=1)
+        task = running_task(split)
+        failures = sum(
+            1 for _ in range(2000) if injector.should_fail_map(task, "node00")
+        )
+        assert 450 <= failures <= 750  # ~600 expected
+
+    def test_flaky_node_targeting(self, split):
+        injector = FailureInjector(
+            map_failure_probability=1.0, flaky_nodes={"node03"}
+        )
+        task = running_task(split)
+        assert not injector.should_fail_map(task, "node00")
+        assert injector.should_fail_map(task, "node03")
+
+    def test_deterministic_under_seed(self, split):
+        def pattern(seed):
+            injector = FailureInjector(map_failure_probability=0.5, seed=seed)
+            task = running_task(split)
+            return [injector.should_fail_map(task, "n") for _ in range(50)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+
+    def test_fail_first_attempts(self, split):
+        injector = FailFirstAttempts(attempts_to_fail=2)
+        assert injector.should_fail_map(running_task(split, attempt=1), "n")
+        assert injector.should_fail_map(running_task(split, attempt=2), "n")
+        assert not injector.should_fail_map(running_task(split, attempt=3), "n")
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            FailureInjector(map_failure_probability=2.0)
+        with pytest.raises(ClusterConfigError):
+            FailFirstAttempts(attempts_to_fail=-1)
+
+
+class TestTaskRetryMechanics:
+    def test_retry_increments_attempt_and_resets_state(self, split):
+        task = running_task(split)
+        task.mark_failed(5.0)
+        assert task.state is TaskState.FAILED
+        retry = task.retry()
+        assert retry.attempt == 2
+        assert retry.state is TaskState.PENDING
+        assert retry.split is task.split
+        assert retry.task_id != task.task_id
+
+    def test_retry_ids_stay_stable_across_generations(self, split):
+        task = running_task(split)
+        task.mark_failed(1.0)
+        second = task.retry()
+        second.mark_running("node01", False, 2.0)
+        second.mark_failed(3.0)
+        third = second.retry()
+        assert third.attempt == 3
+        assert third.task_id.endswith("#3")
+        # The base id (before the attempt marker) is preserved.
+        assert third.task_id.split("#")[0] == task.task_id.split("#")[0]
+
+    def test_retry_requires_failed_state(self, split):
+        task = running_task(split)
+        with pytest.raises(JobError):
+            task.retry()
+
+    def test_mark_failed_requires_running(self, split):
+        task = MapTask(task_id="x", job_id="j", split=split)
+        with pytest.raises(JobError):
+            task.mark_failed(1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the JobHistory event log."""
+
+import pytest
+
+from repro import SimulatedCluster, make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.engine.failures import FailFirstAttempts
+from repro.engine.history import JobHistory
+
+
+def run_with_history(*, policy="LA", failure_injector=None, scale=5):
+    pred = predicate_for_skew(0)
+    data = build_profiled_dataset(dataset_spec_for_scale(scale), {pred: 0.0}, seed=0)
+    history = JobHistory()
+    cluster = SimulatedCluster(
+        paper_topology(), history=history, failure_injector=failure_injector, seed=0
+    )
+    cluster.load_dataset("/d", data)
+    conf = make_sampling_conf(
+        name="q", input_path="/d", predicate=pred, sample_size=10_000,
+        policy_name=policy,
+    )
+    result = cluster.run_job(conf)
+    return result, history
+
+
+class TestRecording:
+    def test_lifecycle_sequence_for_a_dynamic_job(self):
+        result, history = run_with_history(policy="C")
+        kinds = history.kinds(result.job_id)
+        assert kinds[0] == "job_submitted"
+        assert kinds[-1] == "job_succeeded"
+        # Ordering constraints.
+        assert kinds.index("job_activated") < kinds.index("map_started")
+        assert kinds.index("input_complete") < kinds.index("reduce_started")
+        assert kinds.index("reduce_started") < kinds.index("reduce_finished")
+        # A conservative dynamic job grows through several increments.
+        assert kinds.count("input_added") >= 2
+
+    def test_map_counts_match_result(self):
+        result, history = run_with_history()
+        started = history.events(job_id=result.job_id, kind="map_started")
+        finished = history.events(job_id=result.job_id, kind="map_finished")
+        assert len(finished) == result.splits_processed
+        assert len(started) == len(finished)
+
+    def test_event_timestamps_monotone(self):
+        result, history = run_with_history()
+        times = [event.time for event in history]
+        assert times == sorted(times)
+
+    def test_increment_sizes_respect_grab_limit(self):
+        result, history = run_with_history(policy="C")
+        # C on the 40-slot cluster can never add more than ceil(0.1*40)=4.
+        for size in history.input_increment_sizes(result.job_id):
+            assert 1 <= size <= 4
+
+    def test_failures_recorded(self):
+        result, history = run_with_history(
+            failure_injector=FailFirstAttempts(attempts_to_fail=1)
+        )
+        failed = history.events(job_id=result.job_id, kind="map_failed")
+        assert len(failed) == result.failed_map_attempts > 0
+        # Failed attempts carry their attempt number.
+        assert all(event.detail["attempt"] == 1 for event in failed)
+
+    def test_concurrency_timeline_shape(self):
+        result, history = run_with_history(policy="Hadoop")
+        timeline = history.map_concurrency_timeline(result.job_id)
+        peak = max(count for _time, count in timeline)
+        assert peak == 40  # the full cluster, one wave
+        assert timeline[-1][1] == 0  # all maps drained at the end
+
+    def test_detail_fields(self):
+        result, history = run_with_history()
+        submitted = history.events(job_id=result.job_id, kind="job_submitted")[0]
+        assert submitted.detail["dynamic"] is True
+        assert submitted.detail["name"] == "q"
+        started = history.events(job_id=result.job_id, kind="map_started")[0]
+        assert started.detail["local"] in (True, False)
+        assert started.task_id is not None
+
+
+class TestLogMaintenance:
+    def test_capacity_bound_drops_oldest(self):
+        history = JobHistory(capacity=10)
+        for index in range(25):
+            history.record(float(index), "map_started", "job_1", task_id=f"t{index}")
+        assert len(history) == 10
+        assert history.dropped_events == 15
+        assert history.events()[0].task_id == "t15"
+
+    def test_render_tail(self):
+        result, history = run_with_history()
+        text = history.render(job_id=result.job_id, limit=5)
+        assert len(text.splitlines()) == 5
+        assert "job_succeeded" in text
+
+    def test_no_history_attached_is_silent(self):
+        pred = predicate_for_skew(0)
+        data = build_profiled_dataset(dataset_spec_for_scale(5), {pred: 0.0}, seed=0)
+        cluster = SimulatedCluster(paper_topology(), seed=0)
+        cluster.load_dataset("/d", data)
+        conf = make_sampling_conf(
+            name="q", input_path="/d", predicate=pred, sample_size=100,
+            policy_name="HA",
+        )
+        result = cluster.run_job(conf)
+        assert cluster.history is None
+        assert result.outputs_produced == 100

@@ -1,0 +1,185 @@
+"""Unit tests for the query lexer and parser."""
+
+import pytest
+
+from repro.errors import HiveSyntaxError
+from repro.hive import parse_statement, tokenize
+from repro.hive.ast import (
+    Arithmetic,
+    Between,
+    Column,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    SelectStatement,
+    SetStatement,
+)
+from repro.hive.lexer import TokenKind
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("LineItem l_tax")
+        assert tokens[0].text == "LineItem"
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+
+    def test_numbers(self):
+        tokens = tokenize("42 0.05 .5")
+        assert [t.text for t in tokens[:-1]] == ["42", "0.05", ".5"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r"'ab' 'it\'s'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[1].text == r"'it\'s'"
+
+    def test_operators_normalized(self):
+        tokens = tokenize("a <> b != c <= d")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert ops == ["!=", "!=", "<="]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_unrecognized_character(self):
+        with pytest.raises(HiveSyntaxError):
+            tokenize("select @ from t")
+
+
+class TestParseSelect:
+    def test_paper_query_template(self):
+        statement = parse_statement(
+            "SELECT ORDERKEY, PARTKEY, SUPPKEY FROM LINEITEM "
+            "WHERE L_QUANTITY = 51 LIMIT 10000"
+        )
+        assert isinstance(statement, SelectStatement)
+        assert statement.columns == ("ORDERKEY", "PARTKEY", "SUPPKEY")
+        assert statement.table == "LINEITEM"
+        assert statement.limit == 10000
+        assert statement.where == Comparison("=", Column("L_QUANTITY"), Literal(51))
+
+    def test_select_star(self):
+        statement = parse_statement("SELECT * FROM t")
+        assert statement.columns is None
+        assert statement.where is None
+        assert statement.limit is None
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_statement("SELECT * FROM t;").table == "t"
+
+    def test_explain(self):
+        assert parse_statement("EXPLAIN SELECT * FROM t").explain is True
+
+    def test_float_literal(self):
+        statement = parse_statement("SELECT * FROM t WHERE l_tax = 0.09")
+        assert statement.where == Comparison("=", Column("l_tax"), Literal(0.09))
+
+    def test_string_literal(self):
+        statement = parse_statement("SELECT * FROM t WHERE f = 'R'")
+        assert statement.where == Comparison("=", Column("f"), Literal("R"))
+
+    def test_negative_number(self):
+        statement = parse_statement("SELECT * FROM t WHERE x > -5")
+        assert statement.where == Comparison(">", Column("x"), Literal(-5))
+
+    def test_and_or_precedence(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(statement.where, LogicalOr)
+        assert isinstance(statement.where.right, LogicalAnd)
+
+    def test_parentheses_override_precedence(self):
+        statement = parse_statement("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(statement.where, LogicalAnd)
+        assert isinstance(statement.where.left, LogicalOr)
+
+    def test_not(self):
+        statement = parse_statement("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(statement.where, LogicalNot)
+
+    def test_between(self):
+        statement = parse_statement("SELECT * FROM t WHERE q BETWEEN 1 AND 10")
+        assert statement.where == Between(Column("q"), Literal(1), Literal(10))
+
+    def test_not_between(self):
+        statement = parse_statement("SELECT * FROM t WHERE q NOT BETWEEN 1 AND 10")
+        assert statement.where.negated is True
+
+    def test_in_list(self):
+        statement = parse_statement("SELECT * FROM t WHERE m IN ('AIR', 'RAIL')")
+        assert statement.where == InList(
+            Column("m"), (Literal("AIR"), Literal("RAIL"))
+        )
+
+    def test_like(self):
+        statement = parse_statement("SELECT * FROM t WHERE c LIKE '%foo%'")
+        assert statement.where == Like(Column("c"), "%foo%")
+
+    def test_is_null(self):
+        statement = parse_statement("SELECT * FROM t WHERE c IS NULL")
+        assert statement.where == IsNull(Column("c"))
+        statement = parse_statement("SELECT * FROM t WHERE c IS NOT NULL")
+        assert statement.where.negated is True
+
+    def test_arithmetic_in_where(self):
+        statement = parse_statement(
+            "SELECT * FROM t WHERE price * (1 - discount) > 100"
+        )
+        assert isinstance(statement.where, Comparison)
+        assert isinstance(statement.where.left, Arithmetic)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t LIMIT",
+            "SELECT * FROM t LIMIT 0",
+            "SELECT * FROM t LIMIT 1.5",
+            "SELECT * FROM t WHERE a =",
+            "SELECT * FROM t extra",
+            "SELECT a, FROM t",
+            "SELECT * FROM t WHERE a NOT = 1",
+            "SELECT * FROM t WHERE q BETWEEN 1",
+            "SELECT * FROM t WHERE m IN ()",
+            "SELECT * FROM t WHERE c LIKE 5",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement(bad)
+
+    def test_statement_round_trips_through_str(self):
+        text = "SELECT a, b FROM t WHERE a = 1 LIMIT 5"
+        statement = parse_statement(text)
+        assert parse_statement(str(statement)) == statement
+
+
+class TestParseSet:
+    def test_basic_set(self):
+        statement = parse_statement("SET dynamic.job.policy = LA")
+        assert statement == SetStatement("dynamic.job.policy", "LA")
+
+    def test_set_numeric_value(self):
+        assert parse_statement("SET x = 42").value == "42"
+
+    def test_set_string_value(self):
+        assert parse_statement("SET x = 'hello world'").value == "hello world"
+
+    def test_set_missing_value(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SET x =")
+
+    def test_set_missing_equals(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SET x LA")

@@ -1,0 +1,156 @@
+"""Unit tests for the JobClient evaluation loop and WorkThreshold gating."""
+
+import pytest
+
+from repro.cluster import paper_topology
+from repro.core.input_provider import InputProvider, ProviderResponse
+from repro.core.policy import GrabLimitExpression, Policy, PolicyRegistry
+from repro.core.sampling_job import make_sampling_conf
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.dfs import DistributedFileSystem
+from repro.engine.jobclient import JobClient
+from repro.engine.jobtracker import JobTracker
+from repro.errors import JobConfError
+from repro.sim import RandomSource, Simulator
+
+
+class ScriptedProvider(InputProvider):
+    """Provider that records its invocations and follows a script."""
+
+    instances: list = []
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+        ScriptedProvider.instances.append(self)
+
+    def evaluate(self, progress, cluster):
+        self.calls.append((progress.splits_completed, cluster.available_map_slots))
+        if progress.outputs_produced >= 100 or self.remaining_splits == 0:
+            return ProviderResponse.end_of_input()
+        chosen = self.take_random(2)
+        if not chosen:
+            return ProviderResponse.no_input()
+        return ProviderResponse.input_available(chosen)
+
+
+def make_policy(threshold_pct, interval=4.0, grab="0.1 * TS"):
+    return Policy(
+        name="test",
+        description="",
+        work_threshold_pct=threshold_pct,
+        grab_limit=GrabLimitExpression(grab),
+        evaluation_interval=interval,
+    )
+
+
+def build_client(policy):
+    sim = Simulator()
+    topo = paper_topology()
+    tracker = JobTracker(sim, topo, dispatch_delay=0.5)
+    policies = PolicyRegistry()
+    policies.register(policy)
+    from repro.core.input_provider import ProviderRegistry
+
+    providers = ProviderRegistry()
+    providers.register("scripted", ScriptedProvider)
+    client = JobClient(
+        sim, tracker, _make_dfs(topo),
+        policies=policies, providers=providers,
+        random_source=RandomSource(0),
+    )
+    return sim, client
+
+
+def _make_dfs(topo):
+    pred = predicate_for_skew(0)
+    data = build_profiled_dataset(dataset_spec_for_scale(5), {pred: 0.0}, seed=0)
+    dfs = DistributedFileSystem(topo.storage_locations())
+    dfs.write_dataset("/d", data)
+    return dfs
+
+
+def dynamic_conf(name="dyn"):
+    pred = predicate_for_skew(0)
+    conf = make_sampling_conf(
+        name=name, input_path="/d", predicate=pred, sample_size=100,
+        policy_name="test", provider_name="scripted",
+    )
+    return conf
+
+
+class TestSubmission:
+    def setup_method(self):
+        ScriptedProvider.instances.clear()
+
+    def test_static_job_needs_no_provider(self):
+        sim, client = build_client(make_policy(0))
+        pred = predicate_for_skew(0)
+        conf = make_sampling_conf(
+            name="static", input_path="/d", predicate=pred, sample_size=100,
+            policy_name=None,
+        )
+        results = []
+        client.submit(conf, results.append)
+        sim.run()
+        assert len(results) == 1
+        assert ScriptedProvider.instances == []
+
+    def test_empty_input_rejected(self):
+        sim, client = build_client(make_policy(0))
+        pred = predicate_for_skew(0)
+        conf = make_sampling_conf(
+            name="x", input_path="/d", predicate=pred, sample_size=10,
+            policy_name="test", provider_name="scripted",
+        )
+        conf.input_path = "/d"
+        from repro.errors import FileNotFoundInDfsError
+
+        conf2 = conf.copy()
+        conf2.input_path = "/nope"
+        with pytest.raises(FileNotFoundInDfsError):
+            client.submit(conf2)
+
+    def test_dynamic_job_completes_and_result_counts_evaluations(self):
+        sim, client = build_client(make_policy(0))
+        results = []
+        client.submit(dynamic_conf(), results.append)
+        sim.run(until=5000.0, advance_clock=False)
+        assert len(results) == 1
+        result = results[0]
+        assert result.outputs_produced == 100
+        assert result.evaluations == len(ScriptedProvider.instances[0].calls)
+        assert result.evaluations >= 1
+
+
+class TestWorkThresholdGate:
+    def setup_method(self):
+        ScriptedProvider.instances.clear()
+
+    def run_with_threshold(self, threshold_pct):
+        sim, client = build_client(make_policy(threshold_pct))
+        results = []
+        client.submit(dynamic_conf(), results.append)
+        sim.run(until=5000.0, advance_clock=False)
+        assert results, "job did not finish"
+        return results[0], ScriptedProvider.instances[-1]
+
+    def test_zero_threshold_evaluates_every_interval(self):
+        result, provider = self.run_with_threshold(0)
+        # With a 4s interval over the job's lifetime, many evaluations.
+        assert len(provider.calls) >= result.input_increments
+
+    def test_high_threshold_reduces_evaluations(self):
+        ungated, _ = self.run_with_threshold(0)
+        ScriptedProvider.instances.clear()
+        gated, _ = self.run_with_threshold(60)
+        assert gated.evaluations < ungated.evaluations
+        # Both still deliver the sample.
+        assert gated.outputs_produced == ungated.outputs_produced == 100
+
+    def test_gate_escape_hatch_fires_when_all_work_done(self):
+        """Even a 100% threshold must not deadlock: once all grabbed
+        splits finish, the evaluation proceeds."""
+        result, provider = self.run_with_threshold(100)
+        assert result.outputs_produced == 100
+        assert len(provider.calls) >= 1

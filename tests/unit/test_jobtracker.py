@@ -1,0 +1,191 @@
+"""Unit tests for JobTracker internals, driven directly (no JobClient)."""
+
+import pytest
+
+from repro.cluster import CostModel, paper_topology
+from repro.core.sampling_job import make_sampling_conf, make_scan_conf
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.dfs import DistributedFileSystem
+from repro.engine.job import JobState
+from repro.engine.jobtracker import JobTracker
+from repro.errors import JobError
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    topo = paper_topology()
+    tracker = JobTracker(sim, topo, dispatch_delay=0.5)
+    pred = predicate_for_skew(0)
+    data = build_profiled_dataset(dataset_spec_for_scale(5), {pred: 0.0}, seed=0)
+    dfs = DistributedFileSystem(topo.storage_locations())
+    dfs.write_dataset("/d", data)
+    return sim, topo, tracker, pred, dfs.open_splits("/d")
+
+
+def scan_conf(pred, name="scan"):
+    return make_scan_conf(
+        name=name, input_path="/d", predicate=pred, fallback_selectivity=0.0005
+    )
+
+
+class TestSubmission:
+    def test_static_job_lifecycle(self, world):
+        sim, _topo, tracker, pred, splits = world
+        finished = []
+        job = tracker.submit_job(
+            scan_conf(pred), splits, input_complete=True,
+            total_splits_known=len(splits), listener=finished.append,
+        )
+        assert job.state is JobState.PREP
+        sim.run()
+        assert job.state is JobState.SUCCEEDED
+        assert finished == [job]
+        assert job.splits_completed == 40
+
+    def test_setup_delay_precedes_tasks(self, world):
+        sim, topo, tracker, pred, splits = world
+        tracker.submit_job(
+            scan_conf(pred), splits, input_complete=True,
+            total_splits_known=len(splits),
+        )
+        # Before setup completes, nothing runs.
+        sim.run(until=CostModel().job_setup_seconds - 0.1)
+        assert topo.running_map_tasks == 0
+
+    def test_dynamic_add_input_then_complete(self, world):
+        sim, _topo, tracker, pred, splits = world
+        conf = make_sampling_conf(
+            name="dyn", input_path="/d", predicate=pred, sample_size=100,
+            policy_name="LA",
+        )
+        job = tracker.submit_job(
+            conf, splits[:4], input_complete=False, total_splits_known=len(splits)
+        )
+        sim.run(until=40.0)
+        assert job.splits_completed == 4
+        assert not job.finished  # reduce held back: input not complete
+        tracker.add_input(job.job_id, splits[4:8])
+        sim.run(until=80.0)
+        assert job.splits_completed == 8
+        tracker.complete_input(job.job_id)
+        sim.run()
+        assert job.state is JobState.SUCCEEDED
+
+    def test_complete_input_is_idempotent(self, world):
+        sim, _topo, tracker, pred, splits = world
+        job = tracker.submit_job(
+            scan_conf(pred), splits, input_complete=True,
+            total_splits_known=len(splits),
+        )
+        tracker.complete_input(job.job_id)  # no-op, already complete
+        sim.run()
+        assert job.state is JobState.SUCCEEDED
+
+    def test_add_input_after_complete_rejected(self, world):
+        sim, _topo, tracker, pred, splits = world
+        job = tracker.submit_job(
+            scan_conf(pred), splits[:4], input_complete=True, total_splits_known=40
+        )
+        with pytest.raises(JobError):
+            tracker.add_input(job.job_id, splits[4:6])
+
+    def test_duplicate_split_rejected(self, world):
+        _sim, _topo, tracker, pred, splits = world
+        conf = make_sampling_conf(
+            name="dyn", input_path="/d", predicate=pred, sample_size=10,
+            policy_name="LA",
+        )
+        job = tracker.submit_job(
+            conf, splits[:4], input_complete=False, total_splits_known=40
+        )
+        with pytest.raises(JobError):
+            tracker.add_input(job.job_id, splits[:1])
+
+    def test_unknown_job_rejected(self, world):
+        _sim, _topo, tracker, _pred, splits = world
+        with pytest.raises(JobError):
+            tracker.add_input("job_999999", splits[:1])
+        with pytest.raises(JobError):
+            tracker.get_job("nope")
+
+
+class TestClusterStatus:
+    def test_idle_status(self, world):
+        _sim, topo, tracker, _pred, _splits = world
+        status = tracker.cluster_status()
+        assert status.total_map_slots == 40
+        assert status.available_map_slots == 40
+        assert status.running_map_tasks == 0
+        assert status.queued_map_tasks == 0
+
+    def test_busy_status_counts_queue(self, world):
+        sim, _topo, tracker, pred, splits = world
+        tracker.submit_job(
+            scan_conf(pred), splits, input_complete=True, total_splits_known=40
+        )
+        sim.run(until=8.0)  # setup done, first wave dispatched
+        status = tracker.cluster_status()
+        assert status.running_map_tasks == 40
+        assert status.available_map_slots == 0
+
+
+class TestSlotAccounting:
+    def test_slots_never_oversubscribed(self, world):
+        sim, topo, tracker, pred, splits = world
+        for name in ("a", "b", "c"):
+            tracker.submit_job(
+                scan_conf(pred, name), splits, input_complete=True,
+                total_splits_known=40,
+            )
+        while sim.peek_time() is not None:
+            sim.step()
+            for node in topo.nodes:
+                assert 0 <= node.running_map_tasks <= node.spec.map_slots
+                assert node.free_map_slots >= 0
+
+    def test_all_jobs_complete_under_contention(self, world):
+        sim, _topo, tracker, pred, splits = world
+        jobs = [
+            tracker.submit_job(
+                scan_conf(pred, f"j{i}"), splits, input_complete=True,
+                total_splits_known=40,
+            )
+            for i in range(3)
+        ]
+        sim.run()
+        assert all(job.state is JobState.SUCCEEDED for job in jobs)
+
+    def test_dispatch_delay_validated(self):
+        with pytest.raises(JobError):
+            JobTracker(Simulator(), paper_topology(), dispatch_delay=-1)
+
+
+class TestReducePhase:
+    def test_reduce_waits_for_end_of_input(self, world):
+        sim, _topo, tracker, pred, splits = world
+        conf = make_sampling_conf(
+            name="dyn", input_path="/d", predicate=pred, sample_size=100,
+            policy_name="LA",
+        )
+        job = tracker.submit_job(
+            conf, splits[:4], input_complete=False, total_splits_known=40
+        )
+        sim.run(until=200.0)
+        # Maps long done, but EOI never sent: reduce must not have started.
+        assert job.maps_done
+        assert job.reduce_task is None
+        tracker.complete_input(job.job_id)
+        sim.run()
+        assert job.reduce_task is not None
+        assert job.state is JobState.SUCCEEDED
+
+    def test_zero_reduce_job_completes_without_reduce(self, world):
+        sim, _topo, tracker, pred, splits = world
+        job = tracker.submit_job(
+            scan_conf(pred), splits, input_complete=True, total_splits_known=40
+        )
+        sim.run()
+        assert job.reduce_task is None
+        assert job.state is JobState.SUCCEEDED

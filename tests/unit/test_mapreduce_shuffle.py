@@ -1,0 +1,113 @@
+"""Unit tests for mapper/reducer interfaces and the shuffle grouping."""
+
+import pytest
+
+from repro.engine.mapreduce import (
+    IdentityMapper,
+    IdentityReducer,
+    MapContext,
+    Mapper,
+    ReduceContext,
+    Reducer,
+)
+from repro.engine.shuffle import group_outputs, partition_for_key
+
+
+class TestMapContext:
+    def test_emit_collects(self):
+        context = MapContext()
+        context.emit("k", 1)
+        context.emit("k", 2)
+        assert context.outputs == [("k", 1), ("k", 2)]
+        assert context.outputs_produced == 2
+
+
+class TestMapperRun:
+    def test_identity_mapper(self):
+        context = MapContext()
+        IdentityMapper().run([("a", 1), ("b", 2)], context)
+        assert context.outputs == [("a", 1), ("b", 2)]
+        assert context.records_read == 2
+
+    def test_setup_and_cleanup_called(self):
+        calls = []
+
+        class Probe(Mapper):
+            def setup(self, context):
+                calls.append("setup")
+
+            def map(self, key, value, context):
+                calls.append("map")
+
+            def cleanup(self, context):
+                calls.append("cleanup")
+
+        Probe().run([("a", 1)], MapContext())
+        assert calls == ["setup", "map", "cleanup"]
+
+    def test_base_map_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Mapper().run([("a", 1)], MapContext())
+
+
+class TestReducerRun:
+    def test_identity_reducer(self):
+        context = ReduceContext()
+        IdentityReducer().run([("k", [1, 2])], context)
+        assert context.outputs == [("k", 1), ("k", 2)]
+
+    def test_base_reduce_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Reducer().run([("k", [1])], ReduceContext())
+
+    def test_setup_cleanup_order(self):
+        calls = []
+
+        class Probe(Reducer):
+            def setup(self, context):
+                calls.append("setup")
+
+            def reduce(self, key, values, context):
+                calls.append(key)
+
+            def cleanup(self, context):
+                calls.append("cleanup")
+
+        Probe().run([("a", [1]), ("b", [2])], ReduceContext())
+        assert calls == ["setup", "a", "b", "cleanup"]
+
+
+class TestGroupOutputs:
+    def test_groups_across_tasks(self):
+        grouped = group_outputs([[("k", 1), ("j", 2)], [("k", 3)]])
+        assert grouped == [("j", [2]), ("k", [1, 3])]
+
+    def test_single_dummy_key_case(self):
+        """The sampling job's shape: every task emits the same key."""
+        grouped = group_outputs([[("d", i)] for i in range(5)])
+        assert grouped == [("d", [0, 1, 2, 3, 4])]
+
+    def test_empty_input(self):
+        assert group_outputs([]) == []
+        assert group_outputs([[], []]) == []
+
+    def test_values_keep_task_order(self):
+        grouped = group_outputs([[("k", "a"), ("k", "b")], [("k", "c")]])
+        assert grouped[0][1] == ["a", "b", "c"]
+
+    def test_keys_sorted_by_string_form(self):
+        grouped = group_outputs([[(2, "x"), (10, "y"), (1, "z")]])
+        assert [key for key, _ in grouped] == [1, 10, 2]  # string order
+
+
+class TestPartitioner:
+    def test_in_range(self):
+        for key in ("a", "b", 42, (1, 2)):
+            assert 0 <= partition_for_key(key, 7) < 7
+
+    def test_single_partition(self):
+        assert partition_for_key("anything", 1) == 0
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            partition_for_key("k", 0)

@@ -1,0 +1,161 @@
+"""Unit tests for growth policies and the grab-limit expression language."""
+
+import math
+
+import pytest
+
+from repro.core import GrabLimitExpression, Policy, PolicyRegistry, paper_policies
+from repro.core.policy import PAPER_POLICY_NAMES
+from repro.errors import PolicyError
+
+
+def expr(text):
+    return GrabLimitExpression(text)
+
+
+class TestGrabLimitExpression:
+    @pytest.mark.parametrize(
+        "source,ts,avail,expected",
+        [
+            ("infinity", 40, 0, math.inf),
+            ("AS", 40, 7, 7),
+            ("TS", 40, 7, 40),
+            ("0.5 * TS", 40, 0, 20),
+            ("max(0.5 * TS, AS)", 40, 30, 30),
+            ("max(0.5 * TS, AS)", 40, 10, 20),
+            ("min(AS, 4)", 40, 10, 4),
+            ("AS > 0 ? 0.5 * AS : 0.2 * TS", 40, 10, 5),
+            ("AS > 0 ? 0.5 * AS : 0.2 * TS", 40, 0, 8),
+            ("0.1 * AS", 40, 0, 0),
+            ("TS - AS", 40, 15, 25),
+            ("TS + AS", 40, 15, 55),
+            ("(TS + AS) / 2", 40, 20, 30),
+            ("-AS + TS", 40, 10, 30),
+            ("AS >= 10 ? 1 : 2", 40, 10, 1),
+            ("AS == 0 ? 9 : 3", 40, 0, 9),
+            ("AS != 0 ? 9 : 3", 40, 0, 3),
+        ],
+    )
+    def test_evaluation(self, source, ts, avail, expected):
+        assert expr(source).evaluate(ts=ts, available=avail) == expected
+
+    def test_nested_conditionals(self):
+        e = expr("AS > 20 ? 1 : AS > 10 ? 2 : 3")
+        assert e.evaluate(ts=40, available=25) == 1
+        assert e.evaluate(ts=40, available=15) == 2
+        assert e.evaluate(ts=40, available=5) == 3
+
+    def test_case_insensitive_variables(self):
+        assert expr("as + ts").evaluate(ts=1, available=2) == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "AS +", "max(AS)", "foo", "AS ? 1 : 2", "1 2", "((AS)", "AS @ 2"],
+    )
+    def test_invalid_expressions_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            expr(bad)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(PolicyError):
+            expr("AS / (TS - TS)").evaluate(ts=40, available=1)
+
+    def test_boolean_result_rejected(self):
+        with pytest.raises(PolicyError):
+            expr("AS > 0")
+
+
+class TestPolicy:
+    def test_max_grab_rounds_up_fractions(self):
+        policy = Policy("p", "", 0, expr("0.1 * AS"))
+        assert policy.max_grab(total_slots=40, available_slots=3) == 1
+        assert policy.max_grab(total_slots=40, available_slots=25) == 3
+
+    def test_max_grab_zero_stays_zero(self):
+        policy = Policy("p", "", 0, expr("0.1 * AS"))
+        assert policy.max_grab(total_slots=40, available_slots=0) == 0
+
+    def test_max_grab_infinite(self):
+        policy = Policy("p", "", 0, expr("infinity"))
+        assert math.isinf(policy.max_grab(total_slots=40, available_slots=0))
+
+    def test_is_unbounded(self):
+        assert Policy("p", "", 0, expr("infinity")).is_unbounded
+        assert not Policy("p", "", 0, expr("AS")).is_unbounded
+
+    def test_work_threshold_splits_rounds_up(self):
+        policy = Policy("p", "", 5.0, expr("AS"))
+        assert policy.work_threshold_splits(40) == 2
+        assert policy.work_threshold_splits(41) == 3
+        assert policy.work_threshold_splits(0) == 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            Policy("", "", 0, expr("AS"))
+        with pytest.raises(PolicyError):
+            Policy("p", "", 150, expr("AS"))
+        with pytest.raises(PolicyError):
+            Policy("p", "", 0, expr("AS"), evaluation_interval=0)
+
+
+class TestPaperPolicies:
+    @pytest.fixture()
+    def registry(self):
+        return paper_policies()
+
+    def test_all_five_defined(self, registry):
+        assert set(registry.names()) == set(PAPER_POLICY_NAMES)
+
+    def test_table1_work_thresholds(self, registry):
+        thresholds = {
+            name: registry.get(name).work_threshold_pct
+            for name in PAPER_POLICY_NAMES
+        }
+        assert thresholds == {"Hadoop": 0, "HA": 0, "MA": 5, "LA": 10, "C": 15}
+
+    def test_hadoop_policy_unbounded(self, registry):
+        assert registry.get("Hadoop").is_unbounded
+
+    def test_ha_grab_limit_on_idle_cluster_uses_all_slots(self, registry):
+        # max(0.5*40, 40) = 40 on a fully idle 40-slot cluster.
+        assert registry.get("HA").max_grab(total_slots=40, available_slots=40) == 40
+
+    def test_grab_limits_decrease_with_aggressiveness(self, registry):
+        """On a half-busy cluster the limits order HA > MA > LA > C."""
+        grabs = [
+            registry.get(name).max_grab(total_slots=40, available_slots=20)
+            for name in ("HA", "MA", "LA", "C")
+        ]
+        assert grabs == sorted(grabs, reverse=True)
+        assert grabs[0] > grabs[-1]
+
+    def test_ma_la_fall_back_to_total_slots_when_saturated(self, registry):
+        assert registry.get("MA").max_grab(total_slots=40, available_slots=0) == 8
+        assert registry.get("LA").max_grab(total_slots=40, available_slots=0) == 4
+        assert registry.get("C").max_grab(total_slots=40, available_slots=0) == 0
+
+    def test_evaluation_interval_is_paper_default(self, registry):
+        for name in ("HA", "MA", "LA", "C"):
+            assert registry.get(name).evaluation_interval == 4.0
+
+
+class TestPolicyRegistry:
+    def test_register_and_get(self):
+        registry = PolicyRegistry()
+        policy = Policy("mine", "", 0, expr("AS"))
+        registry.register(policy)
+        assert registry.get("mine") is policy
+        assert "mine" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected_unless_replace(self):
+        registry = PolicyRegistry()
+        registry.register(Policy("p", "", 0, expr("AS")))
+        with pytest.raises(PolicyError):
+            registry.register(Policy("p", "", 0, expr("TS")))
+        registry.register(Policy("p", "", 0, expr("TS")), replace=True)
+        assert registry.get("p").grab_limit.source == "TS"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyRegistry().get("nope")

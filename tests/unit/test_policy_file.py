@@ -1,0 +1,105 @@
+"""Unit tests for policy.xml loading and writing."""
+
+import pytest
+
+from repro.core import dump_policies, load_policies, paper_policies
+from repro.errors import PolicyError
+
+
+class TestRoundTrip:
+    def test_dump_then_load_preserves_policies(self, tmp_path):
+        path = tmp_path / "policy.xml"
+        dump_policies(paper_policies(), path)
+        loaded = load_policies(path)
+        original = paper_policies()
+        assert set(loaded.names()) == set(original.names())
+        for name in original.names():
+            a, b = original.get(name), loaded.get(name)
+            assert a.work_threshold_pct == b.work_threshold_pct
+            assert a.grab_limit.source == b.grab_limit.source
+            assert a.evaluation_interval == b.evaluation_interval
+
+    def test_loaded_limits_evaluate_identically(self, tmp_path):
+        path = tmp_path / "policy.xml"
+        dump_policies(paper_policies(), path)
+        loaded = load_policies(path)
+        for name in loaded.names():
+            a = paper_policies().get(name)
+            b = loaded.get(name)
+            for avail in (0, 7, 40):
+                assert a.max_grab(total_slots=40, available_slots=avail) == b.max_grab(
+                    total_slots=40, available_slots=avail
+                )
+
+
+class TestLoadErrors:
+    def write(self, tmp_path, text):
+        path = tmp_path / "policy.xml"
+        path.write_text(text)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PolicyError):
+            load_policies(tmp_path / "absent.xml")
+
+    def test_malformed_xml(self, tmp_path):
+        with pytest.raises(PolicyError):
+            load_policies(self.write(tmp_path, "<policies><policy></policies>"))
+
+    def test_wrong_root(self, tmp_path):
+        with pytest.raises(PolicyError):
+            load_policies(self.write(tmp_path, "<stuff/>"))
+
+    def test_empty_catalogue(self, tmp_path):
+        with pytest.raises(PolicyError):
+            load_policies(self.write(tmp_path, "<policies/>"))
+
+    def test_policy_missing_name(self, tmp_path):
+        text = (
+            "<policies><policy>"
+            "<workThreshold>1</workThreshold><grabLimit>AS</grabLimit>"
+            "</policy></policies>"
+        )
+        with pytest.raises(PolicyError):
+            load_policies(self.write(tmp_path, text))
+
+    def test_policy_missing_grab_limit(self, tmp_path):
+        text = (
+            '<policies><policy name="x">'
+            "<workThreshold>1</workThreshold>"
+            "</policy></policies>"
+        )
+        with pytest.raises(PolicyError):
+            load_policies(self.write(tmp_path, text))
+
+    def test_non_numeric_threshold(self, tmp_path):
+        text = (
+            '<policies><policy name="x">'
+            "<workThreshold>lots</workThreshold><grabLimit>AS</grabLimit>"
+            "</policy></policies>"
+        )
+        with pytest.raises(PolicyError):
+            load_policies(self.write(tmp_path, text))
+
+    def test_default_evaluation_interval(self, tmp_path):
+        text = (
+            '<policies><policy name="x">'
+            "<workThreshold>1</workThreshold><grabLimit>AS</grabLimit>"
+            "</policy></policies>"
+        )
+        registry = load_policies(self.write(tmp_path, text))
+        assert registry.get("x").evaluation_interval == 4.0
+
+    def test_custom_policy_definition(self, tmp_path):
+        text = (
+            '<policies><policy name="custom" description="mine">'
+            "<workThreshold>7.5</workThreshold>"
+            "<grabLimit>AS &gt; 5 ? AS : 1</grabLimit>"
+            "<evaluationInterval>2</evaluationInterval>"
+            "</policy></policies>"
+        )
+        policy = load_policies(self.write(tmp_path, text)).get("custom")
+        assert policy.work_threshold_pct == 7.5
+        assert policy.evaluation_interval == 2.0
+        assert policy.max_grab(total_slots=40, available_slots=10) == 10
+        assert policy.max_grab(total_slots=40, available_slots=2) == 1

@@ -1,0 +1,118 @@
+"""Unit tests for predicate objects."""
+
+import random
+
+import pytest
+
+from repro.data import predicate_for_skew
+from repro.data.predicates import (
+    And,
+    ColumnCompare,
+    FunctionPredicate,
+    MarkerEquals,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.errors import DataGenerationError
+
+
+ROW = {"a": 5, "b": "x", "q": 10.0}
+
+
+class TestColumnCompare:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 5, True),
+            ("=", 6, False),
+            ("!=", 6, True),
+            ("<", 6, True),
+            ("<=", 5, True),
+            (">", 4, True),
+            (">=", 5, True),
+            (">", 5, False),
+        ],
+    )
+    def test_operators(self, op, value, expected):
+        assert ColumnCompare("a", op, value).matches(ROW) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(DataGenerationError):
+            ColumnCompare("a", "~", 1)
+
+    def test_name_is_stable(self):
+        assert ColumnCompare("a", "<", 3).name == "a<3"
+
+    def test_callable_protocol(self):
+        assert ColumnCompare("a", "=", 5)(ROW) is True
+
+
+class TestCompound:
+    def test_and(self):
+        pred = And((ColumnCompare("a", "=", 5), ColumnCompare("b", "=", "x")))
+        assert pred.matches(ROW)
+        assert not And((ColumnCompare("a", "=", 5), ColumnCompare("b", "=", "y"))).matches(ROW)
+
+    def test_or(self):
+        pred = Or((ColumnCompare("a", "=", 0), ColumnCompare("b", "=", "x")))
+        assert pred.matches(ROW)
+
+    def test_not(self):
+        assert Not(ColumnCompare("a", "=", 0)).matches(ROW)
+
+    def test_operator_overloads(self):
+        both = ColumnCompare("a", "=", 5) & ColumnCompare("b", "=", "x")
+        either = ColumnCompare("a", "=", 0) | ColumnCompare("b", "=", "x")
+        negated = ~ColumnCompare("a", "=", 0)
+        assert both.matches(ROW)
+        assert either.matches(ROW)
+        assert negated.matches(ROW)
+
+    def test_true_predicate(self):
+        assert TruePredicate().matches({})
+
+    def test_function_predicate(self):
+        pred = FunctionPredicate(lambda row: row["a"] > 3, "a>3(fn)")
+        assert pred.matches(ROW)
+        assert pred.name == "a>3(fn)"
+
+
+class TestMarkerEquals:
+    def test_matches_marker_only(self):
+        marker = MarkerEquals("q", 99.0)
+        assert not marker.matches(ROW)
+        assert marker.matches({**ROW, "q": 99.0})
+
+    def test_make_matching_stamps_in_place(self):
+        marker = MarkerEquals("q", 99.0)
+        row = dict(ROW)
+        marker.make_matching(row)
+        assert marker.matches(row)
+
+    def test_ensure_non_matching_passes_clean_row(self):
+        marker = MarkerEquals("q", 99.0)
+        row = dict(ROW)
+        assert marker.ensure_non_matching(row, random.Random(0)) is row
+
+    def test_ensure_non_matching_rejects_organic_marker(self):
+        marker = MarkerEquals("q", 10.0)  # 10.0 occurs organically in ROW
+        with pytest.raises(DataGenerationError):
+            marker.ensure_non_matching(dict(ROW), random.Random(0))
+
+
+class TestPaperPredicates:
+    @pytest.mark.parametrize("z,column", [(0, "l_discount"), (1, "l_tax"), (2, "l_quantity")])
+    def test_table3_assignment(self, z, column):
+        assert predicate_for_skew(z).column == column
+
+    def test_markers_outside_tpch_domains(self):
+        assert predicate_for_skew(0).marker == 0.11  # discount domain 0.00-0.10
+        assert predicate_for_skew(1).marker == 0.09  # tax domain 0.00-0.08
+        assert predicate_for_skew(2).marker == 51    # quantity domain 1-50
+
+    def test_unknown_skew_rejected(self):
+        with pytest.raises(DataGenerationError):
+            predicate_for_skew(3)
+        with pytest.raises(DataGenerationError):
+            predicate_for_skew(0.5)

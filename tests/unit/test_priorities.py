@@ -1,0 +1,63 @@
+"""Unit tests for job priorities (Hadoop JobPriority semantics)."""
+
+import pytest
+
+from repro import SimulatedCluster, make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.engine.jobconf import JOB_PRIORITY, JobConf
+from repro.errors import JobConfError
+
+
+class TestPriorityParam:
+    def conf(self, value=None):
+        conf = JobConf(name="j", input_path="/in")
+        if value is not None:
+            conf.set(JOB_PRIORITY, value)
+        return conf
+
+    def test_default_is_normal(self):
+        assert self.conf().priority == "NORMAL"
+        assert self.conf().priority_rank == 2
+
+    @pytest.mark.parametrize(
+        "level,rank",
+        [("VERY_LOW", 0), ("LOW", 1), ("NORMAL", 2), ("HIGH", 3), ("VERY_HIGH", 4)],
+    )
+    def test_levels(self, level, rank):
+        assert self.conf(level).priority_rank == rank
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(JobConfError):
+            _ = self.conf("URGENT").priority
+
+
+class TestFifoPriorityOrdering:
+    def run_pair(self, first_priority, second_priority):
+        """Submit two identical full-input jobs back to back; return the
+        completion order of their names."""
+        pred = predicate_for_skew(0)
+        data = build_profiled_dataset(
+            dataset_spec_for_scale(20), {pred: 0.0}, seed=0
+        )
+        cluster = SimulatedCluster(paper_topology(), seed=0)
+        cluster.load_dataset("/d", data)
+        order = []
+        for name, priority in (("first", first_priority), ("second", second_priority)):
+            conf = make_sampling_conf(
+                name=name, input_path="/d", predicate=pred,
+                sample_size=10_000, policy_name="Hadoop",
+            )
+            conf.set(JOB_PRIORITY, priority)
+            cluster.submit(conf, lambda r, n=name: order.append(n))
+        cluster.run()
+        return order
+
+    def test_equal_priority_is_submission_order(self):
+        assert self.run_pair("NORMAL", "NORMAL") == ["first", "second"]
+
+    def test_high_priority_overtakes(self):
+        assert self.run_pair("NORMAL", "VERY_HIGH") == ["second", "first"]
+
+    def test_low_priority_yields(self):
+        assert self.run_pair("LOW", "NORMAL") == ["second", "first"]

@@ -1,0 +1,86 @@
+"""Unit tests for the online selectivity estimator."""
+
+import math
+
+import pytest
+
+from repro.core import SelectivityEstimator
+from repro.errors import InputProviderError
+
+
+class TestEstimate:
+    def test_no_observations_gives_none(self):
+        assert SelectivityEstimator().estimate is None
+
+    def test_simple_ratio(self):
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(10_000, 5)
+        assert estimator.estimate == pytest.approx(0.0005)
+
+    def test_totals_are_cumulative(self):
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(1_000, 1)
+        estimator.observe_totals(10_000, 5)
+        assert estimator.estimate == pytest.approx(0.0005)
+        assert estimator.records_observed == 10_000
+        assert estimator.matches_observed == 5
+
+    def test_backwards_totals_rejected(self):
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(1_000, 5)
+        with pytest.raises(InputProviderError):
+            estimator.observe_totals(500, 5)
+        with pytest.raises(InputProviderError):
+            estimator.observe_totals(1_000, 4)
+
+    def test_more_matches_than_records_rejected(self):
+        with pytest.raises(InputProviderError):
+            SelectivityEstimator().observe_totals(5, 6)
+
+    def test_zero_matches_gives_zero_estimate(self):
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(1_000, 0)
+        assert estimator.estimate == 0.0
+
+    def test_prior_smooths_early_estimate(self):
+        estimator = SelectivityEstimator(prior_matches=1, prior_records=1_000)
+        assert estimator.estimate == pytest.approx(0.001)
+        estimator.observe_totals(99_000, 0)
+        assert estimator.estimate == pytest.approx(1 / 100_000)
+
+    def test_invalid_priors_rejected(self):
+        with pytest.raises(InputProviderError):
+            SelectivityEstimator(prior_matches=-1)
+        with pytest.raises(InputProviderError):
+            SelectivityEstimator(prior_matches=1, prior_records=0)
+
+
+class TestProjections:
+    def test_expected_matches(self):
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(10_000, 5)
+        assert estimator.expected_matches(100_000) == pytest.approx(50)
+
+    def test_expected_matches_without_estimate_is_zero(self):
+        assert SelectivityEstimator().expected_matches(1_000) == 0.0
+
+    def test_expected_matches_negative_records_rejected(self):
+        with pytest.raises(InputProviderError):
+            SelectivityEstimator().expected_matches(-1)
+
+    def test_records_needed(self):
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(10_000, 5)  # selectivity 0.0005
+        assert estimator.records_needed(100) == pytest.approx(200_000)
+
+    def test_records_needed_zero_when_satisfied(self):
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(10_000, 5)
+        assert estimator.records_needed(0) == 0.0
+        assert estimator.records_needed(-5) == 0.0
+
+    def test_records_needed_infinite_without_signal(self):
+        assert math.isinf(SelectivityEstimator().records_needed(10))
+        estimator = SelectivityEstimator()
+        estimator.observe_totals(1_000, 0)
+        assert math.isinf(estimator.records_needed(10))

@@ -1,0 +1,85 @@
+"""Unit tests for matching-record placement across partitions."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import place_matches
+from repro.errors import DataGenerationError
+
+
+class TestPlaceMatches:
+    def test_counts_sum_to_total(self):
+        placement = place_matches(40, 15_000, 1.0, random.Random(0))
+        assert placement.counts.sum() == 15_000
+
+    def test_zero_skew_expected_method_is_even(self):
+        placement = place_matches(
+            40, 15_000, 0.0, random.Random(0), method="expected"
+        )
+        assert set(placement.counts.tolist()) == {375}
+
+    def test_rank_permutation_is_a_permutation(self):
+        placement = place_matches(40, 1000, 2.0, random.Random(1))
+        assert sorted(placement.rank_of_partition.tolist()) == list(range(1, 41))
+
+    def test_rank_one_partition_holds_max_expected(self):
+        placement = place_matches(
+            40, 15_000, 2.0, random.Random(2), method="expected"
+        )
+        hot = int(np.argmax(placement.rank_of_partition == 1))
+        assert placement.counts[hot] == placement.max_count
+
+    def test_sorted_counts_ordered_by_rank(self):
+        placement = place_matches(
+            20, 5_000, 1.0, random.Random(3), method="expected"
+        )
+        sorted_counts = placement.sorted_counts()
+        assert all(
+            sorted_counts[i] >= sorted_counts[i + 1] for i in range(19)
+        )
+
+    def test_no_shuffle_keeps_rank_order(self):
+        placement = place_matches(
+            10, 100, 1.0, random.Random(4), method="expected", shuffle_ranks=False
+        )
+        assert placement.rank_of_partition.tolist() == list(range(1, 11))
+
+    def test_higher_skew_higher_gini(self):
+        rng = random.Random(5)
+        g0 = place_matches(40, 15_000, 0.0, rng, method="expected").gini()
+        g1 = place_matches(40, 15_000, 1.0, rng, method="expected").gini()
+        g2 = place_matches(40, 15_000, 2.0, rng, method="expected").gini()
+        assert g0 < g1 < g2
+
+    def test_gini_zero_for_uniform(self):
+        placement = place_matches(
+            40, 4000, 0.0, random.Random(6), method="expected"
+        )
+        assert placement.gini() == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_matches(self):
+        placement = place_matches(10, 0, 1.0, random.Random(7))
+        assert placement.counts.sum() == 0
+        assert placement.max_count == 0
+        assert placement.gini() == 0.0
+
+    def test_multinomial_deterministic_under_seed(self):
+        a = place_matches(40, 15_000, 1.0, random.Random(8))
+        b = place_matches(40, 15_000, 1.0, random.Random(8))
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(DataGenerationError):
+            place_matches(0, 100, 1.0, random.Random(0))
+        with pytest.raises(DataGenerationError):
+            place_matches(10, -5, 1.0, random.Random(0))
+        with pytest.raises(DataGenerationError):
+            place_matches(10, 5, 1.0, random.Random(0), method="bogus")
+
+    def test_nonzero_partitions_shrinks_with_skew(self):
+        rng = random.Random(9)
+        uniform = place_matches(40, 15_000, 0.0, rng, method="expected")
+        skewed = place_matches(40, 15_000, 2.0, rng, method="expected")
+        assert skewed.nonzero_partitions <= uniform.nonzero_partitions

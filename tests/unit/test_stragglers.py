@@ -1,0 +1,80 @@
+"""Unit tests for straggler/duration-noise modeling."""
+
+import statistics
+
+import pytest
+
+from repro import SimulatedCluster, make_sampling_conf
+from repro.cluster import paper_topology
+from repro.cluster.costmodel import StragglerModel
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.errors import ClusterConfigError
+
+
+class TestStragglerModel:
+    def test_no_noise_yields_unity(self):
+        model = StragglerModel(sigma=0.0, straggler_probability=0.0)
+        assert all(model.multiplier() == 1.0 for _ in range(100))
+
+    def test_multipliers_positive_and_centered(self):
+        model = StragglerModel(sigma=0.2, straggler_probability=0.0, seed=1)
+        draws = [model.multiplier() for _ in range(5000)]
+        assert all(d > 0 for d in draws)
+        assert 0.95 <= statistics.median(draws) <= 1.05
+
+    def test_straggler_tail(self):
+        model = StragglerModel(
+            sigma=0.0, straggler_probability=0.1, straggler_factor=5.0, seed=2
+        )
+        draws = [model.multiplier() for _ in range(2000)]
+        stragglers = [d for d in draws if d > 4.0]
+        assert 120 <= len(stragglers) <= 280  # ~200 expected
+        assert model.stragglers_drawn == len(stragglers)
+
+    def test_deterministic_under_seed(self):
+        a = StragglerModel(sigma=0.3, seed=9)
+        b = StragglerModel(sigma=0.3, seed=9)
+        assert [a.multiplier() for _ in range(20)] == [
+            b.multiplier() for _ in range(20)
+        ]
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            StragglerModel(sigma=-1)
+        with pytest.raises(ClusterConfigError):
+            StragglerModel(straggler_probability=2)
+        with pytest.raises(ClusterConfigError):
+            StragglerModel(straggler_factor=0.5)
+
+
+class TestStragglersOnCluster:
+    def run(self, straggler_model):
+        pred = predicate_for_skew(0)
+        data = build_profiled_dataset(dataset_spec_for_scale(5), {pred: 0.0}, seed=0)
+        cluster = SimulatedCluster(
+            paper_topology(), seed=0, straggler_model=straggler_model
+        )
+        cluster.load_dataset("/d", data)
+        conf = make_sampling_conf(
+            name="q", input_path="/d", predicate=pred, sample_size=10_000,
+            policy_name="Hadoop",
+        )
+        return cluster.run_job(conf)
+
+    def test_noise_spreads_task_durations(self):
+        clean = self.run(None)
+        noisy = self.run(StragglerModel(sigma=0.25, seed=4))
+        assert clean.outputs_produced == noisy.outputs_produced == 10_000
+        # Same work, different wall clock; results still correct.
+        assert noisy.response_time != clean.response_time
+        assert noisy.splits_processed == clean.splits_processed
+
+    def test_stragglers_lengthen_the_wave(self):
+        clean = self.run(None)
+        straggly = self.run(
+            StragglerModel(
+                sigma=0.0, straggler_probability=0.2, straggler_factor=4.0, seed=5
+            )
+        )
+        # A wave is as slow as its slowest task: stragglers stretch it.
+        assert straggly.response_time > clean.response_time

@@ -1,0 +1,82 @@
+"""Unit tests for the LINEITEM generator."""
+
+import random
+
+import pytest
+
+from repro.data import LINEITEM_SCHEMA, LineItemGenerator
+from repro.data.record import serialize, serialized_bytes
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture()
+def rows():
+    generator = LineItemGenerator(scale_factor=1.0)
+    return list(generator.generate(500, random.Random(0)))
+
+
+class TestLineItemGenerator:
+    def test_row_count(self, rows):
+        assert len(rows) == 500
+
+    def test_rows_validate_against_schema(self, rows):
+        for row in rows[:50]:
+            LINEITEM_SCHEMA.validate_row(row)
+
+    def test_quantity_domain(self, rows):
+        assert all(1 <= row["l_quantity"] <= 50 for row in rows)
+
+    def test_discount_domain(self, rows):
+        assert all(0.0 <= row["l_discount"] <= 0.10 for row in rows)
+
+    def test_tax_domain(self, rows):
+        assert all(0.0 <= row["l_tax"] <= 0.08 for row in rows)
+
+    def test_extendedprice_consistent_with_quantity(self, rows):
+        for row in rows:
+            unit = row["l_extendedprice"] / row["l_quantity"]
+            assert 899.0 <= unit <= 2100.0
+
+    def test_dates_in_tpch_range(self, rows):
+        for row in rows:
+            year = int(row["l_shipdate"][:4])
+            assert 1992 <= year <= 1998
+
+    def test_returnflag_vocabulary(self, rows):
+        assert {row["l_returnflag"] for row in rows} <= {"R", "A", "N"}
+
+    def test_orderkey_bounded_by_scale(self):
+        generator = LineItemGenerator(scale_factor=0.01)
+        rows = list(generator.generate(200, random.Random(1)))
+        assert all(1 <= row["l_orderkey"] <= 15_000 for row in rows)
+
+    def test_deterministic_under_seed(self):
+        generator = LineItemGenerator()
+        a = list(generator.generate(10, random.Random(7)))
+        b = list(generator.generate(10, random.Random(7)))
+        assert a == b
+
+    def test_rows_for_scale(self):
+        assert LineItemGenerator.rows_for_scale(1) == 6_000_000
+        assert LineItemGenerator.rows_for_scale(5) == 30_000_000
+        assert LineItemGenerator.rows_for_scale(100) == 600_000_000
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DataGenerationError):
+            LineItemGenerator(scale_factor=0)
+
+    def test_negative_count_rejected(self):
+        generator = LineItemGenerator()
+        with pytest.raises(DataGenerationError):
+            list(generator.generate(-1, random.Random(0)))
+
+    def test_average_row_width_near_canonical(self, rows):
+        """dbgen LINEITEM rows average ~125 serialized bytes; the schema
+        estimate and the actual serialization should both be close."""
+        avg = sum(serialized_bytes(row) for row in rows) / len(rows)
+        assert 100 <= avg <= 160
+        assert 100 <= LINEITEM_SCHEMA.avg_row_bytes <= 160
+
+    def test_serialize_is_pipe_delimited(self, rows):
+        text = serialize(rows[0], LINEITEM_SCHEMA.field_names)
+        assert text.count("|") == len(LINEITEM_SCHEMA.field_names) - 1

@@ -1,0 +1,31 @@
+"""Unit tests for workload statistics helpers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.stdev == 0.0
+        assert summary.count == 1
+
+    def test_mean_and_bounds(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_sample_stdev(self):
+        summary = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.stdev == pytest.approx(2.138, abs=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "±" in str(summarize([1.0, 2.0]))

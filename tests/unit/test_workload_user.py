@@ -1,0 +1,77 @@
+"""Unit tests for closed-loop users and workload spec plumbing."""
+
+import pytest
+
+from repro import SimulatedCluster, make_sampling_conf
+from repro.cluster import paper_topology
+from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.errors import WorkloadError
+from repro.workload.user import ClosedLoopUser, UserClass, UserSpec
+
+
+@pytest.fixture()
+def cluster():
+    pred = predicate_for_skew(0)
+    data = build_profiled_dataset(dataset_spec_for_scale(5), {pred: 0.0}, seed=0)
+    c = SimulatedCluster(paper_topology(), seed=0)
+    c.load_dataset("/d", data)
+    return c, pred
+
+
+def spec_for(pred, name="u0"):
+    def conf_factory(iteration):
+        return make_sampling_conf(
+            name=f"{name}-i{iteration}", input_path="/d", predicate=pred,
+            sample_size=10_000, policy_name="HA",
+        )
+
+    return UserSpec(user_id=name, user_class=UserClass.SAMPLING, conf_factory=conf_factory)
+
+
+class TestClosedLoopUser:
+    def test_resubmits_after_each_completion(self, cluster):
+        c, pred = cluster
+        records = []
+        user = ClosedLoopUser(spec_for(pred), c, records.append)
+        user.start()
+        c.run(until=200.0)
+        user.stop()
+        assert user.completions >= 2
+        assert len(records) == user.completions
+        # Iterations are distinct jobs.
+        names = [record.result.name for record in records]
+        assert len(set(names)) == len(names)
+
+    def test_stop_halts_resubmission(self, cluster):
+        c, pred = cluster
+        records = []
+        user = ClosedLoopUser(spec_for(pred), c, records.append)
+        user.start()
+        c.run(until=40.0)
+        user.stop()
+        count_at_stop = len(records)
+        c.run(until=400.0)
+        # At most the in-flight job finishes after stop.
+        assert len(records) <= count_at_stop + 1
+
+    def test_completion_record_fields(self, cluster):
+        c, pred = cluster
+        records = []
+        user = ClosedLoopUser(spec_for(pred, name="alice"), c, records.append)
+        user.start()
+        c.run(until=100.0)
+        user.stop()
+        record = records[0]
+        assert record.user_id == "alice"
+        assert record.user_class is UserClass.SAMPLING
+        assert record.finish_time == record.result.finish_time
+
+    def test_bad_conf_factory_detected(self, cluster):
+        c, _pred = cluster
+        bad = UserSpec(
+            user_id="bad", user_class=UserClass.SAMPLING,
+            conf_factory=lambda i: "not a conf",
+        )
+        user = ClosedLoopUser(bad, c, lambda record: None)
+        with pytest.raises(WorkloadError):
+            user.start()

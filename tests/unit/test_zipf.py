@@ -1,0 +1,128 @@
+"""Unit tests for the Zipfian distribution (paper equation 1)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import ZipfDistribution
+from repro.errors import DataGenerationError
+
+
+class TestZipfPmf:
+    def test_z_zero_is_uniform(self):
+        zipf = ZipfDistribution(10, 0.0)
+        for rank in range(1, 11):
+            assert zipf.pmf(rank) == pytest.approx(0.1)
+
+    def test_pmf_sums_to_one(self):
+        for z in (0.0, 0.5, 1.0, 2.0):
+            zipf = ZipfDistribution(40, z)
+            assert zipf.pmf_vector().sum() == pytest.approx(1.0)
+
+    def test_pmf_matches_paper_formula(self):
+        n, z = 40, 1.0
+        zipf = ZipfDistribution(n, z)
+        harmonic = sum(1.0 / (k**z) for k in range(1, n + 1))
+        for rank in (1, 7, 40):
+            assert zipf.pmf(rank) == pytest.approx(1.0 / (rank**z) / harmonic)
+
+    def test_pmf_decreasing_in_rank(self):
+        zipf = ZipfDistribution(20, 1.5)
+        pmf = zipf.pmf_vector()
+        assert all(pmf[i] > pmf[i + 1] for i in range(19))
+
+    def test_higher_z_concentrates_head(self):
+        low = ZipfDistribution(40, 1.0).pmf(1)
+        high = ZipfDistribution(40, 2.0).pmf(1)
+        assert high > low
+
+    def test_rank_out_of_range_rejected(self):
+        zipf = ZipfDistribution(5, 1.0)
+        with pytest.raises(DataGenerationError):
+            zipf.pmf(0)
+        with pytest.raises(DataGenerationError):
+            zipf.pmf(6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DataGenerationError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(DataGenerationError):
+            ZipfDistribution(5, -0.5)
+
+    def test_single_element_population(self):
+        zipf = ZipfDistribution(1, 2.0)
+        assert zipf.pmf(1) == pytest.approx(1.0)
+
+
+class TestZipfSampling:
+    def test_sample_rank_in_range(self):
+        zipf = ZipfDistribution(10, 1.0)
+        rng = random.Random(0)
+        ranks = [zipf.sample_rank(rng) for _ in range(1000)]
+        assert all(1 <= r <= 10 for r in ranks)
+
+    def test_sample_rank_follows_pmf_roughly(self):
+        zipf = ZipfDistribution(5, 1.0)
+        rng = random.Random(1)
+        counts = [0] * 5
+        n = 20_000
+        for _ in range(n):
+            counts[zipf.sample_rank(rng) - 1] += 1
+        for rank in range(1, 6):
+            expected = zipf.pmf(rank)
+            assert counts[rank - 1] / n == pytest.approx(expected, abs=0.02)
+
+    def test_sample_counts_sum_to_total(self):
+        zipf = ZipfDistribution(40, 2.0)
+        counts = zipf.sample_counts(15_000, random.Random(2))
+        assert counts.sum() == 15_000
+
+    def test_sample_counts_deterministic_under_seed(self):
+        zipf = ZipfDistribution(40, 1.0)
+        a = zipf.sample_counts(1000, random.Random(3))
+        b = zipf.sample_counts(1000, random.Random(3))
+        assert np.array_equal(a, b)
+
+    def test_sample_counts_zero_total(self):
+        zipf = ZipfDistribution(10, 1.0)
+        assert ZipfDistribution(10, 1.0).sample_counts(0, random.Random(0)).sum() == 0
+        assert zipf.sample_counts(0, random.Random(0)).shape == (10,)
+
+    def test_negative_total_rejected(self):
+        zipf = ZipfDistribution(10, 1.0)
+        with pytest.raises(DataGenerationError):
+            zipf.sample_counts(-1, random.Random(0))
+
+
+class TestExpectedCounts:
+    def test_expected_counts_sum_to_total(self):
+        for z in (0.0, 1.0, 2.0):
+            zipf = ZipfDistribution(40, z)
+            assert zipf.expected_counts(15_000).sum() == 15_000
+
+    def test_uniform_expected_counts_equal(self):
+        zipf = ZipfDistribution(40, 0.0)
+        counts = zipf.expected_counts(15_000)
+        assert set(counts.tolist()) == {375}
+
+    def test_paper_figure4_head_magnitudes(self):
+        """The paper reports ~3128 (z=1) and ~8700 (z=2) matches in the
+        hottest of 40 partitions out of 15,000 total. The analytical heads
+        are ~3500 and ~9300; one multinomial draw (the paper's method)
+        scatters below that. Check the analytic head is in the right
+        ballpark."""
+        head_z1 = ZipfDistribution(40, 1.0).expected_counts(15_000)[0]
+        head_z2 = ZipfDistribution(40, 2.0).expected_counts(15_000)[0]
+        assert 2800 <= head_z1 <= 4000
+        assert 8000 <= head_z2 <= 10_000
+
+    def test_expected_counts_monotone_in_rank(self):
+        counts = ZipfDistribution(40, 1.0).expected_counts(15_000)
+        assert all(counts[i] >= counts[i + 1] for i in range(39))
+
+    def test_rounding_preserves_total_small(self):
+        zipf = ZipfDistribution(7, 1.3)
+        for total in (1, 5, 13, 999):
+            assert zipf.expected_counts(total).sum() == total
