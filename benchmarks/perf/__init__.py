@@ -1,0 +1,12 @@
+"""Persistent performance harness.
+
+Times the discrete-event kernel (events/sec, against a frozen copy of
+the seed kernel), one reference Figure-5 cell, and a small sweep grid
+serial vs parallel, then writes ``BENCH_PR<n>.json`` at the repo root so
+the perf trajectory survives across PRs.
+
+Run with::
+
+    PYTHONPATH=src python -m benchmarks.perf          # full run
+    PYTHONPATH=src python -m benchmarks.perf --quick  # CI smoke variant
+"""

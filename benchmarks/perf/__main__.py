@@ -1,0 +1,3 @@
+from benchmarks.perf.harness import main
+
+raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Kernel, cell, and sweep timings; writes ``BENCH_PR1.json``.
+
+The kernel microbenchmark drives the same workload shape through the
+seed kernel copy (:mod:`benchmarks.perf.seed_kernel`) and the live
+kernel (:mod:`repro.sim`): a deep heap of self-re-arming events plus a
+population of periodic pollers, which is what the simulated cluster's
+hot loop looks like (heartbeats, evaluation pollers, metrics samples,
+task completions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_FILE = REPO_ROOT / "BENCH_PR1.json"
+
+KERNEL_EVENTS = 200_000
+KERNEL_OUTSTANDING = 5_000
+KERNEL_PERIODIC_TASKS = 50
+
+
+# ---------------------------------------------------------------------------
+# Kernel microbenchmark
+# ---------------------------------------------------------------------------
+def _drive_kernel(simulator_cls, periodic_cls, *, events: int) -> float:
+    """Events/sec for one kernel implementation on the standard workload."""
+    sim = simulator_cls()
+
+    def noop() -> None:
+        pass
+
+    def rearm() -> None:
+        sim.schedule(10.0, rearm)
+
+    for i in range(KERNEL_OUTSTANDING):
+        sim.schedule(float(i % 100), rearm)
+    tasks = [periodic_cls(sim, 3.0, noop) for _ in range(KERNEL_PERIODIC_TASKS)]
+
+    start = time.perf_counter()
+    sim.run(max_events=events)
+    elapsed = time.perf_counter() - start
+    for task in tasks:
+        task.cancel()
+    return events / elapsed
+
+
+def bench_kernel(*, events: int = KERNEL_EVENTS, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` events/sec for the seed and current kernels."""
+    from benchmarks.perf.seed_kernel import SeedPeriodicTask, SeedSimulator
+    from repro.sim.simulator import PeriodicTask, Simulator
+
+    seed = max(
+        _drive_kernel(SeedSimulator, SeedPeriodicTask, events=events)
+        for _ in range(repeats)
+    )
+    current = max(
+        _drive_kernel(Simulator, PeriodicTask, events=events) for _ in range(repeats)
+    )
+    return {
+        "workload": {
+            "events": events,
+            "outstanding_events": KERNEL_OUTSTANDING,
+            "periodic_tasks": KERNEL_PERIODIC_TASKS,
+            "repeats": repeats,
+        },
+        "seed_events_per_sec": round(seed),
+        "events_per_sec": round(current),
+        "speedup": round(current / seed, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Reference Figure-5 cell
+# ---------------------------------------------------------------------------
+def bench_figure5_cell(*, repeats: int = 3) -> dict:
+    """Wall-clock for one mid-grid Figure-5 cell (100x, z=1, LA)."""
+    from repro.experiments.single_user import run_single_user_cell
+
+    params = dict(scale=100, z=1, policy="LA", seeds=(0, 1, 2))
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_single_user_cell(**params)
+        best = min(best, time.perf_counter() - start)
+    return {"params": {**params, "seeds": list(params["seeds"])}, "seconds": round(best, 4)}
+
+
+# ---------------------------------------------------------------------------
+# Sweep engine serial vs parallel
+# ---------------------------------------------------------------------------
+def bench_sweep(*, jobs: int = 4) -> dict:
+    """The paper's Figure-5 grid (75 cells, 5 seeds) serial vs parallel.
+
+    Datasets are pre-built (they are memoized process-wide and, under
+    fork, inherited by the workers) so both runs time only simulation
+    work. On a multi-core machine the parallel run approaches
+    ``jobs``-times faster; ``cpu_count`` is recorded so a single-core CI
+    box's numbers are interpretable.
+    """
+    from repro.experiments.setup import (
+        PAPER_POLICIES,
+        PAPER_SCALES,
+        PAPER_SKEWS,
+        dataset_for,
+    )
+    from repro.experiments.sweep import figure5_points, run_sweep
+
+    seeds = (0, 1, 2, 3, 4)  # the paper averages 5 runs per cell
+    for scale in PAPER_SCALES:
+        for z in PAPER_SKEWS:
+            for seed in seeds:
+                dataset_for(scale, z, seed)
+    points = figure5_points(
+        scales=PAPER_SCALES,
+        skews=PAPER_SKEWS,
+        policies=PAPER_POLICIES,
+        seeds=seeds,
+        sample_size=10_000,
+    )
+    start = time.perf_counter()
+    run_sweep(points, jobs=1)
+    serial = time.perf_counter() - start
+    start = time.perf_counter()
+    run_sweep(points, jobs=jobs)
+    parallel = time.perf_counter() - start
+    return {
+        "grid_cells": len(points),
+        "seeds_per_cell": len(seeds),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial, 3),
+        "parallel_seconds": round(parallel, 3),
+        "speedup": round(serial / parallel, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke variant: fewer events/repeats, skip the sweep timing",
+    )
+    parser.add_argument("--jobs", type=int, default=4, help="sweep parallel worker count")
+    parser.add_argument("--out", default=str(BENCH_FILE), help="output JSON path")
+    args = parser.parse_args(argv)
+
+    events = 50_000 if args.quick else KERNEL_EVENTS
+    repeats = 2 if args.quick else 3
+
+    print(f"kernel microbenchmark ({events:,} events, best of {repeats}) ...")
+    kernel = bench_kernel(events=events, repeats=repeats)
+    print(
+        f"  seed    {kernel['seed_events_per_sec']:>12,} events/sec\n"
+        f"  current {kernel['events_per_sec']:>12,} events/sec"
+        f"  ({kernel['speedup']:.2f}x)"
+    )
+
+    print("reference Figure-5 cell (100x, z=1, LA, 3 seeds) ...")
+    cell = bench_figure5_cell(repeats=repeats)
+    print(f"  {cell['seconds']:.3f} s")
+
+    result = {
+        "pr": 1,
+        "kernel": kernel,
+        "figure5_cell": cell,
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+        },
+    }
+
+    if not args.quick:
+        print(f"sweep grid serial vs --jobs {args.jobs} ...")
+        sweep = bench_sweep(jobs=args.jobs)
+        print(
+            f"  serial {sweep['serial_seconds']:.2f} s, "
+            f"parallel {sweep['parallel_seconds']:.2f} s "
+            f"({sweep['speedup']:.2f}x on {sweep['cpu_count']} cores)"
+        )
+        result["sweep"] = sweep
+
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Frozen copy of the seed (PR-0) discrete-event kernel.
+
+This is the "before" side of the kernel microbenchmark: the original
+``repro.sim`` implementation with a ``dataclass(order=True)`` event
+compared by Python ``__lt__`` in the heap, a module-global tie-break
+counter, and a fresh ``ScheduledEvent`` + ``EventHandle`` allocation per
+:class:`SeedPeriodicTask` fire. Keep it in sync with nothing — it exists
+precisely so the live kernel can drift away from it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class SeedScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+
+class SeedEventHandle:
+    __slots__ = ("_event",)
+
+    def __init__(self, event: SeedScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> bool:
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+
+_sequence = itertools.count()
+
+
+class SeedSimulator:
+    """The seed event loop, verbatim modulo class names."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._heap: list[SeedScheduledEvent] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any, label: str = ""
+    ) -> SeedEventHandle:
+        event = SeedScheduledEvent(
+            time=self._now + delay,
+            seq=next(_sequence),
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return SeedEventHandle(event)
+
+    def run(self, max_events: int | None = None) -> float:
+        while self._heap:
+            if max_events is not None and self._events_processed >= max_events:
+                break
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            heapq.heappop(self._heap)
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+        return self._now
+
+
+class SeedPeriodicTask:
+    def __init__(
+        self,
+        sim: SeedSimulator,
+        period: float,
+        callback: Callable[[], Any],
+        *,
+        start_delay: float | None = None,
+        label: str = "",
+    ) -> None:
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._cancelled = False
+        first = period if start_delay is None else start_delay
+        self._handle = sim.schedule(first, self._fire, label=label)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._handle = self._sim.schedule(self._period, self._fire, label=self._label)

@@ -4,10 +4,16 @@ Commands mirror the deliverables:
 
 * ``tables`` — print Tables I, II and III.
 * ``figure4`` … ``figure8`` — regenerate one figure of the evaluation.
+* ``sweep`` — regenerate a figure's grid in parallel with result caching
+  (``python -m repro sweep --figure 5 --jobs 8``).
 * ``sample`` — run a single sampling job on the simulated cluster.
 * ``query`` — execute a SQL statement against a small demo warehouse
   with real (LocalRunner) execution.
 * ``policies`` — write the default policy catalogue as policy.xml.
+
+The figure commands accept ``--jobs N`` (process-pool fan-out over the
+grid's independent cells; ``--jobs 1`` is the plain serial path) and
+``--cache`` (reuse cached cells from ``.repro_cache/``).
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ from repro.experiments.single_user import (
     run_single_user_experiment,
 )
 from repro.experiments.skew_figure import figure4_series
+from repro.experiments.sweep import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.tables import (
     TABLE1_HEADERS,
     TABLE2_HEADERS,
@@ -61,6 +68,28 @@ def _int_list(text: str) -> tuple[int, ...]:
 
 def _float_list(text: str) -> tuple[float, ...]:
     return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    """--jobs / --cache / --cache-dir, shared by the figure and sweep commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the grid's cells on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse unchanged cells from the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _cache_from(args) -> ResultCache | None:
+    if getattr(args, "cache", False):
+        return ResultCache(args.cache_dir)
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,11 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--scales", type=_int_list, default=PAPER_SCALES)
     fig5.add_argument("--skews", type=_int_list, default=(0, 1, 2))
     fig5.add_argument("--seeds", type=_int_list, default=(0, 1, 2))
+    _add_parallel_args(fig5)
 
     fig6 = commands.add_parser("figure6", help="homogeneous multiuser throughput")
     fig6.add_argument("--skews", type=_int_list, default=(0, 2))
     fig6.add_argument("--seeds", type=_int_list, default=(0,))
     fig6.add_argument("--measurement", type=float, default=2400.0)
+    _add_parallel_args(fig6)
 
     for name in ("figure7", "figure8"):
         fig = commands.add_parser(
@@ -98,6 +129,35 @@ def build_parser() -> argparse.ArgumentParser:
         fig.add_argument("--fractions", type=_float_list, default=PAPER_FRACTIONS)
         fig.add_argument("--seeds", type=_int_list, default=(0,))
         fig.add_argument("--measurement", type=float, default=3600.0)
+        _add_parallel_args(fig)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="regenerate a figure's grid in parallel with result caching",
+    )
+    sweep.add_argument("--figure", type=int, required=True, choices=(4, 5, 6, 7, 8))
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache (enabled by default for sweeps)",
+    )
+    sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    sweep.add_argument("--scales", type=_int_list, default=PAPER_SCALES)
+    sweep.add_argument(
+        "--skews", type=_int_list, default=None,
+        help="default: 0,1,2 for figure 5; 0,2 for figure 6",
+    )
+    sweep.add_argument("--seeds", type=_int_list, default=None)
+    sweep.add_argument("--fractions", type=_float_list, default=PAPER_FRACTIONS)
+    sweep.add_argument(
+        "--measurement", type=float, default=None,
+        help="default: 2400 s for figure 6, 3600 s for figures 7/8",
+    )
+    sweep.add_argument("--scale", type=float, default=5, help="figure 4 dataset scale")
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
 
     sample = commands.add_parser("sample", help="run one sampling job")
     sample.add_argument("--scale", type=float, default=100)
@@ -131,7 +191,10 @@ def cmd_tables(_args, out) -> int:
 
 
 def cmd_figure4(args, out) -> int:
-    series = figure4_series(scale=args.scale, seed=args.seed)
+    series = figure4_series(
+        scale=args.scale, seed=args.seed,
+        jobs=getattr(args, "jobs", 1), cache=_cache_from(args),
+    )
     rows = [
         [rank + 1] + [series[z].counts_by_rank[rank] for z in (0, 1, 2)]
         for rank in range(min(args.top, len(series[0].counts_by_rank)))
@@ -147,9 +210,21 @@ def cmd_figure4(args, out) -> int:
     return 0
 
 
+def _progress_printer(args, out):
+    if getattr(args, "quiet", False):
+        return None
+
+    def progress(point, status):
+        print(f"[{status:>6}] {point.describe()}", file=out)
+
+    return progress if getattr(args, "_sweep_progress", False) else None
+
+
 def cmd_figure5(args, out) -> int:
     cells = run_single_user_experiment(
-        scales=args.scales, skews=args.skews, seeds=args.seeds
+        scales=args.scales, skews=args.skews, seeds=args.seeds,
+        jobs=args.jobs, cache=_cache_from(args),
+        progress=_progress_printer(args, out),
     )
     for z in args.skews:
         print(
@@ -175,7 +250,9 @@ def cmd_figure5(args, out) -> int:
 
 def cmd_figure6(args, out) -> int:
     cells = run_homogeneous_experiment(
-        skews=args.skews, seeds=args.seeds, measurement=args.measurement
+        skews=args.skews, seeds=args.seeds, measurement=args.measurement,
+        jobs=args.jobs, cache=_cache_from(args),
+        progress=_progress_printer(args, out),
     )
     for z in args.skews:
         print(
@@ -196,6 +273,9 @@ def _cmd_heterogeneous(args, out, *, scheduler: str, figure: str) -> int:
         fractions=args.fractions,
         seeds=args.seeds,
         measurement=args.measurement,
+        jobs=args.jobs,
+        cache=_cache_from(args),
+        progress=_progress_printer(args, out),
     )
     for user_class, label in (
         (UserClass.SAMPLING, "(a) Sampling"),
@@ -217,6 +297,35 @@ def _cmd_heterogeneous(args, out, *, scheduler: str, figure: str) -> int:
         file=out,
     )
     return 0
+
+
+def cmd_sweep(args, out) -> int:
+    """Regenerate one figure's grid, fanning cells out over worker processes.
+
+    Delegates to the matching figure command after filling in per-figure
+    defaults, with the result cache on (unless ``--no-cache``) and
+    per-cell progress lines.
+    """
+    args.cache = not args.no_cache
+    args._sweep_progress = True
+    figure = args.figure
+    if args.seeds is None:
+        args.seeds = (0, 1, 2) if figure == 5 else (0,)
+    if args.skews is None:
+        args.skews = (0, 2) if figure == 6 else (0, 1, 2)
+    if args.measurement is None:
+        args.measurement = 2400.0 if figure == 6 else 3600.0
+    if figure == 4:
+        args.seed = args.seeds[0]
+        args.top = 10
+        return cmd_figure4(args, out)
+    if figure == 5:
+        return cmd_figure5(args, out)
+    if figure == 6:
+        return cmd_figure6(args, out)
+    if figure == 7:
+        return _cmd_heterogeneous(args, out, scheduler="fifo", figure="Figure 7")
+    return _cmd_heterogeneous(args, out, scheduler="fair", figure="Figure 8")
 
 
 def cmd_sample(args, out) -> int:
@@ -302,6 +411,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "figure8": lambda a, o: _cmd_heterogeneous(
             a, o, scheduler="fair", figure="Figure 8"
         ),
+        "sweep": cmd_sweep,
         "sample": cmd_sample,
         "query": cmd_query,
         "policies": cmd_policies,

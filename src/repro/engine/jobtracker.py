@@ -21,7 +21,7 @@ from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.topology import ClusterTopology
 from repro.dfs.split import InputSplit
 from repro.engine.job import ClusterStatus, Job, JobState
-from repro.engine.jobconf import JobConf, next_job_id
+from repro.engine.jobconf import JobConf
 from repro.engine.scheduler.base import TaskScheduler
 from repro.engine.scheduler.fifo import FifoScheduler
 from repro.engine.task import MapTask, ReduceTask, TaskState
@@ -81,6 +81,10 @@ class JobTracker:
         self._retry_scheduled = False
         self._node_rotation = itertools.cycle([n.node_id for n in topology.nodes])
         self._reduce_ids = itertools.count(1)
+        # Per-tracker, so a job's id depends only on its submission order
+        # within this cluster — not on process history (determinism: two
+        # back-to-back runs must produce byte-identical JobResults).
+        self._job_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Client-facing API
@@ -97,7 +101,7 @@ class JobTracker:
         """Register a new job. For static jobs ``input_complete`` is True
         and ``splits`` is the whole input; dynamic jobs start smaller."""
         job = Job(
-            next_job_id(),
+            f"job_{next(self._job_ids):06d}",
             conf,
             total_splits_known=total_splits_known,
             submit_time=self._sim.now,

@@ -80,3 +80,7 @@ class HiveAnalysisError(HiveError):
 
 class WorkloadError(ReproError):
     """A workload definition or run was invalid."""
+
+
+class SweepError(ReproError):
+    """An experiment sweep was configured or executed incorrectly."""

@@ -36,6 +36,7 @@ from repro.experiments.setup import (
 )
 from repro.experiments.single_user import SingleUserCell, run_single_user_experiment
 from repro.experiments.skew_figure import figure4_series
+from repro.experiments.sweep import ResultCache, SweepPoint, run_sweep, run_sweep_point
 from repro.experiments.tables import table1_rows, table2_rows, table3_rows
 
 __all__ = [
@@ -46,7 +47,9 @@ __all__ = [
     "PAPER_SAMPLE_SIZE",
     "PAPER_SCALES",
     "PAPER_SKEWS",
+    "ResultCache",
     "SingleUserCell",
+    "SweepPoint",
     "dataset_for",
     "figure4_series",
     "multiuser_cluster",
@@ -54,6 +57,8 @@ __all__ = [
     "run_heterogeneous_experiment",
     "run_homogeneous_experiment",
     "run_single_user_experiment",
+    "run_sweep",
+    "run_sweep_point",
     "single_user_cluster",
     "table1_rows",
     "table2_rows",

@@ -98,21 +98,28 @@ def run_heterogeneous_experiment(
     num_users: int = PAPER_NUM_USERS,
     warmup: float = 1200.0,
     measurement: float = 3600.0,
+    jobs: int | None = 1,
+    cache=None,
+    progress=None,
 ) -> dict[tuple[str, float], HeterogeneousCell]:
-    """One full figure (7 or 8), keyed by (policy, fraction)."""
+    """One full figure (7 or 8), keyed by (policy, fraction).
+
+    Fans out through the sweep engine: see
+    :func:`repro.experiments.single_user.run_single_user_experiment`.
+    """
+    from repro.experiments.sweep import heterogeneous_points, run_sweep
+
+    figure = "figure8" if scheduler == "fair" else "figure7"
+    points = heterogeneous_points(
+        figure=figure, scheduler=scheduler, fractions=fractions,
+        policies=policies, seeds=seeds, scale=scale,
+        num_users=num_users, warmup=warmup, measurement=measurement,
+    )
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
     cells = {}
-    for fraction in fractions:
-        for policy in policies:
-            cells[(policy, fraction)] = run_heterogeneous_cell(
-                policy=policy,
-                sampling_fraction=fraction,
-                scheduler=scheduler,
-                seeds=seeds,
-                scale=scale,
-                num_users=num_users,
-                warmup=warmup,
-                measurement=measurement,
-            )
+    for point in points:
+        params = point.as_dict()
+        cells[(params["policy"], params["sampling_fraction"])] = results[point]
     return cells
 
 

@@ -89,15 +89,26 @@ def run_homogeneous_experiment(
     num_users: int = PAPER_NUM_USERS,
     warmup: float = 600.0,
     measurement: float = 2400.0,
+    jobs: int | None = 1,
+    cache=None,
+    progress=None,
 ) -> dict[tuple[str, int], MultiuserCell]:
-    """The Figure 6 grid, keyed by (policy, z)."""
+    """The Figure 6 grid, keyed by (policy, z).
+
+    Fans out through the sweep engine: see
+    :func:`repro.experiments.single_user.run_single_user_experiment`.
+    """
+    from repro.experiments.sweep import figure6_points, run_sweep
+
+    points = figure6_points(
+        skews=skews, policies=policies, seeds=seeds, scale=scale,
+        num_users=num_users, warmup=warmup, measurement=measurement,
+    )
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
     cells = {}
-    for z in skews:
-        for policy in policies:
-            cells[(policy, z)] = run_homogeneous_cell(
-                policy=policy, z=z, seeds=seeds, scale=scale,
-                num_users=num_users, warmup=warmup, measurement=measurement,
-            )
+    for point in points:
+        params = point.as_dict()
+        cells[(params["policy"], params["z"])] = results[point]
     return cells
 
 

@@ -86,16 +86,29 @@ def run_single_user_experiment(
     policies: tuple[str, ...] = PAPER_POLICIES,
     seeds: tuple[int, ...] = (0, 1, 2),
     sample_size: int = PAPER_SAMPLE_SIZE,
+    jobs: int | None = 1,
+    cache=None,
+    progress=None,
 ) -> dict[tuple[float, int, str], SingleUserCell]:
-    """The full Figure 5 grid, keyed by (scale, z, policy)."""
+    """The full Figure 5 grid, keyed by (scale, z, policy).
+
+    Each cell is independent, so the grid fans out through the sweep
+    engine: ``jobs=N`` runs cells on a process pool, ``jobs=1`` (the
+    default) runs them in-process in grid order, and ``cache`` (a
+    :class:`repro.experiments.sweep.ResultCache`) skips cells whose
+    config has not changed since the last run.
+    """
+    from repro.experiments.sweep import figure5_points, run_sweep
+
+    points = figure5_points(
+        scales=scales, skews=skews, policies=policies,
+        seeds=seeds, sample_size=sample_size,
+    )
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
     cells = {}
-    for z in skews:
-        for scale in scales:
-            for policy in policies:
-                cells[(scale, z, policy)] = run_single_user_cell(
-                    scale=scale, z=z, policy=policy, seeds=seeds,
-                    sample_size=sample_size,
-                )
+    for point in points:
+        params = point.as_dict()
+        cells[(params["scale"], params["z"], params["policy"])] = results[point]
     return cells
 
 

@@ -34,15 +34,32 @@ class Figure4Series:
         return self.counts_by_rank[:n]
 
 
-def figure4_series(scale: float = 5, seed: int = 0) -> dict[int, Figure4Series]:
-    """Per-skew-level match distributions for the given dataset scale."""
-    series = {}
-    for z in (0, 1, 2):
-        dataset = dataset_for(scale, z, seed)
-        placement = dataset.placement_for(predicate_for_skew(z).name)
-        series[z] = Figure4Series(
-            z=z,
-            counts_by_rank=tuple(int(c) for c in placement.sorted_counts()),
-            total_matches=placement.total_matches,
-        )
-    return series
+def run_figure4_point(*, scale: float, z: int, seed: int = 0) -> Figure4Series:
+    """One skew level's placement distribution (one sweep cell)."""
+    dataset = dataset_for(scale, z, seed)
+    placement = dataset.placement_for(predicate_for_skew(z).name)
+    return Figure4Series(
+        z=z,
+        counts_by_rank=tuple(int(c) for c in placement.sorted_counts()),
+        total_matches=placement.total_matches,
+    )
+
+
+def figure4_series(
+    scale: float = 5,
+    seed: int = 0,
+    *,
+    jobs: int | None = 1,
+    cache=None,
+) -> dict[int, Figure4Series]:
+    """Per-skew-level match distributions for the given dataset scale.
+
+    ``jobs``/``cache`` route the three skew levels through the sweep
+    engine (:mod:`repro.experiments.sweep`); the default ``jobs=1`` with
+    no cache is the plain in-process path.
+    """
+    from repro.experiments.sweep import figure4_points, run_sweep
+
+    points = figure4_points(scale=scale, seed=seed)
+    results = run_sweep(points, jobs=jobs, cache=cache)
+    return {point.as_dict()["z"]: results[point] for point in points}

@@ -1,27 +1,55 @@
-"""Event objects and handles for the discrete-event kernel."""
+"""Event objects and handles for the discrete-event kernel.
+
+Performance notes
+-----------------
+``ScheduledEvent`` is a plain ``__slots__`` class and the simulator's heap
+holds ``(time, seq, event)`` tuples rather than the events themselves, so
+``heapq`` orders entries with C-level tuple comparison instead of calling a
+Python ``__lt__`` per comparison. ``seq`` is unique per simulator, so the
+comparison never reaches the (non-comparable) event in the third slot.
+"""
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """An event sitting in the simulator's priority queue.
 
     Ordering is by ``(time, seq)`` so that events scheduled for the same
     instant fire in the order they were scheduled (FIFO tie-break), which
-    keeps runs deterministic.
+    keeps runs deterministic. ``seq`` is per-:class:`Simulator` — two
+    simulators in one process never share tie-break numbers, so a run's
+    event sequence cannot depend on what ran before it.
+
+    ``live`` tracks heap membership: True while the event is queued and
+    not cancelled, False once it is popped for execution or cancelled.
+    It lets the simulator keep an O(1) live-event count and guarantees a
+    cancellation decrements that count exactly once.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    label: str = field(compare=False, default="")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "live", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.live = True
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("live" if self.live else "done")
+        return f"ScheduledEvent(t={self.time:.3f}, seq={self.seq}, {state})"
 
 
 class EventHandle:
@@ -32,10 +60,11 @@ class EventHandle:
     heap but is skipped when popped.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: ScheduledEvent) -> None:
+    def __init__(self, event: ScheduledEvent, sim=None) -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -52,19 +81,16 @@ class EventHandle:
 
     def cancel(self) -> bool:
         """Cancel the event. Returns True if it was live, False if already cancelled."""
-        if self._event.cancelled:
+        event = self._event
+        if event.cancelled:
             return False
-        self._event.cancelled = True
+        event.cancelled = True
+        if event.live:
+            event.live = False
+            if self._sim is not None:
+                self._sim._on_cancel()
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"EventHandle(t={self.time:.3f}, {state}, label={self.label!r})"
-
-
-_sequence = itertools.count()
-
-
-def next_sequence() -> int:
-    """Global monotonically increasing tie-break counter."""
-    return next(_sequence)

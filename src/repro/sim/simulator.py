@@ -8,6 +8,19 @@ The kernel is intentionally callback-based rather than coroutine-based:
 the Hadoop components built on top (JobTracker, TaskTrackers, JobClients)
 are naturally event-driven state machines, and callbacks keep stack traces
 shallow and runs reproducible.
+
+Hot-path design (the whole evaluation pipeline is bottlenecked on this
+loop):
+
+* heap entries are ``(time, seq, event)`` tuples, ordered by C-level tuple
+  comparison — no Python ``__lt__`` call per heap comparison;
+* the tie-break ``seq`` counter is per-simulator, so event ordering (and
+  therefore results) cannot depend on other simulators in the process;
+* a live-event counter is maintained on schedule/cancel/pop, making
+  :attr:`Simulator.pending_events` O(1) instead of an O(n) heap scan;
+* :class:`PeriodicTask` re-arms by recycling its one event object through
+  :meth:`Simulator._reschedule` instead of allocating a fresh
+  ``ScheduledEvent`` + ``EventHandle`` per fire.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
-from repro.sim.events import EventHandle, ScheduledEvent, next_sequence
+from repro.sim.events import EventHandle, ScheduledEvent
 
 
 class Simulator:
@@ -32,7 +45,9 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._clock = SimClock(start_time)
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
+        self._seq = 0
+        self._live = 0
         self._running = False
         self._stopped = False
         self._events_processed = 0
@@ -43,7 +58,7 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self._clock.now
+        return self._clock._now
 
     @property
     def clock(self) -> SimClock:
@@ -56,8 +71,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events still queued. O(1)."""
+        return self._live
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -72,7 +87,13 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay}s in the past")
-        return self.schedule_at(self.now + delay, callback, *args, label=label)
+        time = self._clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, callback, args, label)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -82,23 +103,42 @@ class Simulator:
         label: str = "",
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
-        if time < self.now:
+        if time < self._clock._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        event = ScheduledEvent(
-            time=float(time),
-            seq=next_sequence(),
-            callback=callback,
-            args=args,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(float(time), seq, callback, args, label)
+        heapq.heappush(self._heap, (event.time, seq, event))
+        self._live += 1
+        return EventHandle(event, self)
 
     def call_now(self, callback: Callable[..., Any], *args: Any, label: str = "") -> EventHandle:
         """Schedule ``callback`` at the current instant (after pending same-time events)."""
         return self.schedule(0.0, callback, *args, label=label)
+
+    def _reschedule(self, event: ScheduledEvent, delay: float) -> None:
+        """Re-arm an already-fired event ``delay`` seconds from now.
+
+        Internal fast path for :class:`PeriodicTask`: recycles the event
+        object (and thereby its handle) instead of allocating new ones.
+        The event must have been popped already (``live`` False) and not
+        cancelled.
+        """
+        if event.cancelled or event.live:
+            raise SimulationError("can only reschedule a fired, uncancelled event")
+        event.time = self._clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        event.live = True
+        heapq.heappush(self._heap, (event.time, seq, event))
+        self._live += 1
+
+    def _on_cancel(self) -> None:
+        """A queued live event was cancelled (called by EventHandle.cancel)."""
+        self._live -= 1
 
     # ------------------------------------------------------------------
     # Running
@@ -125,39 +165,51 @@ class Simulator:
             raise SimulationError(f"cannot run until t={until}, already at t={self.now}")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        clock = self._clock
+        heappop = heapq.heappop
+        processed = self._events_processed
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                if max_events is not None and self._events_processed >= max_events:
+                if max_events is not None and processed >= max_events:
                     break
-                event = self._heap[0]
+                entry = heap[0]
+                event = entry[2]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
-                self._clock.advance_to(event.time)
-                self._events_processed += 1
+                heappop(heap)
+                event.live = False
+                self._live -= 1
+                # Heap order guarantees monotone times, so skip the
+                # backwards-motion check in SimClock.advance_to here.
+                clock._now = entry[0]
+                processed += 1
+                self._events_processed = processed
                 event.callback(*event.args)
             if (
                 until is not None
                 and advance_clock
                 and not self._stopped
-                and self.now < until
+                and clock._now < until
             ):
-                self._clock.advance_to(until)
+                clock.advance_to(until)
         finally:
             self._running = False
-        return self.now
+        return clock._now
 
     def step(self) -> bool:
         """Execute exactly one live event. Returns False when none remain."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            _time, _seq, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.live = False
+            self._live -= 1
             self._clock.advance_to(event.time)
             self._events_processed += 1
             event.callback(*event.args)
@@ -170,11 +222,12 @@ class Simulator:
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -189,6 +242,10 @@ class PeriodicTask:
     Used for pollers such as the dynamic-job evaluation loop and the
     cluster metrics monitor. The callback may call :meth:`cancel` from
     within itself to stop the loop.
+
+    The task owns a single :class:`ScheduledEvent` that is recycled
+    through :meth:`Simulator._reschedule` on every fire, so a poller that
+    ticks thousands of times allocates its event machinery once.
     """
 
     def __init__(
@@ -209,6 +266,7 @@ class PeriodicTask:
         self._cancelled = False
         first = period if start_delay is None else start_delay
         self._handle = sim.schedule(first, self._fire, label=label)
+        self._event = self._handle._event
 
     @property
     def cancelled(self) -> bool:
@@ -223,4 +281,4 @@ class PeriodicTask:
             return
         self._callback()
         if not self._cancelled:
-            self._handle = self._sim.schedule(self._period, self._fire, label=self._label)
+            self._sim._reschedule(self._event, self._period)

@@ -1,0 +1,116 @@
+"""Parallel sweep integration: process-pool runs must match the serial
+path cell-for-cell, and the CLI ``sweep`` command must cache and reuse.
+"""
+
+import pickle
+
+from repro.cli import main
+from repro.experiments.sweep import ResultCache, figure4_points, figure5_points, run_sweep
+
+SMALL_GRID = dict(
+    scales=(5,), skews=(0, 1), policies=("Hadoop", "C"), seeds=(0,), sample_size=10_000
+)
+
+
+class TestParallelMatchesSerial:
+    def test_figure5_grid_cells_byte_identical(self):
+        points = figure5_points(**SMALL_GRID)
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=4)
+        for point in points:
+            assert pickle.dumps(parallel[point]) == pickle.dumps(serial[point]), (
+                f"parallel run diverged at {point.describe()}"
+            )
+
+    def test_figure4_parallel_matches_serial(self):
+        points = figure4_points(scale=5, seed=0)
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=3)
+        for point in points:
+            assert pickle.dumps(parallel[point]) == pickle.dumps(serial[point])
+
+    def test_parallel_populates_cache_identically(self, tmp_path):
+        points = figure5_points(**SMALL_GRID)
+        serial_cache = ResultCache(tmp_path / "serial")
+        parallel_cache = ResultCache(tmp_path / "parallel")
+        run_sweep(points, jobs=1, cache=serial_cache)
+        run_sweep(points, jobs=4, cache=parallel_cache)
+        for point in points:
+            assert serial_cache.path(point).read_bytes() == parallel_cache.path(
+                point
+            ).read_bytes()
+
+
+class TestExperimentDeterminism:
+    def test_back_to_back_cluster_runs_identical(self):
+        """Fresh clusters replay identically in one process (regression:
+        the event tie-break counter used to be a process-wide global)."""
+        from repro.core.sampling_job import make_sampling_conf
+        from repro.data.predicates import predicate_for_skew
+        from repro.experiments.setup import dataset_for, single_user_cluster
+
+        def run_once():
+            cluster = single_user_cluster(seed=0)
+            cluster.load_dataset("/data/lineitem", dataset_for(5, 1, 0))
+            conf = make_sampling_conf(
+                name="determinism", input_path="/data/lineitem",
+                predicate=predicate_for_skew(1), sample_size=10_000,
+                policy_name="LA",
+            )
+            result = cluster.run_job(conf)
+            return result, cluster.sim.events_processed
+
+        first_result, first_events = run_once()
+        second_result, second_events = run_once()
+        assert first_events == second_events
+        assert pickle.dumps(first_result) == pickle.dumps(second_result)
+
+    def test_repeated_experiment_identical(self):
+        from repro.experiments.single_user import run_single_user_cell
+
+        runs = [
+            pickle.dumps(run_single_user_cell(scale=5, z=2, policy="MA", seeds=(0, 1)))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestSweepCli:
+    def run_cli(self, argv, capsys):
+        code = main(argv)
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_sweep_runs_then_caches(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--figure", "5", "--scales", "5", "--skews", "0",
+            "--seeds", "0", "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        first = self.run_cli(argv, capsys)
+        assert "[   ran]" in first
+        assert "Figure 5 — response time (s), z=0" in first
+        second = self.run_cli(argv, capsys)
+        assert "[cached]" in second
+        assert "[   ran]" not in second
+        # The regenerated tables are identical either way.
+        assert first.split("Figure 5")[1] == second.split("Figure 5")[1]
+
+    def test_sweep_no_cache_reruns(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--figure", "4", "--jobs", "1", "--no-cache",
+            "--cache-dir", str(tmp_path),
+        ]
+        out = self.run_cli(argv, capsys)
+        assert "Figure 4" in out
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_figure_command_accepts_jobs_and_cache(self, tmp_path, capsys):
+        out = self.run_cli(
+            [
+                "figure5", "--scales", "5", "--skews", "0", "--seeds", "0",
+                "--jobs", "2", "--cache", "--cache-dir", str(tmp_path),
+            ],
+            capsys,
+        )
+        assert "Figure 5" in out
+        assert list(tmp_path.glob("*.pkl"))

@@ -199,6 +199,108 @@ class TestRunControl:
             sim.run(until=1.0)
 
 
+class TestSequenceIsolation:
+    """The tie-break counter is per-simulator (regression: it used to be a
+    module global, so a run's event seqs depended on what ran before it)."""
+
+    def test_fresh_simulator_starts_at_seq_zero(self):
+        first = Simulator()
+        first.schedule(1.0, lambda: None)
+        first.schedule(1.0, lambda: None)
+        second = Simulator()
+        handle = second.schedule(1.0, lambda: None)
+        assert handle._event.seq == 0
+
+    def test_two_simulators_assign_identical_sequences(self):
+        def build():
+            sim = Simulator()
+            handles = [sim.schedule(float(i % 3), lambda: None) for i in range(10)]
+            return sim, [h._event.seq for h in handles]
+
+        sim_a, seqs_a = build()
+        sim_b, seqs_b = build()
+        assert seqs_a == seqs_b
+
+    def test_back_to_back_runs_are_identical(self):
+        """Same schedule replayed on a fresh simulator fires identically."""
+
+        def run_once():
+            sim = Simulator()
+            fired = []
+            for i in range(20):
+                sim.schedule(float(i % 4), fired.append, i)
+            sim.run()
+            return fired, sim.events_processed
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+
+class TestLiveEventCounter:
+    """pending_events is an O(1) counter updated on schedule/cancel/pop."""
+
+    def test_counts_schedule_and_pop(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.pending_events == 5
+        sim.step()
+        assert sim.pending_events == 4
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_decrements_exactly_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert handle.cancel() is True
+        assert sim.pending_events == 1
+        assert handle.cancel() is False
+        assert sim.pending_events == 1
+        # Popping the cancelled entry must not decrement again.
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_underflow(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        handle.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_from_within_own_callback(self):
+        sim = Simulator()
+        handles = []
+
+        def fire():
+            handles[0].cancel()
+
+        handles.append(sim.schedule(1.0, fire))
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_periodic_task_keeps_counter_balanced(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        sim.run(until=5.5)
+        assert sim.pending_events == 1  # the re-armed next fire
+        task.cancel()
+        assert sim.pending_events == 0
+
+    def test_counter_matches_heap_scan(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i % 7), lambda: None) for i in range(50)]
+        for handle in handles[::3]:
+            handle.cancel()
+        live_scan = sum(1 for _, _, e in sim._heap if not e.cancelled)
+        assert sim.pending_events == live_scan
+        sim.run(until=3.0)
+        live_scan = sum(1 for _, _, e in sim._heap if not e.cancelled)
+        assert sim.pending_events == live_scan
+
+
 class TestPeriodicTask:
     def test_fires_on_period(self):
         sim = Simulator()

@@ -1,0 +1,170 @@
+"""Unit tests for the sweep engine: points, cache keys, serial runs."""
+
+import pickle
+
+import pytest
+
+from repro.cluster.costmodel import CostModel
+from repro.errors import SweepError
+from repro.experiments.sweep import (
+    ResultCache,
+    SweepPoint,
+    code_fingerprint,
+    figure5_points,
+    figure6_points,
+    heterogeneous_points,
+    resolve_jobs,
+    run_sweep,
+    run_sweep_point,
+)
+
+SMALL_GRID = dict(
+    scales=(5,), skews=(0,), policies=("Hadoop", "C"), seeds=(0,), sample_size=10_000
+)
+
+
+class TestSweepPoint:
+    def test_params_are_sorted_and_hashable(self):
+        point = SweepPoint.make("figure5", z=0, scale=5, policy="C")
+        assert [k for k, _ in point.params] == ["policy", "scale", "z"]
+        assert hash(point) == hash(SweepPoint.make("figure5", scale=5, policy="C", z=0))
+
+    def test_point_is_picklable(self):
+        point = SweepPoint.make("figure5", scale=5, seeds=(0, 1))
+        assert pickle.loads(pickle.dumps(point)) == point
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SweepError):
+            run_sweep_point(SweepPoint.make("figure99"))
+
+    def test_grid_builders_cover_the_cross_product(self):
+        points = figure5_points(
+            scales=(5, 10), skews=(0, 1), policies=("LA",), seeds=(0,), sample_size=10
+        )
+        assert len(points) == 4
+        assert len(set(points)) == 4
+        assert len(figure6_points(
+            skews=(0, 2), policies=("LA", "C"), seeds=(0,), scale=100,
+            num_users=10, warmup=1.0, measurement=2.0,
+        )) == 4
+        assert len(heterogeneous_points(
+            figure="figure7", scheduler="fifo", fractions=(0.2, 0.4),
+            policies=("LA",), seeds=(0,), scale=100, num_users=10,
+            warmup=1.0, measurement=2.0,
+        )) == 2
+
+    def test_heterogeneous_points_reject_other_figures(self):
+        with pytest.raises(SweepError):
+            heterogeneous_points(
+                figure="figure5", scheduler="fifo", fractions=(0.2,),
+                policies=("LA",), seeds=(0,), scale=100, num_users=10,
+                warmup=1.0, measurement=2.0,
+            )
+
+
+class TestResolveJobs:
+    def test_default_is_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(SweepError):
+            resolve_jobs(0)
+
+
+class TestCacheKeys:
+    def test_key_is_stable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = SweepPoint.make("figure5", scale=5)
+        assert cache.key(point) == cache.key(point)
+
+    def test_different_points_different_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key(SweepPoint.make("figure5", scale=5)) != cache.key(
+            SweepPoint.make("figure5", scale=10)
+        )
+
+    def test_cost_model_change_invalidates(self, tmp_path):
+        """Editing a cost-model constant must miss every cached cell."""
+        default = code_fingerprint()
+        slower_disk = code_fingerprint(CostModel(disk_bandwidth_bps=45e6))
+        assert default != slower_disk
+        point = SweepPoint.make("figure5", scale=5)
+        before = ResultCache(tmp_path, fingerprint=default)
+        after = ResultCache(tmp_path, fingerprint=slower_disk)
+        before.put(point, "result")
+        assert ResultCache.is_hit(before.get(point))
+        assert not ResultCache.is_hit(after.get(point))
+
+    def test_torn_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = SweepPoint.make("figure5", scale=5)
+        cache.put(point, "result")
+        cache.path(point).write_bytes(b"")
+        assert not ResultCache.is_hit(cache.get(point))
+
+
+class TestSerialSweep:
+    def test_matches_direct_cell_runs(self):
+        from repro.experiments.single_user import run_single_user_cell
+
+        points = figure5_points(**SMALL_GRID)
+        results = run_sweep(points, jobs=1)
+        for point in points:
+            params = point.as_dict()
+            direct = run_single_user_cell(**params)
+            assert pickle.dumps(results[point]) == pickle.dumps(direct)
+
+    def test_cache_hit_skips_recomputation(self, tmp_path, monkeypatch):
+        points = figure5_points(**SMALL_GRID)
+        cache = ResultCache(tmp_path)
+        statuses = []
+        first = run_sweep(
+            points, jobs=1, cache=cache, progress=lambda p, s: statuses.append(s)
+        )
+        assert statuses == ["ran"] * len(points)
+
+        # A cached re-run must not invoke any runner at all.
+        def boom(point):
+            raise AssertionError(f"cache miss recomputed {point}")
+
+        monkeypatch.setattr("repro.experiments.sweep.run_sweep_point", boom)
+        statuses.clear()
+        second = run_sweep(
+            points, jobs=1, cache=cache, progress=lambda p, s: statuses.append(s)
+        )
+        assert statuses == ["cached"] * len(points)
+        for point in points:
+            assert pickle.dumps(first[point]) == pickle.dumps(second[point])
+
+    def test_changed_fingerprint_recomputes(self, tmp_path):
+        points = figure5_points(**SMALL_GRID)
+        run_sweep(points, jobs=1, cache=ResultCache(tmp_path))
+        statuses = []
+        stale = ResultCache(
+            tmp_path, fingerprint=code_fingerprint(CostModel(disk_bandwidth_bps=45e6))
+        )
+        run_sweep(points, jobs=1, cache=stale, progress=lambda p, s: statuses.append(s))
+        assert statuses == ["ran"] * len(points)
+
+    def test_duplicate_points_run_once(self):
+        calls = []
+        point = figure5_points(**SMALL_GRID)[0]
+        results = run_sweep(
+            [point, point], jobs=1, progress=lambda p, s: calls.append(s)
+        )
+        assert calls == ["ran"]
+        assert len(results) == 1
+
+    def test_experiment_wrappers_accept_jobs_and_cache(self, tmp_path):
+        from repro.experiments.single_user import run_single_user_experiment
+
+        cache = ResultCache(tmp_path)
+        cells = run_single_user_experiment(
+            scales=(5,), skews=(0,), policies=("Hadoop",), seeds=(0,),
+            jobs=1, cache=cache,
+        )
+        assert set(cells) == {(5, 0, "Hadoop")}
+        assert len(list(cache.root.glob("*.pkl"))) == 1
