@@ -1,0 +1,200 @@
+"""Scan-engine throughput benchmark; writes ``BENCH_PR2.json``.
+
+Times the three scan paths of :mod:`repro.scan` over the same
+materialized TPC-H LINEITEM dataset at the paper's 0.05% selectivity
+(marker predicate, skew 0):
+
+* ``interpreted`` — the seed behavior: per-row loop, ``Predicate.matches``
+  dispatching through the ``_OPERATORS`` dict.
+* ``compiled`` — per-row loop with a codegen'd matcher closure.
+* ``batch`` — columnar batches through the generated scan loop
+  (``compile_batch_matcher``), the engine's default.
+
+Each mode drives the real map-task executor (:func:`repro.scan.engine.
+run_map_task`) over every split with a :class:`ScanMapper`, so the
+numbers include everything a map task does — not just the predicate.
+The modes' outputs are asserted identical before any timing is trusted.
+
+A second section measures the LIMIT short-circuit: rows actually scanned
+by a ``SamplingMapper`` (k per split) versus the dataset size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_FILE = REPO_ROOT / "BENCH_PR2.json"
+
+SCAN_ROWS = 240_000
+SCAN_PARTITIONS = 8
+SELECTIVITY = 0.0005  # the paper's 0.05%
+
+
+def _dataset(rows: int, partitions: int, seed: int = 0):
+    from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
+    from repro.data.predicates import predicate_for_skew
+
+    spec = dataset_spec_for_scale(
+        rows / 6_000_000, name="bench_lineitem", num_partitions=partitions
+    )
+    predicate = predicate_for_skew(0)
+    dataset = build_materialized_dataset(
+        spec, {predicate: 0.0}, seed=seed, selectivity=SELECTIVITY
+    )
+    return dataset, predicate
+
+
+def _splits(dataset):
+    from repro.cluster import paper_topology
+    from repro.dfs import DistributedFileSystem
+
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/bench/lineitem", dataset)
+    return dfs.open_splits("/bench/lineitem")
+
+
+def _scan_all(conf, splits, options):
+    """One full pass: (rows scanned, outputs) across every split."""
+    from repro.scan.engine import run_map_task
+
+    scanned = 0
+    outputs = []
+    for split in splits:
+        context = run_map_task(conf, split, options)
+        scanned += context.records_read
+        outputs.extend(context.outputs)
+    return scanned, outputs
+
+
+def bench_scan(*, rows: int = SCAN_ROWS, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` rows/sec for each scan mode, on identical input."""
+    from repro.core.sampling_job import make_scan_conf
+    from repro.scan.engine import SCAN_MODES, ScanOptions
+
+    dataset, predicate = _dataset(rows, SCAN_PARTITIONS)
+    splits = _splits(dataset)
+    conf = make_scan_conf(
+        name="bench_scan",
+        input_path="/bench/lineitem",
+        predicate=predicate,
+        columns=("l_orderkey", "l_quantity"),
+    )
+
+    results: dict[str, dict] = {}
+    reference = None
+    for mode in SCAN_MODES:
+        options = ScanOptions(mode=mode)
+        scanned, outputs = _scan_all(conf, splits, options)  # warm-up + parity
+        if reference is None:
+            reference = (scanned, outputs)
+        elif (scanned, outputs) != reference:
+            raise AssertionError(f"scan mode {mode!r} diverged from interpreted output")
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            scanned, _ = _scan_all(conf, splits, options)
+            elapsed = time.perf_counter() - start
+            best = max(best, scanned / elapsed)
+        results[mode] = {"rows_per_sec": round(best)}
+
+    interpreted = results["interpreted"]["rows_per_sec"]
+    for mode in SCAN_MODES:
+        results[mode]["speedup"] = round(results[mode]["rows_per_sec"] / interpreted, 2)
+    return {
+        "workload": {
+            "rows": rows,
+            "partitions": SCAN_PARTITIONS,
+            "selectivity": SELECTIVITY,
+            "repeats": repeats,
+        },
+        "modes": results,
+        "matches": len(reference[1]),
+    }
+
+
+def bench_short_circuit(*, rows: int = SCAN_ROWS, k: int = 5) -> dict:
+    """Rows actually scanned by a sampling job versus the dataset size.
+
+    Each map task stops as soon as it holds ``k`` matches, so the scanned
+    fraction collapses when matches sit early in their partitions.
+    """
+    from repro.core.sampling_job import make_sampling_conf
+    from repro.scan.engine import SCAN_MODES, ScanOptions
+
+    dataset, predicate = _dataset(rows, SCAN_PARTITIONS)
+    splits = _splits(dataset)
+    conf = make_sampling_conf(
+        name="bench_sample",
+        input_path="/bench/lineitem",
+        predicate=predicate,
+        sample_size=k,
+        policy_name=None,
+    )
+    per_mode = {}
+    for mode in SCAN_MODES:
+        scanned, _ = _scan_all(conf, splits, ScanOptions(mode=mode))
+        per_mode[mode] = scanned
+    if len(set(per_mode.values())) != 1:
+        raise AssertionError(f"short-circuit accounting diverged across modes: {per_mode}")
+    scanned = per_mode["batch"]
+    return {
+        "k_per_task": k,
+        "total_rows": rows,
+        "rows_scanned": scanned,
+        "scan_fraction": round(scanned / rows, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf.scan")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke variant: smaller dataset, fewer repeats",
+    )
+    parser.add_argument("--out", default=str(BENCH_FILE), help="output JSON path")
+    args = parser.parse_args(argv)
+
+    rows = 60_000 if args.quick else SCAN_ROWS
+    repeats = 2 if args.quick else 3
+
+    print(f"scan throughput ({rows:,} rows, 0.05% selectivity, best of {repeats}) ...")
+    scan = bench_scan(rows=rows, repeats=repeats)
+    for mode, stats in scan["modes"].items():
+        print(
+            f"  {mode:<12} {stats['rows_per_sec']:>12,} rows/sec"
+            f"  ({stats['speedup']:.2f}x)"
+        )
+
+    print("LIMIT short-circuit (sampling, k=5 per task) ...")
+    limit = bench_short_circuit(rows=rows)
+    print(
+        f"  scanned {limit['rows_scanned']:,} of {limit['total_rows']:,} rows "
+        f"({limit['scan_fraction']:.2%})"
+    )
+
+    result = {
+        "pr": 2,
+        "scan": scan,
+        "short_circuit": limit,
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -50,7 +50,8 @@ from repro.experiments.single_user import (
     run_single_user_experiment,
 )
 from repro.experiments.skew_figure import figure4_series
-from repro.experiments.sweep import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments.sweep import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.scan import DEFAULT_BATCH_SIZE, SCAN_BATCH, SCAN_MODES
 from repro.experiments.tables import (
     TABLE1_HEADERS,
     TABLE2_HEADERS,
@@ -81,14 +82,17 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
         help="reuse unchanged cells from the result cache",
     )
     parser.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR,
-        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+        "--cache-dir", default=None,
+        help=(
+            f"result cache directory (default: $REPRO_CACHE_DIR or "
+            f"{DEFAULT_CACHE_DIR})"
+        ),
     )
 
 
 def _cache_from(args) -> ResultCache | None:
     if getattr(args, "cache", False):
-        return ResultCache(args.cache_dir)
+        return ResultCache(args.cache_dir or default_cache_dir())
     return None
 
 
@@ -144,7 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the result cache (enabled by default for sweeps)",
     )
-    sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            f"result cache directory (default: $REPRO_CACHE_DIR or "
+            f"{DEFAULT_CACHE_DIR})"
+        ),
+    )
     sweep.add_argument("--scales", type=_int_list, default=PAPER_SCALES)
     sweep.add_argument(
         "--skews", type=_int_list, default=None,
@@ -171,6 +181,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--rows", type=int, default=20_000, help="demo table size")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--max-print", type=int, default=10)
+    query.add_argument(
+        "--scan-mode", default=SCAN_BATCH, choices=SCAN_MODES,
+        help="predicate evaluation path (default: batch)",
+    )
+    query.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="rows per columnar batch in batch mode",
+    )
+    query.add_argument(
+        "--map-workers", type=int, default=1, metavar="N",
+        help="run each batch's map tasks on N threads (default: 1, serial)",
+    )
+    query.add_argument(
+        "--layout", default="row", choices=("row", "columnar"),
+        help="storage layout for the demo table partitions",
+    )
 
     policies = commands.add_parser("policies", help="write policy.xml")
     policies.add_argument("--out", default="policy.xml")
@@ -365,14 +391,21 @@ def cmd_query(args, out) -> int:
     from repro.engine.runtime import LocalRunner
     from repro.hive import HiveSession
 
+    from repro.scan.engine import ScanOptions
+
     spec = dataset_spec_for_scale(args.rows / 6_000_000, num_partitions=16)
     predicates = {predicate_for_skew(z): float(z) for z in (0, 1, 2)}
     dataset = build_materialized_dataset(
-        spec, predicates, seed=args.seed, selectivity=0.01
+        spec, predicates, seed=args.seed, selectivity=0.01, layout=args.layout
     )
     dfs = DistributedFileSystem(paper_topology().storage_locations())
     dfs.write_dataset("/warehouse/lineitem", dataset)
-    session = HiveSession(runner=LocalRunner(seed=args.seed), dfs=dfs)
+    runner = LocalRunner(
+        seed=args.seed,
+        scan_options=ScanOptions(mode=args.scan_mode, batch_size=args.batch_size),
+        map_workers=args.map_workers,
+    )
+    session = HiveSession(runner=runner, dfs=dfs)
     session.register_table("lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA)
     result = session.execute(args.sql)
     print(f"-- {result.statement}", file=out)

@@ -31,13 +31,23 @@ from repro.engine.jobconf import (
 )
 from repro.engine.mapreduce import MapContext, Mapper, ReduceContext, Reducer
 from repro.errors import JobConfError
+from repro.scan.codegen import compile_batch_matcher, compile_row_matcher
 
 DUMMY_KEY = "k_dummy"
 """The single intermediate key shared by all sampling map output."""
 
 
 class SamplingMapper(Mapper):
-    """Algorithm 1: emit up to ``k`` predicate-matching records."""
+    """Algorithm 1: emit up to ``k`` predicate-matching records.
+
+    The record loop stops scanning the moment the task's own ``k`` is
+    reached — exactly Algorithm 1's premise that a task processing its
+    partition in isolation needs at most ``k`` matches; any further rows
+    cannot change its output. ``records_read`` therefore reflects only
+    rows actually scanned, which the Input Provider's selectivity
+    estimator consumes. All three scan modes (interpreted / compiled /
+    batch) share this semantics and produce byte-identical output.
+    """
 
     def __init__(
         self,
@@ -51,14 +61,54 @@ class SamplingMapper(Mapper):
         self._k = k
         self._columns = columns
         self._found_records = 0
+        self._match = predicate.matches
+        self._batch_matcher = None
+
+    def prepare_scan(self, mode: str) -> None:
+        if mode != "interpreted":
+            self._match = compile_row_matcher(self._predicate)
 
     def map(self, key: Any, value: Any, context: MapContext) -> None:
-        if self._found_records < self._k and self._predicate.matches(value):
+        if self._found_records < self._k and self._match(value):
             self._found_records += 1
             output = (
                 project(value, self._columns) if self._columns is not None else value
             )
             context.emit(DUMMY_KEY, output)
+
+    def run(self, records, context: MapContext) -> None:
+        self.setup(context)
+        k = self._k
+        match = self._match
+        columns = self._columns
+        for _key, value in records:
+            context.records_read += 1
+            if match(value):
+                self._found_records += 1
+                context.emit(
+                    DUMMY_KEY,
+                    project(value, columns) if columns is not None else value,
+                )
+                if self._found_records >= k:
+                    break  # LIMIT short-circuit: stop scanning mid-split
+        self.cleanup(context)
+
+    def run_batch(self, batch, context: MapContext) -> bool:
+        if self._batch_matcher is None:
+            self._batch_matcher = compile_batch_matcher(self._predicate)
+        remaining = self._k - self._found_records
+        if remaining <= 0:
+            return True
+        hits: list[int] = []
+        scanned = self._batch_matcher(
+            batch.columns, batch.start, batch.stop, remaining, hits.append
+        )
+        context.records_read += scanned
+        columns = self._columns
+        for index in hits:
+            context.emit(DUMMY_KEY, batch.row(index, columns))
+        self._found_records += len(hits)
+        return self._found_records >= self._k
 
 
 class SamplingReducer(Reducer):
@@ -113,13 +163,32 @@ class ScanMapper(Mapper):
     ) -> None:
         self._predicate = predicate
         self._columns = columns
+        self._match = predicate.matches
+        self._batch_matcher = None
+
+    def prepare_scan(self, mode: str) -> None:
+        if mode != "interpreted":
+            self._match = compile_row_matcher(self._predicate)
 
     def map(self, key: Any, value: Any, context: MapContext) -> None:
-        if self._predicate.matches(value):
+        if self._match(value):
             output = (
                 project(value, self._columns) if self._columns is not None else value
             )
             context.emit(key, output)
+
+    def run_batch(self, batch, context: MapContext) -> bool:
+        if self._batch_matcher is None:
+            self._batch_matcher = compile_batch_matcher(self._predicate)
+        hits: list[int] = []
+        scanned = self._batch_matcher(
+            batch.columns, batch.start, batch.stop, None, hits.append
+        )
+        context.records_read += scanned
+        columns = self._columns
+        for index in hits:
+            context.emit(index, batch.row(index, columns))
+        return False
 
 
 # ---------------------------------------------------------------------------

@@ -99,21 +99,60 @@ def dataset_spec_for_scale(
 
 @dataclass
 class PartitionData:
-    """One input partition: metadata always, rows only when materialized."""
+    """One input partition: metadata always, data only when materialized.
+
+    Materialized partitions store their data in one of two layouts:
+    row-major (``rows``, the original list of dicts) or column-major
+    (``columns``, a :class:`~repro.scan.columnar.ColumnStore`). Either
+    layout serves both access patterns — :meth:`iter_rows` synthesizes
+    dicts from a column store, and :meth:`column_store` transposes (and
+    caches) rows on first use — so the scan engine's batch path works on
+    any materialized partition regardless of how it was built.
+    """
 
     index: int
     num_records: int
     num_bytes: int
     match_counts: dict[str, int] = field(default_factory=dict)
     rows: list[Row] | None = None
+    columns: "ColumnStore | None" = None
 
     @property
     def materialized(self) -> bool:
-        return self.rows is not None
+        return self.rows is not None or self.columns is not None
 
     def matches_for(self, predicate_name: str) -> int:
         """Matching-record count for a predicate (0 if never placed)."""
         return self.match_counts.get(predicate_name, 0)
+
+    def iter_rows(self):
+        """The partition's rows as dicts, whichever layout holds them."""
+        if self.rows is not None:
+            return iter(self.rows)
+        if self.columns is not None:
+            return self.columns.iter_rows()
+        raise DataGenerationError(
+            f"partition {self.index} is profile-only; rows are not materialized"
+        )
+
+    def column_store(self) -> "ColumnStore":
+        """The column-major view, transposed from rows (once) if needed."""
+        if self.columns is None:
+            from repro.scan.columnar import ColumnStore
+
+            if self.rows is None:
+                raise DataGenerationError(
+                    f"partition {self.index} is profile-only; "
+                    "no columnar view exists"
+                )
+            self.columns = ColumnStore.from_rows(self.rows)
+        return self.columns
+
+    def to_columnar(self) -> "PartitionData":
+        """Switch this partition to column-major storage (drops the row dicts)."""
+        self.column_store()
+        self.rows = None
+        return self
 
 
 @dataclass
@@ -153,11 +192,11 @@ class PartitionedDataset:
     def iter_rows(self):
         """All rows across partitions (materialized datasets only)."""
         for partition in self.partitions:
-            if partition.rows is None:
+            if not partition.materialized:
                 raise DataGenerationError(
                     f"partition {partition.index} of {self.spec.name} is not materialized"
                 )
-            yield from partition.rows
+            yield from partition.iter_rows()
 
 
 def _match_total(spec: DatasetSpec, selectivity: float) -> int:
@@ -221,12 +260,21 @@ def build_materialized_dataset(
     selectivity: float = PAPER_SELECTIVITY,
     placement_method: str = "multinomial",
     max_rows: int = 5_000_000,
+    layout: str = "row",
 ) -> PartitionedDataset:
     """Real-row dataset with matching rows stamped per the controlled placement.
 
     Refuses to materialize more than ``max_rows`` rows — paper-scale
     experiments must use :func:`build_profiled_dataset` instead.
+
+    ``layout="columnar"`` stores each partition column-major (the scan
+    engine's native layout) instead of as row dicts; both layouts yield
+    identical rows in identical order.
     """
+    if layout not in ("row", "columnar"):
+        raise DataGenerationError(
+            f"unknown dataset layout {layout!r}; use 'row' or 'columnar'"
+        )
     if spec.num_rows > max_rows:
         raise DataGenerationError(
             f"refusing to materialize {spec.num_rows} rows (> {max_rows}); "
@@ -259,6 +307,8 @@ def build_materialized_dataset(
                 predicate.make_matching(rows[row_index])
         partition.rows = rows
         partition.num_bytes = partition.num_records * spec.avg_row_bytes
+        if layout == "columnar":
+            partition.to_columnar()
     return dataset
 
 

@@ -27,13 +27,31 @@ from repro.errors import DataGenerationError
 PAPER_SELECTIVITY = 0.0005
 """Overall fraction of matching records in every experiment (0.05%)."""
 
+def _null_safe(op: Callable[[object, object], bool]) -> Callable[[object, object], bool]:
+    """SQL comparison semantics: any comparison against NULL is not true.
+
+    Without the guard, ``None != x`` would be *true* under Python and the
+    ordering operators would raise ``TypeError``; with it, every operator
+    uniformly evaluates false when either operand is NULL (three-valued
+    logic collapsed to false at the comparison, the usual WHERE-clause
+    treatment).
+    """
+
+    def compare(a: object, b: object) -> bool:
+        if a is None or b is None:
+            return False
+        return op(a, b)
+
+    return compare
+
+
 _OPERATORS: dict[str, Callable[[object, object], bool]] = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
+    "=": _null_safe(lambda a, b: a == b),
+    "!=": _null_safe(lambda a, b: a != b),
+    "<": _null_safe(lambda a, b: a < b),
+    "<=": _null_safe(lambda a, b: a <= b),
+    ">": _null_safe(lambda a, b: a > b),
+    ">=": _null_safe(lambda a, b: a >= b),
 }
 
 
@@ -176,7 +194,7 @@ class MarkerEquals(Predicate):
         return f"{self.column}={self.marker}"
 
     def matches(self, row: Mapping) -> bool:
-        return row[self.column] == self.marker
+        return _OPERATORS["="](row[self.column], self.marker)
 
     def make_matching(self, row: Row) -> Row:
         """Stamp the marker onto ``row`` (in place) and return it."""

@@ -21,6 +21,15 @@ def project(row: Mapping, columns: tuple[str, ...]) -> Row:
     return {name: row[name] for name in columns}
 
 
+def row_at(names: tuple[str, ...], columns: Mapping[str, list], index: int) -> Row:
+    """Synthesize the row dict at ``index`` of a column-major store.
+
+    The inverse of transposing rows into per-column lists; ``names``
+    fixes the key order so synthesized rows match the originals exactly.
+    """
+    return {name: columns[name][index] for name in names}
+
+
 def serialize(row: Mapping, columns: tuple[str, ...] | None = None) -> str:
     """Pipe-delimited text form of a row, dbgen style."""
     names = columns if columns is not None else tuple(row.keys())

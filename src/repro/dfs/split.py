@@ -10,11 +10,14 @@ actual rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.data.record import Row
 from repro.dfs.block import Block, StorageLocation
 from repro.errors import DfsError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.scan.columnar import ColumnBatch
 
 
 @dataclass(frozen=True)
@@ -63,12 +66,27 @@ class InputSplit:
 
     def iter_rows(self) -> Iterator[Row]:
         """Iterate the split's rows (materialized splits only)."""
-        rows = self.block.payload.rows
-        if rows is None:
+        payload = self.block.payload
+        if not payload.materialized:
             raise DfsError(
                 f"split {self.split_id} is profile-only; rows are not materialized"
             )
-        return iter(rows)
+        return payload.iter_rows()
+
+    def iter_batches(self, size: int = 4096) -> "Iterator[ColumnBatch]":
+        """Column-major batches of up to ``size`` rows (materialized only).
+
+        Batches are views over the split's :class:`ColumnStore` — built
+        natively for columnar datasets, transposed once and cached for
+        row-major ones — so the scan engine's batch loop touches tuples
+        of arrays instead of per-row dicts.
+        """
+        payload = self.block.payload
+        if not payload.materialized:
+            raise DfsError(
+                f"split {self.split_id} is profile-only; rows are not materialized"
+            )
+        return payload.column_store().iter_batches(size)
 
     def is_local_to(self, node_id: str) -> bool:
         return self.block.is_local_to(node_id)

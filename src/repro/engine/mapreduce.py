@@ -49,6 +49,13 @@ class Mapper:
 
     One instance is created per map task; :meth:`setup` / :meth:`cleanup`
     bracket the record loop as in Hadoop.
+
+    The scan engine adds a columnar fast path: when a split is stored (or
+    cached) column-major, the engine calls :meth:`run_batches` with
+    :class:`~repro.scan.columnar.ColumnBatch` views instead of driving
+    :meth:`run` row by row. Mappers that can scan whole batches override
+    :meth:`run_batch`; the default re-synthesizes row dicts so any mapper
+    stays correct under either layout.
     """
 
     def setup(self, context: MapContext) -> None:
@@ -60,6 +67,14 @@ class Mapper:
     def cleanup(self, context: MapContext) -> None:
         """Called once after the last record."""
 
+    def prepare_scan(self, mode: str) -> None:
+        """Scan-engine hook, called once before the record loop.
+
+        ``mode`` is one of ``interpreted`` / ``compiled`` / ``batch``
+        (see :mod:`repro.scan.engine`). Mappers that evaluate predicates
+        swap in compiled matchers here; the default ignores it.
+        """
+
     def run(self, records: Iterable[tuple[Any, Any]], context: MapContext) -> None:
         """The task main loop (override for whole-split algorithms)."""
         self.setup(context)
@@ -67,6 +82,32 @@ class Mapper:
             context.records_read += 1
             self.map(key, value, context)
         self.cleanup(context)
+
+    def run_batches(self, batches: Iterable, context: MapContext) -> None:
+        """The batch-mode task main loop.
+
+        ``batches`` yields :class:`~repro.scan.columnar.ColumnBatch`
+        views in split order. A :meth:`run_batch` returning True stops
+        the scan mid-split (the LIMIT short-circuit) — remaining batches
+        are never materialized, so ``records_read`` counts only rows
+        actually scanned.
+        """
+        self.setup(context)
+        for batch in batches:
+            if self.run_batch(batch, context):
+                break
+        self.cleanup(context)
+
+    def run_batch(self, batch, context: MapContext) -> bool:
+        """Process one columnar batch; return True to stop scanning.
+
+        Default: per-row fallback over synthesized dicts, byte-identical
+        to :meth:`run` on the same split.
+        """
+        for key, row in batch.iter_indexed_rows():
+            context.records_read += 1
+            self.map(key, row, context)
+        return False
 
 
 class Reducer:

@@ -14,6 +14,7 @@ policies degrade gracefully to their idle-cluster grab limits.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.input_provider import (
@@ -25,9 +26,10 @@ from repro.core.policy import PolicyRegistry, paper_policies
 from repro.dfs.split import InputSplit
 from repro.engine.job import ClusterStatus, JobProgress, JobResult, JobState
 from repro.engine.jobconf import JobConf
-from repro.engine.mapreduce import MapContext, ReduceContext
+from repro.engine.mapreduce import ReduceContext
 from repro.engine.shuffle import group_outputs
 from repro.errors import JobConfError, JobError
+from repro.scan.engine import ScanOptions, run_map_task
 from repro.sim.random_source import RandomSource
 
 
@@ -50,13 +52,19 @@ class LocalRunner:
         providers: ProviderRegistry | None = None,
         seed: int = 0,
         virtual_map_slots: int = 40,
+        scan_options: ScanOptions | None = None,
+        map_workers: int = 1,
     ) -> None:
         if virtual_map_slots < 1:
             raise JobConfError("virtual_map_slots must be >= 1")
+        if map_workers < 1:
+            raise JobConfError(f"map_workers must be >= 1, got {map_workers}")
         self._policies = policies or paper_policies()
         self._providers = providers or default_providers()
         self._random = RandomSource(seed)
         self._slots = virtual_map_slots
+        self._scan_options = scan_options or ScanOptions()
+        self._map_workers = map_workers
         self._runs = 0
 
     # ------------------------------------------------------------------
@@ -81,7 +89,7 @@ class LocalRunner:
         if conf.is_dynamic:
             map_results, evaluations, increments = self._run_dynamic(conf, splits)
         else:
-            map_results = [self._run_map(conf, split) for split in splits]
+            map_results = self._run_map_batch(conf, splits)
             evaluations, increments = 0, 1
 
         output_data = self._run_reduce(conf, map_results)
@@ -124,8 +132,7 @@ class LocalRunner:
         idle_evaluations = 0
 
         while True:
-            for split in batch:
-                map_results.append(self._run_map(conf, split))
+            map_results.extend(self._run_map_batch(conf, batch))
             if complete:
                 break
             evaluations += 1
@@ -177,16 +184,30 @@ class LocalRunner:
     # Task execution
     # ------------------------------------------------------------------
     def _run_map(self, conf: JobConf, split: InputSplit) -> LocalMapResult:
-        context = MapContext()
-        mapper = conf.mapper_factory()  # type: ignore[misc]
-        mapper.run(
-            ((index, row) for index, row in enumerate(split.iter_rows())), context
-        )
+        options = self._scan_options.with_conf(conf)
+        context = run_map_task(conf, split, options)
         return LocalMapResult(
             split=split,
             records_processed=context.records_read,
             outputs=context.outputs,
         )
+
+    def _run_map_batch(
+        self, conf: JobConf, splits: list[InputSplit]
+    ) -> list[LocalMapResult]:
+        """Run one grabbed batch's map tasks, optionally across a worker pool.
+
+        Results are gathered in submission order, so serial and parallel
+        execution produce byte-identical job output. Threads (not
+        processes) because mapper factories are closures; map tasks share
+        no mutable state, each getting its own mapper and context.
+        """
+        if self._map_workers == 1 or len(splits) <= 1:
+            return [self._run_map(conf, split) for split in splits]
+        workers = min(self._map_workers, len(splits))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(self._run_map, conf, split) for split in splits]
+            return [future.result() for future in futures]
 
     def _run_reduce(self, conf: JobConf, map_results: list[LocalMapResult]) -> list:
         all_outputs = [r.outputs for r in map_results]

@@ -16,10 +16,11 @@ from repro.cluster.costmodel import CostModel
 from repro.cluster.node import Node, RunningTask
 from repro.cluster.topology import ClusterTopology
 from repro.engine.job import Job
-from repro.engine.mapreduce import MapContext, ReduceContext
+from repro.engine.mapreduce import ReduceContext
 from repro.engine.shuffle import group_outputs
 from repro.engine.task import MapTask, ReduceTask
 from repro.errors import JobError
+from repro.scan.engine import ScanOptions, run_map_task
 from repro.sim.simulator import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -139,12 +140,7 @@ class TaskTracker:
         split = task.split
         conf = job.conf
         if split.materialized and conf.mapper_factory is not None:
-            context = MapContext()
-            mapper = conf.mapper_factory()
-            mapper.run(
-                ((index, row) for index, row in enumerate(split.iter_rows())),
-                context,
-            )
+            context = run_map_task(conf, split, ScanOptions().with_conf(conf))
             return context.records_read, context.outputs_produced, context.outputs
         if conf.profile_outputs is None:
             raise JobError(

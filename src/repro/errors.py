@@ -84,3 +84,7 @@ class WorkloadError(ReproError):
 
 class SweepError(ReproError):
     """An experiment sweep was configured or executed incorrectly."""
+
+
+class ScanCompileError(ReproError):
+    """A predicate could not be compiled by the scan codegen layer."""

@@ -41,6 +41,19 @@ CACHE_SCHEMA_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """The cache directory to use absent an explicit ``--cache-dir``.
+
+    Honors the ``REPRO_CACHE_DIR`` environment variable so CI and shared
+    machines can redirect every sweep's cache without touching each
+    invocation; falls back to :data:`DEFAULT_CACHE_DIR`.
+    """
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
 _MISS = object()
 
 

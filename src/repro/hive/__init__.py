@@ -19,12 +19,13 @@ JobConfs and executes them on either substrate.
 
 from repro.hive.ast import SelectStatement, SetStatement
 from repro.hive.compiler import QueryCompiler, TableCatalog
-from repro.hive.expressions import compile_predicate
+from repro.hive.expressions import ExpressionPredicate, compile_predicate
 from repro.hive.lexer import Token, TokenKind, tokenize
 from repro.hive.parser import parse_statement
 from repro.hive.session import HiveSession, QueryResult
 
 __all__ = [
+    "ExpressionPredicate",
     "HiveSession",
     "QueryCompiler",
     "QueryResult",

@@ -1,0 +1,94 @@
+"""Map-task execution over splits: the scan engine's entry point.
+
+Both real-execution substrates — the :class:`~repro.engine.runtime.LocalRunner`
+and the simulated cluster's TaskTrackers — execute a map task by calling
+:func:`run_map_task`, which picks the scan path:
+
+* ``batch`` (default) — columnar batches through ``Mapper.run_batches``
+  when the mapper implements a batch fast path; everything else falls
+  back to the per-row loop with a compiled predicate.
+* ``compiled`` — the classic per-row loop, but predicates evaluate
+  through :func:`repro.scan.codegen.compile_row_matcher` closures.
+* ``interpreted`` — the original per-row loop with interpreted
+  ``Predicate.matches`` dispatch; kept as the cross-checking fallback.
+
+All three paths produce byte-identical output (rows, order, counters);
+the equivalence tests assert it. Per-job overrides ride on the JobConf
+string parameters ``scan.mode`` / ``scan.batch.size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.mapreduce import MapContext, Mapper
+from repro.errors import JobConfError
+from repro.scan.columnar import DEFAULT_BATCH_SIZE
+
+SCAN_INTERPRETED = "interpreted"
+SCAN_COMPILED = "compiled"
+SCAN_BATCH = "batch"
+SCAN_MODES = (SCAN_INTERPRETED, SCAN_COMPILED, SCAN_BATCH)
+
+# JobConf parameter names (Hadoop-style string params, SET-able via Hive).
+SCAN_MODE_PARAM = "scan.mode"
+SCAN_BATCH_SIZE_PARAM = "scan.batch.size"
+
+
+@dataclass(frozen=True)
+class ScanOptions:
+    """How a substrate should drive mappers over materialized splits."""
+
+    mode: str = SCAN_BATCH
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.mode not in SCAN_MODES:
+            raise JobConfError(
+                f"unknown scan mode {self.mode!r}; one of {SCAN_MODES}"
+            )
+        if self.batch_size < 1:
+            raise JobConfError(
+                f"scan batch size must be >= 1, got {self.batch_size}"
+            )
+
+    def with_conf(self, conf) -> "ScanOptions":
+        """These options overridden by the JobConf's scan parameters."""
+        mode = conf.get(SCAN_MODE_PARAM)
+        size = conf.get_int(SCAN_BATCH_SIZE_PARAM)
+        if mode is None and size is None:
+            return self
+        return ScanOptions(
+            mode=mode if mode is not None else self.mode,
+            batch_size=size if size is not None else self.batch_size,
+        )
+
+
+def run_map_task(conf, split, options: ScanOptions | None = None) -> MapContext:
+    """Execute ``conf``'s mapper over one materialized split.
+
+    Returns the filled :class:`MapContext`; ``records_read`` reflects
+    the rows actually scanned (early exit included), which is what the
+    Input Provider progress statistics are built from.
+    """
+    options = (options or ScanOptions()).with_conf(conf)
+    mapper = conf.mapper_factory()
+    context = MapContext()
+    mapper.prepare_scan(options.mode)
+    if options.mode == SCAN_BATCH and _has_batch_path(mapper):
+        mapper.run_batches(split.iter_batches(options.batch_size), context)
+    else:
+        mapper.run(
+            ((index, row) for index, row in enumerate(split.iter_rows())), context
+        )
+    return context
+
+
+def _has_batch_path(mapper: Mapper) -> bool:
+    """True when the mapper overrides the batch hook.
+
+    Mappers that never specialized ``run_batch`` gain nothing from the
+    columnar layout (the default would just re-synthesize row dicts), so
+    they keep the plain row loop — identical behavior, no transpose cost.
+    """
+    return type(mapper).run_batch is not Mapper.run_batch

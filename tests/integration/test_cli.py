@@ -94,3 +94,56 @@ class TestCommands:
         content = out_path.read_text()
         assert "<policies>" in content
         assert "grabLimit" in content
+
+
+class TestScanFlags:
+    SQL = "SELECT ORDERKEY FROM lineitem WHERE l_quantity = 51 LIMIT 3"
+
+    def test_query_identical_across_scan_modes_and_workers(self):
+        outputs = set()
+        for extra in (
+            ["--scan-mode", "interpreted"],
+            ["--scan-mode", "compiled"],
+            ["--scan-mode", "batch"],
+            ["--scan-mode", "batch", "--map-workers", "4"],
+            ["--layout", "columnar"],
+        ):
+            code, text = run_cli(["query", self.SQL, "--rows", "8000"] + extra)
+            assert code == 0
+            outputs.add(text)
+        assert len(outputs) == 1  # byte-identical output in every configuration
+
+    def test_unknown_scan_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", self.SQL, "--scan-mode", "turbo"])
+
+
+class TestCacheDir:
+    def test_sweep_cache_dir_flag_honored(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code, _ = run_cli(
+            ["sweep", "--figure", "4", "--cache-dir", str(cache_dir),
+             "--jobs", "1", "--quiet"]
+        )
+        assert code == 0
+        assert cache_dir.is_dir()
+        assert any(cache_dir.iterdir())
+
+    def test_env_var_supplies_default(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "from_env"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        code, _ = run_cli(["sweep", "--figure", "4", "--jobs", "1", "--quiet"])
+        assert code == 0
+        assert cache_dir.is_dir()
+        assert any(cache_dir.iterdir())
+
+    def test_flag_beats_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ignored"))
+        explicit = tmp_path / "explicit"
+        code, _ = run_cli(
+            ["sweep", "--figure", "4", "--cache-dir", str(explicit),
+             "--jobs", "1", "--quiet"]
+        )
+        assert code == 0
+        assert explicit.is_dir()
+        assert not (tmp_path / "ignored").exists()

@@ -129,6 +129,129 @@ class TestScanJobs:
         assert result.outputs_produced == data.total_matches(pred.name)
 
 
+def result_fingerprint(result):
+    return (
+        result.output_data,
+        result.records_processed,
+        result.map_outputs_produced,
+        result.splits_processed,
+        result.evaluations,
+        result.input_increments,
+    )
+
+
+class TestScanModeParity:
+    """The acceptance bar: byte-identical results across scan modes and
+    across serial/parallel map execution."""
+
+    def run_with(self, conf_name, *, scan_options=None, map_workers=1,
+                 policy_name="LA", seed=3):
+        from repro.scan.engine import ScanOptions
+
+        pred, _data, splits = build_splits()
+        conf = make_sampling_conf(
+            name=conf_name, input_path="/t", predicate=pred, sample_size=40,
+            policy_name=policy_name,
+        )
+        runner = LocalRunner(
+            seed=seed,
+            scan_options=scan_options or ScanOptions(),
+            map_workers=map_workers,
+        )
+        return runner.run(conf, splits)
+
+    def test_modes_byte_identical(self):
+        from repro.scan.engine import SCAN_MODES, ScanOptions
+
+        fingerprints = [
+            result_fingerprint(
+                self.run_with("q", scan_options=ScanOptions(mode=mode))
+            )
+            for mode in SCAN_MODES
+        ]
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+    def test_serial_parallel_byte_identical(self):
+        serial = result_fingerprint(self.run_with("q", map_workers=1))
+        parallel = result_fingerprint(self.run_with("q", map_workers=4))
+        assert serial == parallel
+
+    def test_batch_size_does_not_change_results(self):
+        from repro.scan.engine import ScanOptions
+
+        small = result_fingerprint(
+            self.run_with("q", scan_options=ScanOptions(batch_size=7))
+        )
+        large = result_fingerprint(
+            self.run_with("q", scan_options=ScanOptions(batch_size=4096))
+        )
+        assert small == large
+
+    def test_jobconf_scan_params_override_runner(self):
+        from repro.scan.engine import SCAN_MODE_PARAM, ScanOptions
+
+        pred, _data, splits = build_splits()
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=40,
+            policy_name=None,
+        )
+        conf.set(SCAN_MODE_PARAM, "interpreted")
+        result = LocalRunner(
+            scan_options=ScanOptions(mode="batch")
+        ).run(conf, splits)
+        baseline = LocalRunner(
+            scan_options=ScanOptions(mode="interpreted")
+        ).run(
+            make_sampling_conf(
+                name="q", input_path="/t", predicate=pred, sample_size=40,
+                policy_name=None,
+            ),
+            splits,
+        )
+        assert result_fingerprint(result) == result_fingerprint(baseline)
+
+    def test_columnar_layout_byte_identical_to_row(self):
+        pred = predicate_for_skew(0)
+        spec = dataset_spec_for_scale(0.002, num_partitions=16)
+        fingerprints = []
+        for layout in ("row", "columnar"):
+            data = build_materialized_dataset(
+                spec, {pred: 0.0}, seed=0, selectivity=0.01, layout=layout
+            )
+            dfs = DistributedFileSystem(paper_topology().storage_locations())
+            dfs.write_dataset("/t", data)
+            conf = make_sampling_conf(
+                name="q", input_path="/t", predicate=pred, sample_size=40,
+                policy_name="LA",
+            )
+            result = LocalRunner(seed=3).run(conf, dfs.open_splits("/t"))
+            fingerprints.append(result_fingerprint(result))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_invalid_map_workers_rejected(self):
+        with pytest.raises(JobConfError):
+            LocalRunner(map_workers=0)
+
+    def test_short_circuit_reduces_records_processed(self):
+        """A static sampling job scans fewer rows than the dataset when
+        matches are plentiful — and the count is identical in all modes."""
+        from repro.scan.engine import SCAN_MODES, ScanOptions
+
+        pred, data, splits = build_splits(selectivity=0.05)
+        counts = set()
+        for mode in SCAN_MODES:
+            conf = make_sampling_conf(
+                name="q", input_path="/t", predicate=pred, sample_size=5,
+                policy_name=None,
+            )
+            result = LocalRunner(
+                scan_options=ScanOptions(mode=mode)
+            ).run(conf, splits)
+            counts.add(result.records_processed)
+            assert result.records_processed < data.total_records
+        assert len(counts) == 1
+
+
 class TestRunnerValidation:
     def test_profile_split_rejected(self):
         from repro.data import build_profiled_dataset

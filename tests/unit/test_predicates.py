@@ -48,6 +48,32 @@ class TestColumnCompare:
         assert ColumnCompare("a", "=", 5)(ROW) is True
 
 
+class TestNullSemantics:
+    """SQL three-valued logic collapsed at the comparison: NULL never matches."""
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_null_column_value_never_matches(self, op):
+        assert ColumnCompare("a", op, 5).matches({"a": None}) is False
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_null_literal_never_matches(self, op):
+        assert ColumnCompare("a", op, None).matches({"a": 5}) is False
+        assert ColumnCompare("a", op, None).matches({"a": None}) is False
+
+    def test_not_over_null_comparison_is_true(self):
+        # NOT(NULL = 5) evaluates NOT(false) = true under the collapsed
+        # semantics — the engine has no three-valued NOT.
+        assert Not(ColumnCompare("a", "=", 5)).matches({"a": None}) is True
+
+    def test_marker_equals_null_row_value(self):
+        predicate = MarkerEquals("a", marker=7)
+        assert predicate.matches({"a": None}) is False
+
+    def test_mixed_type_comparison_does_not_raise(self):
+        # None vs int used to raise TypeError out of the bare operator.
+        assert ColumnCompare("a", "<", 5).matches({"a": None}) is False
+
+
 class TestCompound:
     def test_and(self):
         pred = And((ColumnCompare("a", "=", 5), ColumnCompare("b", "=", "x")))

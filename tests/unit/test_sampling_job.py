@@ -33,8 +33,16 @@ class TestSamplingMapper:
         context = MapContext()
         SamplingMapper(PRED, k=3).run(rows([20] * 10), context)
         assert context.outputs_produced == 3
-        # Algorithm 1 still scans the whole split.
-        assert context.records_read == 10
+        # LIMIT short-circuit: the task stops scanning once its own k is
+        # reached, so records_read reflects only rows actually scanned.
+        assert context.records_read == 3
+
+    def test_short_circuit_scans_up_to_kth_match(self):
+        context = MapContext()
+        # Matches at positions 1, 3, 5; k=2 stops right after position 3.
+        SamplingMapper(PRED, k=2).run(rows([5, 20, 5, 20, 5, 20]), context)
+        assert context.outputs_produced == 2
+        assert context.records_read == 4
 
     def test_projection(self):
         context = MapContext()

@@ -1,0 +1,157 @@
+"""Unit tests for the scan engine: columnar storage, batch execution,
+and LIMIT short-circuit accounting."""
+
+import pytest
+
+from repro.core.sampling_job import SamplingMapper, ScanMapper
+from repro.data.predicates import ColumnCompare
+from repro.engine.jobconf import JobConf
+from repro.engine.mapreduce import IdentityMapper, MapContext
+from repro.errors import DataGenerationError, JobConfError
+from repro.scan.columnar import ColumnBatch, ColumnStore
+from repro.scan.engine import (
+    SCAN_BATCH_SIZE_PARAM,
+    SCAN_MODE_PARAM,
+    SCAN_MODES,
+    ScanOptions,
+    run_map_task,
+)
+
+ROWS = [{"x": i, "y": i * 10} for i in range(10)]
+
+
+class FakeSplit:
+    """A materialized split backed by a plain row list."""
+
+    def __init__(self, rows):
+        self._store = ColumnStore.from_rows(rows)
+        self._rows = rows
+
+    def iter_rows(self):
+        return iter(self._rows)
+
+    def iter_batches(self, size):
+        return self._store.iter_batches(size)
+
+
+def make_conf(mapper_factory, **params):
+    conf = JobConf(name="t", input_path="/t", mapper_factory=mapper_factory)
+    for key, value in params.items():
+        conf.set(key, value)
+    return conf
+
+
+class TestColumnStore:
+    def test_roundtrip_preserves_rows_and_order(self):
+        store = ColumnStore.from_rows(ROWS)
+        assert list(store.iter_rows()) == ROWS
+        assert store.num_rows == len(ROWS)
+        assert store.names == ("x", "y")
+
+    def test_row_at_with_projection(self):
+        store = ColumnStore.from_rows(ROWS)
+        assert store.row_at(3) == {"x": 3, "y": 30}
+        assert store.row_at(3, columns=("y",)) == {"y": 30}
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(DataGenerationError):
+            ColumnStore(("x", "y"), {"x": [1, 2], "y": [1]})
+
+    def test_iter_batches_covers_all_rows_once(self):
+        store = ColumnStore.from_rows(ROWS)
+        batches = list(store.iter_batches(4))
+        assert [(b.start, b.stop) for b in batches] == [(0, 4), (4, 8), (8, 10)]
+        rows = [row for b in batches for _, row in b.iter_indexed_rows()]
+        assert rows == ROWS
+
+    def test_batch_indices_are_absolute(self):
+        store = ColumnStore.from_rows(ROWS)
+        batch = list(store.iter_batches(4))[1]
+        assert isinstance(batch, ColumnBatch)
+        assert [i for i, _ in batch.iter_indexed_rows()] == [4, 5, 6, 7]
+        assert batch.row(5) == ROWS[5]
+
+    def test_empty_store(self):
+        store = ColumnStore.from_rows([])
+        assert store.num_rows == 0
+        assert list(store.iter_batches(4)) == []
+
+
+class TestScanOptions:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(JobConfError):
+            ScanOptions(mode="vectorized")
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(JobConfError):
+            ScanOptions(batch_size=0)
+
+    def test_conf_overrides(self):
+        conf = make_conf(
+            IdentityMapper, **{SCAN_MODE_PARAM: "compiled", SCAN_BATCH_SIZE_PARAM: "7"}
+        )
+        options = ScanOptions().with_conf(conf)
+        assert options.mode == "compiled"
+        assert options.batch_size == 7
+
+    def test_conf_without_params_is_identity(self):
+        options = ScanOptions(mode="interpreted", batch_size=3)
+        assert options.with_conf(make_conf(IdentityMapper)) is options
+
+
+class TestRunMapTask:
+    @pytest.mark.parametrize("mode", SCAN_MODES)
+    def test_generic_mapper_identical_across_modes(self, mode):
+        conf = make_conf(IdentityMapper)
+        context = run_map_task(conf, FakeSplit(ROWS), ScanOptions(mode=mode))
+        assert context.records_read == len(ROWS)
+        assert context.outputs == list(enumerate(ROWS))
+
+    @pytest.mark.parametrize("mode", SCAN_MODES)
+    def test_scan_mapper_identical_across_modes(self, mode):
+        predicate = ColumnCompare("x", ">=", 5)
+        conf = make_conf(lambda: ScanMapper(predicate))
+        context = run_map_task(
+            conf, FakeSplit(ROWS), ScanOptions(mode=mode, batch_size=3)
+        )
+        assert context.records_read == len(ROWS)
+        assert context.outputs == [(i, ROWS[i]) for i in range(5, 10)]
+
+
+class TestLimitShortCircuit:
+    """records_read must reflect only rows actually scanned, identically
+    in all three modes."""
+
+    @pytest.mark.parametrize("mode", SCAN_MODES)
+    @pytest.mark.parametrize("batch_size", [1, 3, 4096])
+    def test_stops_at_kth_match(self, mode, batch_size):
+        # Matches at indices 2, 5, 8; k=2 -> scanning stops at index 5.
+        rows = [{"x": 1 if i in (2, 5, 8) else 0} for i in range(10)]
+        predicate = ColumnCompare("x", "=", 1)
+        conf = make_conf(lambda: SamplingMapper(predicate, k=2))
+        context = run_map_task(
+            conf, FakeSplit(rows), ScanOptions(mode=mode, batch_size=batch_size)
+        )
+        assert context.outputs_produced == 2
+        assert context.records_read == 6
+
+    @pytest.mark.parametrize("mode", SCAN_MODES)
+    def test_scans_everything_when_under_k(self, mode):
+        rows = [{"x": 1 if i == 4 else 0} for i in range(10)]
+        predicate = ColumnCompare("x", "=", 1)
+        conf = make_conf(lambda: SamplingMapper(predicate, k=5))
+        context = run_map_task(conf, FakeSplit(rows), ScanOptions(mode=mode))
+        assert context.outputs_produced == 1
+        assert context.records_read == 10
+
+    def test_all_modes_agree_exactly(self):
+        rows = [{"x": i % 3} for i in range(50)]
+        predicate = ColumnCompare("x", "=", 2)
+        results = []
+        for mode in SCAN_MODES:
+            conf = make_conf(lambda: SamplingMapper(predicate, k=7))
+            context = run_map_task(
+                conf, FakeSplit(rows), ScanOptions(mode=mode, batch_size=8)
+            )
+            results.append((context.records_read, context.outputs))
+        assert results[0] == results[1] == results[2]
