@@ -6,6 +6,12 @@ kernel (:mod:`repro.sim`): a deep heap of self-re-arming events plus a
 population of periodic pollers, which is what the simulated cluster's
 hot loop looks like (heartbeats, evaluation pollers, metrics samples,
 task completions).
+
+All timings run through a benchmark-scoped
+:class:`repro.obs.MetricsRegistry` (``registry.timer`` histograms)
+rather than hand-rolled ``perf_counter`` pairs; the registry snapshot —
+per-section repeat count, min/max/mean — rides along in the output JSON
+under ``metrics``.
 """
 
 from __future__ import annotations
@@ -15,8 +21,9 @@ import json
 import os
 import platform
 import sys
-import time
 from pathlib import Path
+
+from repro.obs import MetricsRegistry
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 BENCH_FILE = REPO_ROOT / "BENCH_PR1.json"
@@ -29,8 +36,12 @@ KERNEL_PERIODIC_TASKS = 50
 # ---------------------------------------------------------------------------
 # Kernel microbenchmark
 # ---------------------------------------------------------------------------
-def _drive_kernel(simulator_cls, periodic_cls, *, events: int) -> float:
-    """Events/sec for one kernel implementation on the standard workload."""
+def _drive_kernel(simulator_cls, periodic_cls, *, events: int, timer) -> None:
+    """One timed run of a kernel implementation on the standard workload.
+
+    Only the ``sim.run`` hot loop is inside the timer; setup and teardown
+    stay outside it.
+    """
     sim = simulator_cls()
 
     def noop() -> None:
@@ -43,26 +54,31 @@ def _drive_kernel(simulator_cls, periodic_cls, *, events: int) -> float:
         sim.schedule(float(i % 100), rearm)
     tasks = [periodic_cls(sim, 3.0, noop) for _ in range(KERNEL_PERIODIC_TASKS)]
 
-    start = time.perf_counter()
-    sim.run(max_events=events)
-    elapsed = time.perf_counter() - start
+    with timer:
+        sim.run(max_events=events)
     for task in tasks:
         task.cancel()
-    return events / elapsed
 
 
-def bench_kernel(*, events: int = KERNEL_EVENTS, repeats: int = 3) -> dict:
+def bench_kernel(
+    *, events: int = KERNEL_EVENTS, repeats: int = 3, registry: MetricsRegistry
+) -> dict:
     """Best-of-``repeats`` events/sec for the seed and current kernels."""
     from benchmarks.perf.seed_kernel import SeedPeriodicTask, SeedSimulator
     from repro.sim.simulator import PeriodicTask, Simulator
 
-    seed = max(
-        _drive_kernel(SeedSimulator, SeedPeriodicTask, events=events)
-        for _ in range(repeats)
-    )
-    current = max(
-        _drive_kernel(Simulator, PeriodicTask, events=events) for _ in range(repeats)
-    )
+    rates = {}
+    for label, sim_cls, periodic_cls in (
+        ("seed", SeedSimulator, SeedPeriodicTask),
+        ("current", Simulator, PeriodicTask),
+    ):
+        name = f"kernel.{label}.seconds"
+        for _ in range(repeats):
+            _drive_kernel(
+                sim_cls, periodic_cls, events=events, timer=registry.timer(name)
+            )
+        rates[label] = events / registry.histogram(name).min
+    seed, current = rates["seed"], rates["current"]
     return {
         "workload": {
             "events": events,
@@ -79,23 +95,22 @@ def bench_kernel(*, events: int = KERNEL_EVENTS, repeats: int = 3) -> dict:
 # ---------------------------------------------------------------------------
 # Reference Figure-5 cell
 # ---------------------------------------------------------------------------
-def bench_figure5_cell(*, repeats: int = 3) -> dict:
+def bench_figure5_cell(*, repeats: int = 3, registry: MetricsRegistry) -> dict:
     """Wall-clock for one mid-grid Figure-5 cell (100x, z=1, LA)."""
     from repro.experiments.single_user import run_single_user_cell
 
     params = dict(scale=100, z=1, policy="LA", seeds=(0, 1, 2))
-    best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
-        run_single_user_cell(**params)
-        best = min(best, time.perf_counter() - start)
+        with registry.timer("figure5_cell.seconds"):
+            run_single_user_cell(**params)
+    best = registry.histogram("figure5_cell.seconds").min
     return {"params": {**params, "seeds": list(params["seeds"])}, "seconds": round(best, 4)}
 
 
 # ---------------------------------------------------------------------------
 # Sweep engine serial vs parallel
 # ---------------------------------------------------------------------------
-def bench_sweep(*, jobs: int = 4) -> dict:
+def bench_sweep(*, jobs: int = 4, registry: MetricsRegistry) -> dict:
     """The paper's Figure-5 grid (75 cells, 5 seeds) serial vs parallel.
 
     Datasets are pre-built (they are memoized process-wide and, under
@@ -124,12 +139,12 @@ def bench_sweep(*, jobs: int = 4) -> dict:
         seeds=seeds,
         sample_size=10_000,
     )
-    start = time.perf_counter()
-    run_sweep(points, jobs=1)
-    serial = time.perf_counter() - start
-    start = time.perf_counter()
-    run_sweep(points, jobs=jobs)
-    parallel = time.perf_counter() - start
+    with registry.timer("sweep.serial.seconds"):
+        run_sweep(points, jobs=1)
+    with registry.timer("sweep.parallel.seconds"):
+        run_sweep(points, jobs=jobs)
+    serial = registry.histogram("sweep.serial.seconds").max
+    parallel = registry.histogram("sweep.parallel.seconds").max
     return {
         "grid_cells": len(points),
         "seeds_per_cell": len(seeds),
@@ -156,9 +171,10 @@ def main(argv: list[str] | None = None) -> int:
 
     events = 50_000 if args.quick else KERNEL_EVENTS
     repeats = 2 if args.quick else 3
+    registry = MetricsRegistry(scope="bench.pr1")
 
     print(f"kernel microbenchmark ({events:,} events, best of {repeats}) ...")
-    kernel = bench_kernel(events=events, repeats=repeats)
+    kernel = bench_kernel(events=events, repeats=repeats, registry=registry)
     print(
         f"  seed    {kernel['seed_events_per_sec']:>12,} events/sec\n"
         f"  current {kernel['events_per_sec']:>12,} events/sec"
@@ -166,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     print("reference Figure-5 cell (100x, z=1, LA, 3 seeds) ...")
-    cell = bench_figure5_cell(repeats=repeats)
+    cell = bench_figure5_cell(repeats=repeats, registry=registry)
     print(f"  {cell['seconds']:.3f} s")
 
     result = {
@@ -183,7 +199,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.quick:
         print(f"sweep grid serial vs --jobs {args.jobs} ...")
-        sweep = bench_sweep(jobs=args.jobs)
+        sweep = bench_sweep(jobs=args.jobs, registry=registry)
         print(
             f"  serial {sweep['serial_seconds']:.2f} s, "
             f"parallel {sweep['parallel_seconds']:.2f} s "
@@ -191,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         result["sweep"] = sweep
 
+    result["metrics"] = registry.snapshot()
     out = Path(args.out)
     out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out}")

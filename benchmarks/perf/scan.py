@@ -26,8 +26,9 @@ import json
 import os
 import platform
 import sys
-import time
 from pathlib import Path
+
+from repro.obs import MetricsRegistry
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 BENCH_FILE = REPO_ROOT / "BENCH_PR2.json"
@@ -73,7 +74,9 @@ def _scan_all(conf, splits, options):
     return scanned, outputs
 
 
-def bench_scan(*, rows: int = SCAN_ROWS, repeats: int = 3) -> dict:
+def bench_scan(
+    *, rows: int = SCAN_ROWS, repeats: int = 3, registry: MetricsRegistry
+) -> dict:
     """Best-of-``repeats`` rows/sec for each scan mode, on identical input."""
     from repro.core.sampling_job import make_scan_conf
     from repro.scan.engine import SCAN_MODES, ScanOptions
@@ -96,13 +99,13 @@ def bench_scan(*, rows: int = SCAN_ROWS, repeats: int = 3) -> dict:
             reference = (scanned, outputs)
         elif (scanned, outputs) != reference:
             raise AssertionError(f"scan mode {mode!r} diverged from interpreted output")
-        best = 0.0
+        name = f"scan.{mode}.seconds"
         for _ in range(repeats):
-            start = time.perf_counter()
-            scanned, _ = _scan_all(conf, splits, options)
-            elapsed = time.perf_counter() - start
-            best = max(best, scanned / elapsed)
-        results[mode] = {"rows_per_sec": round(best)}
+            with registry.timer(name):
+                scanned, _ = _scan_all(conf, splits, options)
+        results[mode] = {
+            "rows_per_sec": round(scanned / registry.histogram(name).min)
+        }
 
     interpreted = results["interpreted"]["rows_per_sec"]
     for mode in SCAN_MODES:
@@ -163,9 +166,10 @@ def main(argv: list[str] | None = None) -> int:
 
     rows = 60_000 if args.quick else SCAN_ROWS
     repeats = 2 if args.quick else 3
+    registry = MetricsRegistry(scope="bench.pr2")
 
     print(f"scan throughput ({rows:,} rows, 0.05% selectivity, best of {repeats}) ...")
-    scan = bench_scan(rows=rows, repeats=repeats)
+    scan = bench_scan(rows=rows, repeats=repeats, registry=registry)
     for mode, stats in scan["modes"].items():
         print(
             f"  {mode:<12} {stats['rows_per_sec']:>12,} rows/sec"
@@ -183,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         "pr": 2,
         "scan": scan,
         "short_circuit": limit,
+        "metrics": registry.snapshot(),
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),

@@ -9,6 +9,8 @@ Commands mirror the deliverables:
 * ``sample`` — run a single sampling job on the simulated cluster.
 * ``query`` — execute a SQL statement against a small demo warehouse
   with real (LocalRunner) execution.
+* ``trace`` / ``metrics`` — render a structured trace file written by
+  ``--trace-out`` as a per-job timeline or as metric tables.
 * ``policies`` — write the default policy catalogue as policy.xml.
 
 The figure commands accept ``--jobs N`` (process-pool fan-out over the
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from repro.core.policy_file import dump_policies
 from repro.core.policy import paper_policies
@@ -51,6 +54,8 @@ from repro.experiments.single_user import (
 )
 from repro.experiments.skew_figure import figure4_series
 from repro.experiments.sweep import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.obs import TraceRecorder, load_trace
+from repro.obs.render import render_metrics, render_timeline
 from repro.scan import DEFAULT_BATCH_SIZE, SCAN_BATCH, SCAN_MODES
 from repro.experiments.tables import (
     TABLE1_HEADERS,
@@ -94,6 +99,23 @@ def _cache_from(args) -> ResultCache | None:
     if getattr(args, "cache", False):
         return ResultCache(args.cache_dir or default_cache_dir())
     return None
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help=(
+            "write a structured JSONL trace of the run (inspect with "
+            "'repro trace FILE' / 'repro metrics FILE')"
+        ),
+    )
+
+
+def _trace_recorder(args):
+    """Context manager yielding a TraceRecorder, or None without --trace-out."""
+    if getattr(args, "trace_out", None):
+        return TraceRecorder(args.trace_out)
+    return nullcontext(None)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--scale", type=float, default=5, help="figure 4 dataset scale")
     sweep.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    _add_trace_arg(sweep)
 
     sample = commands.add_parser("sample", help="run one sampling job")
     sample.add_argument("--scale", type=float, default=100)
@@ -175,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--policy", default="LA")
     sample.add_argument("--k", type=int, default=10_000)
     sample.add_argument("--seed", type=int, default=0)
+    _add_trace_arg(sample)
 
     query = commands.add_parser("query", help="execute SQL on a demo warehouse")
     query.add_argument("sql", help="e.g. \"SELECT * FROM lineitem WHERE l_quantity = 51 LIMIT 5\"")
@@ -196,6 +220,29 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--layout", default="row", choices=("row", "columnar"),
         help="storage layout for the demo table partitions",
+    )
+    _add_trace_arg(query)
+
+    trace = commands.add_parser(
+        "trace", help="render a --trace-out file as a per-job timeline"
+    )
+    trace.add_argument("path", help="JSONL trace file written by --trace-out")
+    trace.add_argument(
+        "--job", default=None, metavar="JOB_ID",
+        help="show only this job's events",
+    )
+    trace.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation while loading",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", help="render the metric snapshots from a --trace-out file"
+    )
+    metrics.add_argument("path", help="JSONL trace file written by --trace-out")
+    metrics.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation while loading",
     )
 
     policies = commands.add_parser("policies", help="write policy.xml")
@@ -220,6 +267,7 @@ def cmd_figure4(args, out) -> int:
     series = figure4_series(
         scale=args.scale, seed=args.seed,
         jobs=getattr(args, "jobs", 1), cache=_cache_from(args),
+        trace=getattr(args, "_trace", None),
     )
     rows = [
         [rank + 1] + [series[z].counts_by_rank[rank] for z in (0, 1, 2)]
@@ -251,6 +299,7 @@ def cmd_figure5(args, out) -> int:
         scales=args.scales, skews=args.skews, seeds=args.seeds,
         jobs=args.jobs, cache=_cache_from(args),
         progress=_progress_printer(args, out),
+        trace=getattr(args, "_trace", None),
     )
     for z in args.skews:
         print(
@@ -279,6 +328,7 @@ def cmd_figure6(args, out) -> int:
         skews=args.skews, seeds=args.seeds, measurement=args.measurement,
         jobs=args.jobs, cache=_cache_from(args),
         progress=_progress_printer(args, out),
+        trace=getattr(args, "_trace", None),
     )
     for z in args.skews:
         print(
@@ -302,6 +352,7 @@ def _cmd_heterogeneous(args, out, *, scheduler: str, figure: str) -> int:
         jobs=args.jobs,
         cache=_cache_from(args),
         progress=_progress_printer(args, out),
+        trace=getattr(args, "_trace", None),
     )
     for user_class, label in (
         (UserClass.SAMPLING, "(a) Sampling"),
@@ -341,28 +392,31 @@ def cmd_sweep(args, out) -> int:
         args.skews = (0, 2) if figure == 6 else (0, 1, 2)
     if args.measurement is None:
         args.measurement = 2400.0 if figure == 6 else 3600.0
-    if figure == 4:
-        args.seed = args.seeds[0]
-        args.top = 10
-        return cmd_figure4(args, out)
-    if figure == 5:
-        return cmd_figure5(args, out)
-    if figure == 6:
-        return cmd_figure6(args, out)
-    if figure == 7:
-        return _cmd_heterogeneous(args, out, scheduler="fifo", figure="Figure 7")
-    return _cmd_heterogeneous(args, out, scheduler="fair", figure="Figure 8")
+    with _trace_recorder(args) as trace:
+        args._trace = trace
+        if figure == 4:
+            args.seed = args.seeds[0]
+            args.top = 10
+            return cmd_figure4(args, out)
+        if figure == 5:
+            return cmd_figure5(args, out)
+        if figure == 6:
+            return cmd_figure6(args, out)
+        if figure == 7:
+            return _cmd_heterogeneous(args, out, scheduler="fifo", figure="Figure 7")
+        return _cmd_heterogeneous(args, out, scheduler="fair", figure="Figure 8")
 
 
 def cmd_sample(args, out) -> int:
     predicate = predicate_for_skew(args.skew)
-    cluster = single_user_cluster(seed=args.seed)
-    cluster.load_dataset("/d", dataset_for(args.scale, args.skew, args.seed))
-    conf = make_sampling_conf(
-        name="cli-sample", input_path="/d", predicate=predicate,
-        sample_size=args.k, policy_name=args.policy,
-    )
-    result = cluster.run_job(conf)
+    with _trace_recorder(args) as trace:
+        cluster = single_user_cluster(seed=args.seed, trace=trace)
+        cluster.load_dataset("/d", dataset_for(args.scale, args.skew, args.seed))
+        conf = make_sampling_conf(
+            name="cli-sample", input_path="/d", predicate=predicate,
+            sample_size=args.k, policy_name=args.policy,
+        )
+        result = cluster.run_job(conf)
     print(
         render_table(
             ("Metric", "Value"),
@@ -400,14 +454,16 @@ def cmd_query(args, out) -> int:
     )
     dfs = DistributedFileSystem(paper_topology().storage_locations())
     dfs.write_dataset("/warehouse/lineitem", dataset)
-    runner = LocalRunner(
-        seed=args.seed,
-        scan_options=ScanOptions(mode=args.scan_mode, batch_size=args.batch_size),
-        map_workers=args.map_workers,
-    )
-    session = HiveSession(runner=runner, dfs=dfs)
-    session.register_table("lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA)
-    result = session.execute(args.sql)
+    with _trace_recorder(args) as trace:
+        runner = LocalRunner(
+            seed=args.seed,
+            scan_options=ScanOptions(mode=args.scan_mode, batch_size=args.batch_size),
+            map_workers=args.map_workers,
+            trace=trace,
+        )
+        session = HiveSession(runner=runner, dfs=dfs)
+        session.register_table("lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA)
+        result = session.execute(args.sql)
     print(f"-- {result.statement}", file=out)
     for row in result.rows[: args.max_print]:
         print(row, file=out)
@@ -421,6 +477,18 @@ def cmd_query(args, out) -> int:
             f"{result.job.splits_processed}/{result.job.splits_total} partitions",
             file=out,
         )
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    events = load_trace(args.path, validate=not args.no_validate)
+    print(render_timeline(events, job_id=args.job), file=out)
+    return 0
+
+
+def cmd_metrics(args, out) -> int:
+    events = load_trace(args.path, validate=not args.no_validate)
+    print(render_metrics(events), file=out)
     return 0
 
 
@@ -447,6 +515,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "sweep": cmd_sweep,
         "sample": cmd_sample,
         "query": cmd_query,
+        "trace": cmd_trace,
+        "metrics": cmd_metrics,
         "policies": cmd_policies,
     }
     return handlers[args.command](args, out)

@@ -9,25 +9,42 @@ methodology against the simulated cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.cluster.topology import ClusterTopology
 from repro.errors import ClusterConfigError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.simulator import PeriodicTask, Simulator
 
 
-@dataclass
 class ClusterMetrics:
-    """Accumulated samples and counters for one measurement window."""
+    """Accumulated samples and counters for one measurement window.
 
-    sample_times: list[float] = field(default_factory=list)
-    cpu_utilization_samples: list[float] = field(default_factory=list)
-    disk_read_bps_samples: list[float] = field(default_factory=list)
-    slot_occupancy_samples: list[float] = field(default_factory=list)
-    local_map_tasks: int = 0
-    remote_map_tasks: int = 0
+    Backed by a :class:`repro.obs.metrics.MetricsRegistry` (the locality
+    counters and per-sample distributions live there, exportable via
+    ``snapshot()``); the raw sample lists are kept alongside because the
+    paper's figures average them in specific units.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry(scope="cluster")
+        self._local = self.registry.counter("local_map_tasks")
+        self._remote = self.registry.counter("remote_map_tasks")
+        self._cpu = self.registry.histogram("cpu_utilization")
+        self._disk = self.registry.histogram("disk_read_bps")
+        self._occupancy = self.registry.histogram("slot_occupancy")
+        self.sample_times: list[float] = []
+        self.cpu_utilization_samples: list[float] = []
+        self.disk_read_bps_samples: list[float] = []
+        self.slot_occupancy_samples: list[float] = []
 
     # ------------------------------------------------------------------
+    @property
+    def local_map_tasks(self) -> int:
+        return self._local.value
+
+    @property
+    def remote_map_tasks(self) -> int:
+        return self._remote.value
+
     @property
     def num_samples(self) -> int:
         return len(self.sample_times)
@@ -55,10 +72,22 @@ class ClusterMetrics:
         return 100.0 * self.local_map_tasks / total
 
     def record_map_task(self, *, local: bool) -> None:
-        if local:
-            self.local_map_tasks += 1
-        else:
-            self.remote_map_tasks += 1
+        (self._local if local else self._remote).inc()
+
+    def record_sample(
+        self, time: float, *, cpu: float, disk_bps: float, occupancy: float
+    ) -> None:
+        self.sample_times.append(time)
+        self.cpu_utilization_samples.append(cpu)
+        self.disk_read_bps_samples.append(disk_bps)
+        self.slot_occupancy_samples.append(occupancy)
+        self._cpu.observe(cpu)
+        self._disk.observe(disk_bps)
+        self._occupancy.observe(occupancy)
+
+    def snapshot(self) -> dict:
+        """Registry snapshot (for trace export / ``repro metrics``)."""
+        return self.registry.snapshot()
 
 
 def _mean(values: list[float]) -> float:
@@ -99,9 +128,9 @@ class MetricsMonitor:
 
     def _sample(self) -> None:
         nodes = self._topology.nodes
-        cpu = _mean([node.cpu_utilization for node in nodes])
-        disk_bps = _mean([node.disk_read_rate_bps for node in nodes])
-        self.metrics.sample_times.append(self._sim.now)
-        self.metrics.cpu_utilization_samples.append(cpu)
-        self.metrics.disk_read_bps_samples.append(disk_bps)
-        self.metrics.slot_occupancy_samples.append(self._topology.slot_occupancy)
+        self.metrics.record_sample(
+            self._sim.now,
+            cpu=_mean([node.cpu_utilization for node in nodes]),
+            disk_bps=_mean([node.disk_read_rate_bps for node in nodes]),
+            occupancy=self._topology.slot_occupancy,
+        )

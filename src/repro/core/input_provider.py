@@ -14,6 +14,7 @@ three ways (Figure 3 of the paper):
 from __future__ import annotations
 
 import enum
+import math
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -132,26 +133,64 @@ class InputProvider:
         return len(self._remaining)
 
     def grab_limit(self, cluster: ClusterStatus) -> float:
-        """This step's GrabLimit under the configured policy."""
-        return self.policy.max_grab(
+        """This step's GrabLimit under the configured policy.
+
+        The policy boundary: whatever ``Policy.max_grab`` produced is
+        validated here, so a broken policy surfaces as a clear error at
+        the evaluation that used it instead of a silent empty grab (or a
+        cryptic ``int(nan)`` crash) somewhere inside split selection.
+        """
+        limit = self.policy.max_grab(
             total_slots=cluster.total_map_slots,
             available_slots=cluster.available_map_slots,
         )
+        if not isinstance(limit, (int, float)) or isinstance(limit, bool):
+            raise InputProviderError(
+                f"policy {self.policy.name!r} produced a non-numeric "
+                f"grab limit: {limit!r}"
+            )
+        if math.isnan(limit):
+            raise InputProviderError(
+                f"policy {self.policy.name!r} produced a NaN grab limit"
+            )
+        if limit < 0:
+            raise InputProviderError(
+                f"policy {self.policy.name!r} produced a negative grab "
+                f"limit: {limit!r}"
+            )
+        return limit
+
+    def take_all(self) -> list[InputSplit]:
+        """Remove every remaining split, in random order.
+
+        The explicit unbounded grab (static provider, and sampling
+        providers whose need or GrabLimit is unbounded) — callers no
+        longer spell it as ``take_random(float("inf"))``, though that
+        remains equivalent.
+        """
+        self._check_initialized()
+        if not self._remaining:
+            return []
+        taken = list(self._remaining)
+        self._remaining.clear()
+        self._rng.shuffle(taken)  # type: ignore[union-attr]
+        return taken
 
     def take_random(self, count: float) -> list[InputSplit]:
         """Remove up to ``count`` splits, chosen uniformly at random.
 
         Random selection is what makes the produced sample random
-        (paper §IV); ``count`` may be ``inf`` to take everything.
+        (paper §IV); ``count`` may be ``inf``, equivalent to
+        :meth:`take_all`. NaN is rejected — it compares false against
+        everything, so it would silently select nothing.
         """
         self._check_initialized()
+        if isinstance(count, float) and math.isnan(count):
+            raise InputProviderError("take_random(count) must not be NaN")
         if count <= 0 or not self._remaining:
             return []
         if count >= len(self._remaining):
-            taken = list(self._remaining)
-            self._remaining.clear()
-            self._rng.shuffle(taken)  # type: ignore[union-attr]
-            return taken
+            return self.take_all()
         taken = self._rng.sample(self._remaining, int(count))  # type: ignore[union-attr]
         taken_ids = {split.split_id for split in taken}
         self._remaining = [

@@ -90,7 +90,9 @@ class SamplingInputProvider(InputProvider):
             return ProviderResponse.no_input()
         needed_splits = self._needed_splits(progress, shortfall)
         take = min(needed_splits, limit)
-        chosen = self.take_random(take)
+        # An unbounded take (infinite GrabLimit and unbounded need) is
+        # the explicit take-everything case, not an infinite count.
+        chosen = self.take_all() if math.isinf(take) else self.take_random(take)
         if not chosen:
             return ProviderResponse.no_input()
         return ProviderResponse.input_available(chosen)

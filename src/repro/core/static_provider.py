@@ -17,7 +17,7 @@ class StaticInputProvider(InputProvider):
     """Adds the entire input up front; never grows the job afterwards."""
 
     def initial_input(self, cluster: ClusterStatus) -> tuple[list, bool]:
-        taken = self.take_random(float("inf"))
+        taken = self.take_all()
         return taken, True
 
     def evaluate(

@@ -67,6 +67,7 @@ class SimulatedCluster:
         straggler_model=None,
         dispatch_delay: float = 1.5,
         history=None,
+        trace=None,
     ) -> None:
         self.sim = Simulator()
         self.topology = topology or paper_topology()
@@ -88,6 +89,7 @@ class SimulatedCluster:
             failure_injector=failure_injector,
             straggler_model=straggler_model,
             history=history,
+            trace=trace,
         )
         self.jobclient = JobClient(
             self.sim,
@@ -110,6 +112,9 @@ class SimulatedCluster:
         scheduler: str | TaskScheduler | None = None,
         seed: int = 0,
         cost_model: CostModel | None = None,
+        failure_injector=None,
+        history=None,
+        trace=None,
     ) -> "SimulatedCluster":
         """The paper's 10-node cluster (§V-A): 40 cores, 40 disks.
 
@@ -121,6 +126,9 @@ class SimulatedCluster:
             scheduler=scheduler,
             seed=seed,
             cost_model=cost_model,
+            failure_injector=failure_injector,
+            history=history,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -141,6 +149,18 @@ class SimulatedCluster:
     def history(self):
         """The JobHistory event log, if one was attached at construction."""
         return self.jobtracker.history
+
+    @property
+    def trace(self):
+        """The TraceRecorder, if one was attached at construction."""
+        return self.jobtracker.trace
+
+    def snapshot_cluster_metrics(self) -> None:
+        """Export the cluster registry into the trace (end of a run)."""
+        if self.trace is not None:
+            self.trace.metrics_snapshot(
+                self.sim.now, scope="cluster", metrics=self.metrics.snapshot()
+            )
 
     # ------------------------------------------------------------------
     # Job execution

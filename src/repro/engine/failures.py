@@ -16,12 +16,57 @@ subclass and override :meth:`should_fail_map` for bespoke scenarios
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from repro.engine.task import MapTask
 from repro.errors import ClusterConfigError
 
 DEFAULT_MAX_ATTEMPTS = 4
 """Attempts per map task before the job is killed (Hadoop's default)."""
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Declarative failure-injection parameters for an experiment cell.
+
+    A :class:`FailureInjector` carries live RNG state, so it cannot ride
+    inside a sweep grid; this config can — it is hashable, picklable,
+    and has a stable ``repr``, which is exactly what the sweep result
+    cache keys on. Two sweeps differing only in failure parameters must
+    never collide on cached cells, so the config is part of every
+    sweep-point key (and its defaults are folded into the code
+    fingerprint).
+    """
+
+    map_failure_probability: float = 0.0
+    flaky_nodes: tuple[str, ...] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.map_failure_probability <= 1.0:
+            raise ClusterConfigError(
+                "failure probability must be in [0, 1], "
+                f"got {self.map_failure_probability}"
+            )
+        if self.flaky_nodes is not None and not isinstance(self.flaky_nodes, tuple):
+            raise ClusterConfigError(
+                f"flaky_nodes must be a tuple or None, got {self.flaky_nodes!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.map_failure_probability > 0.0
+
+    def build(self) -> "FailureInjector | None":
+        """A fresh injector (fresh RNG) for one cluster, or None when
+        the config injects nothing."""
+        if not self.enabled:
+            return None
+        return FailureInjector(
+            self.map_failure_probability,
+            flaky_nodes=set(self.flaky_nodes) if self.flaky_nodes is not None else None,
+            seed=self.seed,
+        )
 
 
 class FailureInjector:

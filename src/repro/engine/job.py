@@ -20,6 +20,7 @@ from repro.dfs.split import InputSplit
 from repro.engine.jobconf import JobConf
 from repro.engine.task import MapTask, PendingTaskQueue, ReduceTask
 from repro.errors import JobError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "ClusterStatus",
@@ -59,6 +60,9 @@ class JobResult:
     evaluations: int
     input_increments: int
     failed_map_attempts: int = 0
+    metrics_snapshot: dict | None = None
+    """``MetricsRegistry.snapshot()`` of the job's registry, when one
+    was kept. Deterministic: counts and simulated-time values only."""
 
     @property
     def response_time(self) -> float:
@@ -99,12 +103,16 @@ class Job:
         self.all_map_tasks: dict[str, MapTask] = {}
         self.reduce_task: ReduceTask | None = None
 
-        self.records_processed = 0
-        self.outputs_produced = 0
-        self.records_pending = 0
-        self.evaluations = 0
-        self.input_increments = 0
-        self.failed_map_attempts = 0
+        # All job accounting lives in one registry (obs layer); the
+        # legacy counter names remain readable as properties below.
+        self.metrics = MetricsRegistry(scope=f"job:{job_id}")
+        self._records_processed = self.metrics.counter("records_processed")
+        self._outputs_produced = self.metrics.counter("outputs_produced")
+        self._records_pending = self.metrics.gauge("records_pending")
+        self._evaluations = self.metrics.counter("provider_evaluations")
+        self._input_increments = self.metrics.counter("input_increments")
+        self._failed_map_attempts = self.metrics.counter("failed_map_attempts")
+        self._map_records = self.metrics.histogram("map_records_per_task")
         self._added_split_ids: set[str] = set()
 
         # Fair-scheduler bookkeeping: when this job last received a local
@@ -134,10 +142,10 @@ class Job:
             )
             self.all_map_tasks[task.task_id] = task
             self.pending_maps.add(task)
-            self.records_pending += split.num_records
+            self._records_pending.inc(split.num_records)
             tasks.append(task)
         if splits:
-            self.input_increments += 1
+            self._input_increments.inc()
         return tasks
 
     def mark_input_complete(self) -> None:
@@ -154,9 +162,10 @@ class Job:
         if removed is None:
             raise JobError(f"job {self.job_id}: unknown running map {task.task_id}")
         self.completed_maps.append(task)
-        self.records_processed += task.records_processed
-        self.outputs_produced += task.outputs_produced
-        self.records_pending -= task.split.num_records
+        self._records_processed.inc(task.records_processed)
+        self._outputs_produced.inc(task.outputs_produced)
+        self._records_pending.dec(task.split.num_records)
+        self._map_records.observe(task.records_processed)
 
     def map_failed(self, task: MapTask) -> MapTask | None:
         """Record a failed attempt; returns the retry attempt, or None
@@ -168,7 +177,7 @@ class Job:
         removed = self.running_maps.pop(task.task_id, None)
         if removed is None:
             raise JobError(f"job {self.job_id}: unknown running map {task.task_id}")
-        self.failed_map_attempts += 1
+        self._failed_map_attempts.inc()
         max_attempts = self.conf.get_int(MAX_ATTEMPTS_PARAM, 4)
         if task.attempt >= max_attempts:
             return None
@@ -177,9 +186,38 @@ class Job:
         self.pending_maps.add(retry)
         return retry
 
+    def record_evaluation(self) -> None:
+        """Count one Input Provider evaluation (called by the client side)."""
+        self._evaluations.inc()
+
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection — counters are registry-backed; the names predate
+    # the obs layer and stay readable for callers and tests.
     # ------------------------------------------------------------------
+    @property
+    def records_processed(self) -> int:
+        return self._records_processed.value
+
+    @property
+    def outputs_produced(self) -> int:
+        return self._outputs_produced.value
+
+    @property
+    def records_pending(self) -> int:
+        return self._records_pending.value
+
+    @property
+    def evaluations(self) -> int:
+        return self._evaluations.value
+
+    @property
+    def input_increments(self) -> int:
+        return self._input_increments.value
+
+    @property
+    def failed_map_attempts(self) -> int:
+        return self._failed_map_attempts.value
+
     @property
     def splits_added(self) -> int:
         return len(self._added_split_ids)
@@ -247,6 +285,7 @@ class Job:
             evaluations=self.evaluations,
             input_increments=self.input_increments,
             failed_map_attempts=self.failed_map_attempts,
+            metrics_snapshot=self.metrics.snapshot(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

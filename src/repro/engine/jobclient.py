@@ -37,6 +37,7 @@ from repro.engine.job import Job, JobResult
 from repro.engine.jobconf import JobConf
 from repro.engine.jobtracker import JobTracker
 from repro.errors import JobConfError, JobError
+from repro.obs.trace import policy_knobs
 from repro.sim.random_source import RandomSource
 from repro.sim.simulator import PeriodicTask, Simulator
 
@@ -116,7 +117,8 @@ class JobClient:
         rng = self._random.stream(f"provider:{conf.name}:{next(self._submissions)}")
         provider.initialize(splits, conf, policy, rng)
 
-        initial, complete = provider.initial_input(self._jobtracker.cluster_status())
+        cluster = self._jobtracker.cluster_status()
+        initial, complete = provider.initial_input(cluster)
         job = self._jobtracker.submit_job(
             conf,
             initial,
@@ -124,6 +126,19 @@ class JobClient:
             total_splits_known=len(splits),
             listener=self._completion_listener(on_complete),
         )
+        trace = self._jobtracker.trace
+        if trace is not None:
+            trace.provider_evaluation(
+                self._sim.now,
+                job_id=job.job_id,
+                phase="initial",
+                policy=policy.name,
+                knobs=policy_knobs(policy),
+                progress=None,
+                cluster=cluster,
+                response_kind="END_OF_INPUT" if complete else "INPUT_AVAILABLE",
+                splits=len(initial),
+            )
         if not complete:
             handle = DynamicJobHandle(job=job, provider=provider, policy=policy)
             handle.evaluation_task = PeriodicTask(
@@ -158,11 +173,24 @@ class JobClient:
         if not self._work_threshold_met(handle):
             return
 
-        job.evaluations += 1
+        job.record_evaluation()
         handle.splits_completed_at_last_eval = job.splits_completed
-        response = handle.provider.evaluate(
-            job.progress(), self._jobtracker.cluster_status()
-        )
+        progress = job.progress()
+        cluster = self._jobtracker.cluster_status()
+        response = handle.provider.evaluate(progress, cluster)
+        trace = self._jobtracker.trace
+        if trace is not None:
+            trace.provider_evaluation(
+                self._sim.now,
+                job_id=job.job_id,
+                phase="evaluate",
+                policy=handle.policy.name,
+                knobs=policy_knobs(handle.policy),
+                progress=progress,
+                cluster=cluster,
+                response_kind=response.kind.name,
+                splits=len(response.splits),
+            )
         if response.kind is ResponseKind.END_OF_INPUT:
             if handle.evaluation_task is not None:
                 handle.evaluation_task.cancel()

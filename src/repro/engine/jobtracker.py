@@ -46,6 +46,7 @@ class JobTracker:
         failure_injector=None,
         straggler_model=None,
         history=None,
+        trace=None,
     ) -> None:
         if dispatch_delay < 0:
             raise JobError(f"dispatch_delay must be >= 0, got {dispatch_delay}")
@@ -56,6 +57,12 @@ class JobTracker:
         self.metrics = metrics
         self.failure_injector = failure_injector
         self.history = history
+        self.trace = trace
+        """Optional :class:`repro.obs.trace.TraceRecorder`. Lifecycle
+        events go to both ``history`` and ``trace`` (a TraceRecorder
+        *is* a JobHistory, so passing the same object once works too);
+        TaskTrackers and the JobClient reach the recorder through this
+        attribute for scan spans and provider evaluations."""
         self.dispatch_delay = dispatch_delay
         """Latency between a state change and slot (re)assignment.
 
@@ -78,7 +85,7 @@ class JobTracker:
         self._active_jobs: list[Job] = []  # submission order
         self._listeners: dict[str, list[JobListener]] = {}
         self._dispatch_scheduled = False
-        self._retry_scheduled = False
+        self._retry_handle = None
         self._node_rotation = itertools.cycle([n.node_id for n in topology.nodes])
         self._reduce_ids = itertools.count(1)
         # Per-tracker, so a job's id depends only on its submission order
@@ -169,10 +176,11 @@ class JobTracker:
     # Internal lifecycle
     # ------------------------------------------------------------------
     def _record(self, kind: str, job_id: str, *, task_id: str | None = None, **detail) -> None:
+        now = self._sim.now
         if self.history is not None:
-            self.history.record(
-                self._sim.now, kind, job_id, task_id=task_id, **detail
-            )
+            self.history.record(now, kind, job_id, task_id=task_id, **detail)
+        if self.trace is not None and self.trace is not self.history:
+            self.trace.record(now, kind, job_id, task_id=task_id, **detail)
 
     def _activate_job(self, job: Job) -> None:
         if job.state is not JobState.PREP:
@@ -204,6 +212,17 @@ class JobTracker:
         self._assign_reduce_slots()
         if declined:
             self._schedule_retry()
+        elif self._retry_handle is not None:
+            # The stall the retry timer was armed for has resolved: every
+            # offerable slot was either filled or there is no pending work
+            # left. Left alone, the stale timer would fire a phantom
+            # dispatch whose coalescing window (_dispatch_scheduled) can
+            # pull a *later* real dispatch earlier — leaking one job's
+            # stall history into the next job's timing on a shared
+            # cluster. Cancelling keeps "timer armed" equivalent to
+            # "a decline is outstanding".
+            self._retry_handle.cancel()
+            self._retry_handle = None
 
     def _assign_map_slots(self, schedulable: list[Job]) -> bool:
         """Offer free map slots breadth-first across nodes: one task per
@@ -249,16 +268,28 @@ class JobTracker:
                 self._start_reduce(job)
 
     def _schedule_retry(self) -> None:
+        """Arm the delay-scheduling retry timer (at most one outstanding).
+
+        The timer disarms itself when it fires, so every later decline —
+        a second locality-wait expiry, a third — arms a fresh one; a
+        dispatch that resolves the stall cancels it (see ``_dispatch``).
+        """
         delay = self.scheduler.retry_delay()
-        if delay is None or self._retry_scheduled:
+        if delay is None or self._retry_handle is not None:
             return
-        self._retry_scheduled = True
 
         def retry() -> None:
-            self._retry_scheduled = False
+            self._retry_handle = None
             self._request_dispatch()
 
-        self._sim.schedule(delay, retry, label="dispatch-retry")
+        self._retry_handle = self._sim.schedule(
+            delay, retry, label="dispatch-retry"
+        )
+
+    @property
+    def retry_pending(self) -> bool:
+        """True while a dispatch-retry timer is armed (tests/tracing)."""
+        return self._retry_handle is not None
 
     # ------------------------------------------------------------------
     # Completion callbacks (from TaskTrackers)
@@ -281,14 +312,21 @@ class JobTracker:
             "map_failed", job.job_id, task_id=task.task_id, attempt=task.attempt
         )
         retry = job.map_failed(task)
-        if retry is None and not job.finished:
-            self._kill_job(job)
+        if retry is None:
+            if not job.finished:
+                self._kill_job(job)
+        else:
+            self._record(
+                "map_retried", job.job_id, task_id=retry.task_id,
+                attempt=retry.attempt, split=retry.split.split_id,
+            )
         self._request_dispatch()
 
     def _kill_job(self, job: Job) -> None:
         job.state = JobState.KILLED
         job.finish_time = self._sim.now
         self._record("job_killed", job.job_id)
+        self._snapshot_job_metrics(job)
         if job in self._active_jobs:
             self._active_jobs.remove(job)
         for listener in self._listeners.pop(job.job_id, []):
@@ -343,12 +381,21 @@ class JobTracker:
                 best = node
         return best
 
+    def _snapshot_job_metrics(self, job: Job) -> None:
+        """Export the job's registry into the trace at end of life."""
+        if self.trace is not None:
+            self.trace.metrics_snapshot(
+                self._sim.now, scope="job", job_id=job.job_id,
+                metrics=job.metrics.snapshot(),
+            )
+
     def _finish_job(self, job: Job) -> None:
         if job.finished:
             return
         job.state = JobState.SUCCEEDED
         job.finish_time = self._sim.now
         self._record("job_succeeded", job.job_id)
+        self._snapshot_job_metrics(job)
         self._active_jobs.remove(job)
         for listener in self._listeners.pop(job.job_id, []):
             listener(job)

@@ -29,7 +29,9 @@ from repro.engine.jobconf import JobConf
 from repro.engine.mapreduce import ReduceContext
 from repro.engine.shuffle import group_outputs
 from repro.errors import JobConfError, JobError
-from repro.scan.engine import ScanOptions, run_map_task
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import policy_knobs
+from repro.scan.engine import ScanOptions, ScanSpan, run_map_task
 from repro.sim.random_source import RandomSource
 
 
@@ -40,6 +42,8 @@ class LocalMapResult:
     split: InputSplit
     records_processed: int
     outputs: list
+    span: ScanSpan | None = None
+    """Scan timing, captured only when a trace recorder is attached."""
 
 
 class LocalRunner:
@@ -54,6 +58,7 @@ class LocalRunner:
         virtual_map_slots: int = 40,
         scan_options: ScanOptions | None = None,
         map_workers: int = 1,
+        trace=None,
     ) -> None:
         if virtual_map_slots < 1:
             raise JobConfError("virtual_map_slots must be >= 1")
@@ -66,6 +71,12 @@ class LocalRunner:
         self._scan_options = scan_options or ScanOptions()
         self._map_workers = map_workers
         self._runs = 0
+        self.trace = trace
+        """Optional :class:`repro.obs.trace.TraceRecorder`. Pure
+        read-side: attaching one changes no job output bytes. Local
+        execution has no simulated clock, so events carry time 0.0 and
+        scan spans carry wall-clock durations only."""
+        self._task_seq = 0
 
     # ------------------------------------------------------------------
     def run(self, conf: JobConf, splits: list[InputSplit]) -> JobResult:
@@ -86,17 +97,36 @@ class LocalRunner:
                     "LocalRunner executes real rows only"
                 )
         self._runs += 1
+        self._task_seq = 0
+        job_id = f"local_{self._runs:06d}"
+        if self.trace is not None:
+            self.trace.record(
+                0.0, "job_submitted", job_id, name=conf.name,
+                dynamic=conf.is_dynamic, splits=len(splits),
+                input_complete=not conf.is_dynamic,
+            )
         if conf.is_dynamic:
-            map_results, evaluations, increments = self._run_dynamic(conf, splits)
+            map_results, evaluations, increments = self._run_dynamic(
+                conf, splits, job_id
+            )
         else:
-            map_results = self._run_map_batch(conf, splits)
+            map_results = self._run_map_batch(conf, splits, job_id=job_id)
             evaluations, increments = 0, 1
 
         output_data = self._run_reduce(conf, map_results)
         records = sum(r.records_processed for r in map_results)
         map_outputs = sum(len(r.outputs) for r in map_results)
+        registry = self._job_registry(
+            job_id, map_results,
+            evaluations=evaluations, increments=increments,
+        )
+        if self.trace is not None:
+            self.trace.record(0.0, "job_succeeded", job_id)
+            self.trace.metrics_snapshot(
+                0.0, scope="job", job_id=job_id, metrics=registry.snapshot()
+            )
         return JobResult(
-            job_id=f"local_{self._runs:06d}",
+            job_id=job_id,
             name=conf.name,
             state=JobState.SUCCEEDED,
             submit_time=0.0,
@@ -109,13 +139,37 @@ class LocalRunner:
             output_data=output_data,
             evaluations=evaluations,
             input_increments=increments,
+            metrics_snapshot=registry.snapshot(),
         )
+
+    def _job_registry(
+        self,
+        job_id: str,
+        map_results: list[LocalMapResult],
+        *,
+        evaluations: int,
+        increments: int,
+    ) -> MetricsRegistry:
+        """Per-run registry mirroring the simulated Job's metric names."""
+        registry = MetricsRegistry(scope=f"job:{job_id}")
+        records = registry.counter("records_processed")
+        outputs = registry.counter("outputs_produced")
+        per_task = registry.histogram("map_records_per_task")
+        for result in map_results:
+            records.inc(result.records_processed)
+            outputs.inc(len(result.outputs))
+            per_task.observe(result.records_processed)
+        registry.gauge("records_pending").set(0)
+        registry.counter("provider_evaluations").inc(evaluations)
+        registry.counter("input_increments").inc(increments)
+        registry.counter("failed_map_attempts")
+        return registry
 
     # ------------------------------------------------------------------
     # Dynamic protocol, synchronous
     # ------------------------------------------------------------------
     def _run_dynamic(
-        self, conf: JobConf, splits: list[InputSplit]
+        self, conf: JobConf, splits: list[InputSplit], job_id: str
     ) -> tuple[list[LocalMapResult], int, int]:
         conf.validate_dynamic()
         policy = self._policies.get(conf.policy_name)  # type: ignore[arg-type]
@@ -126,18 +180,43 @@ class LocalRunner:
         total = len(splits)
         cluster = self._cluster_status()
         batch, complete = provider.initial_input(cluster)
+        if self.trace is not None:
+            self.trace.provider_evaluation(
+                0.0,
+                job_id=job_id,
+                phase="initial",
+                policy=policy.name,
+                knobs=policy_knobs(policy),
+                progress=None,
+                cluster=cluster,
+                response_kind="END_OF_INPUT" if complete else "INPUT_AVAILABLE",
+                splits=len(batch),
+            )
         map_results: list[LocalMapResult] = []
         evaluations = 0
         increments = 1 if batch else 0
         idle_evaluations = 0
 
         while True:
-            map_results.extend(self._run_map_batch(conf, batch))
+            map_results.extend(self._run_map_batch(conf, batch, job_id=job_id))
             if complete:
                 break
             evaluations += 1
             progress = self._progress(conf, total, map_results)
-            response = provider.evaluate(progress, self._cluster_status())
+            cluster = self._cluster_status()
+            response = provider.evaluate(progress, cluster)
+            if self.trace is not None:
+                self.trace.provider_evaluation(
+                    0.0,
+                    job_id=job_id,
+                    phase="evaluate",
+                    policy=policy.name,
+                    knobs=policy_knobs(policy),
+                    progress=progress,
+                    cluster=cluster,
+                    response_kind=response.kind.name,
+                    splits=len(response.splits),
+                )
             if response.kind is ResponseKind.END_OF_INPUT:
                 break
             if response.kind is ResponseKind.INPUT_AVAILABLE:
@@ -185,29 +264,57 @@ class LocalRunner:
     # ------------------------------------------------------------------
     def _run_map(self, conf: JobConf, split: InputSplit) -> LocalMapResult:
         options = self._scan_options.with_conf(conf)
-        context = run_map_task(conf, split, options)
+        if self.trace is None:
+            context = run_map_task(conf, split, options)
+            span = None
+        else:
+            holder: list = []
+            context = run_map_task(conf, split, options, span_sink=holder.append)
+            span = holder[0]
         return LocalMapResult(
             split=split,
             records_processed=context.records_read,
             outputs=context.outputs,
+            span=span,
         )
 
     def _run_map_batch(
-        self, conf: JobConf, splits: list[InputSplit]
+        self, conf: JobConf, splits: list[InputSplit], *, job_id: str = "local"
     ) -> list[LocalMapResult]:
         """Run one grabbed batch's map tasks, optionally across a worker pool.
 
         Results are gathered in submission order, so serial and parallel
         execution produce byte-identical job output. Threads (not
         processes) because mapper factories are closures; map tasks share
-        no mutable state, each getting its own mapper and context.
+        no mutable state, each getting its own mapper and context. Scan
+        spans are emitted here, after the gather, so the trace order is
+        submission order no matter how the pool interleaved the work.
         """
         if self._map_workers == 1 or len(splits) <= 1:
-            return [self._run_map(conf, split) for split in splits]
-        workers = min(self._map_workers, len(splits))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(self._run_map, conf, split) for split in splits]
-            return [future.result() for future in futures]
+            results = [self._run_map(conf, split) for split in splits]
+        else:
+            workers = min(self._map_workers, len(splits))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(self._run_map, conf, split) for split in splits]
+                results = [future.result() for future in futures]
+        if self.trace is not None:
+            for result in results:
+                span = result.span
+                if span is None:
+                    continue
+                self._task_seq += 1
+                self.trace.scan_span(
+                    0.0,
+                    job_id=job_id,
+                    task_id=f"{job_id}_m_{self._task_seq:06d}",
+                    split_id=span.split_id,
+                    mode=span.mode,
+                    batch_size=span.batch_size,
+                    rows=span.rows,
+                    outputs=span.outputs,
+                    elapsed_s=span.elapsed_s,
+                )
+        return results
 
     def _run_reduce(self, conf: JobConf, map_results: list[LocalMapResult]) -> list:
         all_outputs = [r.outputs for r in map_results]

@@ -140,7 +140,27 @@ class TaskTracker:
         split = task.split
         conf = job.conf
         if split.materialized and conf.mapper_factory is not None:
-            context = run_map_task(conf, split, ScanOptions().with_conf(conf))
+            trace = self._jobtracker.trace
+            span_sink = None
+            if trace is not None:
+                now = self._sim.now
+
+                def span_sink(span) -> None:
+                    trace.scan_span(
+                        now,
+                        job_id=job.job_id,
+                        task_id=task.task_id,
+                        split_id=span.split_id,
+                        mode=span.mode,
+                        batch_size=span.batch_size,
+                        rows=span.rows,
+                        outputs=span.outputs,
+                        elapsed_s=span.elapsed_s,
+                    )
+
+            context = run_map_task(
+                conf, split, ScanOptions().with_conf(conf), span_sink=span_sink
+            )
             return context.records_read, context.outputs_produced, context.outputs
         if conf.profile_outputs is None:
             raise JobError(

@@ -101,6 +101,7 @@ def run_heterogeneous_experiment(
     jobs: int | None = 1,
     cache=None,
     progress=None,
+    trace=None,
 ) -> dict[tuple[str, float], HeterogeneousCell]:
     """One full figure (7 or 8), keyed by (policy, fraction).
 
@@ -115,7 +116,7 @@ def run_heterogeneous_experiment(
         policies=policies, seeds=seeds, scale=scale,
         num_users=num_users, warmup=warmup, measurement=measurement,
     )
-    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress, trace=trace)
     cells = {}
     for point in points:
         params = point.as_dict()

@@ -92,6 +92,7 @@ def run_homogeneous_experiment(
     jobs: int | None = 1,
     cache=None,
     progress=None,
+    trace=None,
 ) -> dict[tuple[str, int], MultiuserCell]:
     """The Figure 6 grid, keyed by (policy, z).
 
@@ -104,7 +105,7 @@ def run_homogeneous_experiment(
         skews=skews, policies=policies, seeds=seeds, scale=scale,
         num_users=num_users, warmup=warmup, measurement=measurement,
     )
-    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress, trace=trace)
     cells = {}
     for point in points:
         params = point.as_dict()

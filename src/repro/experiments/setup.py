@@ -38,10 +38,21 @@ def predicate_for(z: int) -> MarkerEquals:
     return predicate_for_skew(z)
 
 
-def single_user_cluster(*, seed: int = 0, scheduler: str = "fifo") -> SimulatedCluster:
-    """The single-user configuration: 4 map slots per node (§V-C)."""
+def single_user_cluster(
+    *, seed: int = 0, scheduler: str = "fifo", failures=None, trace=None
+) -> SimulatedCluster:
+    """The single-user configuration: 4 map slots per node (§V-C).
+
+    ``failures`` is an optional :class:`repro.engine.failures.
+    FailureConfig`; a fresh injector is built per cluster so RNG state
+    never leaks between cells.
+    """
     return SimulatedCluster.paper_cluster(
-        map_slots_per_node=4, seed=seed, scheduler=scheduler
+        map_slots_per_node=4,
+        seed=seed,
+        scheduler=scheduler,
+        failure_injector=failures.build() if failures is not None else None,
+        trace=trace,
     )
 
 

@@ -51,12 +51,18 @@ def run_single_user_cell(
     policy: str,
     seeds: tuple[int, ...] = (0, 1, 2),
     sample_size: int = PAPER_SAMPLE_SIZE,
+    failures=None,
 ) -> SingleUserCell:
-    """Run one cell: one job per seed on a fresh idle cluster."""
+    """Run one cell: one job per seed on a fresh idle cluster.
+
+    ``failures`` (a :class:`repro.engine.failures.FailureConfig`) turns
+    on failure injection for every job of the cell; it is part of the
+    cell's sweep-cache identity.
+    """
     predicate = predicate_for_skew(z)
     responses, partitions, samples = [], [], []
     for seed in seeds:
-        cluster = single_user_cluster(seed=seed)
+        cluster = single_user_cluster(seed=seed, failures=failures)
         cluster.load_dataset("/data/lineitem", dataset_for(scale, z, seed))
         conf = make_sampling_conf(
             name=f"fig5-{policy}-{scale}x-z{z}-s{seed}",
@@ -86,9 +92,11 @@ def run_single_user_experiment(
     policies: tuple[str, ...] = PAPER_POLICIES,
     seeds: tuple[int, ...] = (0, 1, 2),
     sample_size: int = PAPER_SAMPLE_SIZE,
+    failures=None,
     jobs: int | None = 1,
     cache=None,
     progress=None,
+    trace=None,
 ) -> dict[tuple[float, int, str], SingleUserCell]:
     """The full Figure 5 grid, keyed by (scale, z, policy).
 
@@ -102,9 +110,9 @@ def run_single_user_experiment(
 
     points = figure5_points(
         scales=scales, skews=skews, policies=policies,
-        seeds=seeds, sample_size=sample_size,
+        seeds=seeds, sample_size=sample_size, failures=failures,
     )
-    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
+    results = run_sweep(points, jobs=jobs, cache=cache, progress=progress, trace=trace)
     cells = {}
     for point in points:
         params = point.as_dict()

@@ -51,6 +51,7 @@ def figure4_series(
     *,
     jobs: int | None = 1,
     cache=None,
+    trace=None,
 ) -> dict[int, Figure4Series]:
     """Per-skew-level match distributions for the given dataset scale.
 
@@ -61,5 +62,5 @@ def figure4_series(
     from repro.experiments.sweep import figure4_points, run_sweep
 
     points = figure4_points(scale=scale, seed=seed)
-    results = run_sweep(points, jobs=jobs, cache=cache)
+    results = run_sweep(points, jobs=jobs, cache=cache, trace=trace)
     return {point.as_dict()["z"]: results[point] for point in points}

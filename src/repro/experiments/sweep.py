@@ -37,7 +37,10 @@ from repro.errors import SweepError
 
 #: Bump when the meaning of cached results changes (result dataclass
 #: layout, simulation semantics) without any constant changing.
-CACHE_SCHEMA_VERSION = 1
+#: v2: JobResult grew metrics_snapshot; failure config became part of
+#: every point's identity (it previously was not representable at all,
+#: so any pre-v2 cell is implicitly "no failures" under stale keys).
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -141,7 +144,11 @@ def figure5_points(
     policies: Sequence[str],
     seeds: Sequence[int],
     sample_size: int,
+    failures=None,
 ) -> list[SweepPoint]:
+    """``failures`` (a frozen :class:`repro.engine.failures.FailureConfig`)
+    rides inside every point, so cells simulated under different failure
+    parameters can never collide in the result cache."""
     return [
         SweepPoint.make(
             "figure5",
@@ -150,6 +157,7 @@ def figure5_points(
             policy=policy,
             seeds=tuple(seeds),
             sample_size=sample_size,
+            failures=failures,
         )
         for z in skews
         for scale in scales
@@ -226,6 +234,7 @@ def code_fingerprint(cost_model: CostModel | None = None) -> str:
     without a manual version bump (``CACHE_SCHEMA_VERSION`` covers the
     rest: result-dataclass layout and simulation semantics).
     """
+    from repro.engine.failures import DEFAULT_MAX_ATTEMPTS, FailureConfig
     from repro.experiments import setup
 
     model = cost_model if cost_model is not None else CostModel()
@@ -242,6 +251,11 @@ def code_fingerprint(cost_model: CostModel | None = None) -> str:
                 setup.PAPER_NUM_USERS,
             )
         ),
+        # Failure semantics: the retry budget and the defaults a point's
+        # ``failures=None`` resolves to. Changing either changes what a
+        # cached cell means.
+        f"max_attempts={DEFAULT_MAX_ATTEMPTS}",
+        repr(FailureConfig()),
     )
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:20]
 
@@ -315,6 +329,7 @@ def run_sweep(
     jobs: int | None = 1,
     cache: ResultCache | None = None,
     progress: Callable[[SweepPoint, str], None] | None = None,
+    trace=None,
 ) -> dict[SweepPoint, Any]:
     """Run every point and return ``{point: result}``.
 
@@ -323,10 +338,27 @@ def run_sweep(
     process pool; results are keyed by point, so assembly order never
     depends on completion order. ``progress`` (if given) is called with
     ``(point, status)`` where status is ``"cached"`` or ``"ran"``.
+    ``trace`` (a :class:`repro.obs.trace.TraceRecorder`) receives
+    sweep_started / sweep_point / sweep_finished events; recording is
+    pure read-side and never alters results.
     """
     points = list(points)
     jobs = resolve_jobs(jobs)
     results: dict[SweepPoint, Any] = {}
+
+    if trace is not None:
+        trace.sweep_started(points=len(points), jobs=jobs)
+
+    def note(point: SweepPoint, status: str) -> None:
+        if trace is not None:
+            trace.sweep_point(
+                index=points.index(point),
+                kind=point.kind,
+                params=point.as_dict(),
+                cached=status == "cached",
+            )
+        if progress is not None:
+            progress(point, status)
 
     todo: list[SweepPoint] = []
     for point in points:
@@ -336,8 +368,7 @@ def run_sweep(
             hit = cache.get(point)
             if ResultCache.is_hit(hit):
                 results[point] = hit
-                if progress is not None:
-                    progress(point, "cached")
+                note(point, "cached")
                 continue
         todo.append(point)
 
@@ -346,8 +377,7 @@ def run_sweep(
             results[point] = run_sweep_point(point)
             if cache is not None:
                 cache.put(point, results[point])
-            if progress is not None:
-                progress(point, "ran")
+            note(point, "ran")
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
             futures = {point: pool.submit(run_sweep_point, point) for point in todo}
@@ -355,7 +385,8 @@ def run_sweep(
                 results[point] = future.result()
                 if cache is not None:
                     cache.put(point, results[point])
-                if progress is not None:
-                    progress(point, "ran")
+                note(point, "ran")
 
+    if trace is not None:
+        trace.sweep_finished(points=len(points))
     return {point: results[point] for point in points}

@@ -1,0 +1,62 @@
+"""Observability layer: metrics registry + structured trace export.
+
+The paper's Input Provider (§III-A) decides END_OF_INPUT /
+INPUT_AVAILABLE / NO_INPUT_AVAILABLE purely from job progress and
+cluster load; this package makes every one of those decisions — and the
+task lifecycle around them — inspectable after the fact.
+
+Two halves:
+
+* :mod:`repro.obs.metrics` — a picklable :class:`MetricsRegistry` of
+  named counters, gauges, and histograms. Jobs, the cluster, and the
+  benchmarks all hang their accounting off one of these instead of
+  ad-hoc integer fields.
+* :mod:`repro.obs.trace` — a :class:`TraceRecorder` emitting typed
+  JSONL events (job lifecycle, task attempts, provider evaluations with
+  their full inputs, scan-engine spans). It extends
+  :class:`repro.engine.history.JobHistory` — same ``record()`` contract,
+  so the JobTracker treats either interchangeably — rather than
+  duplicating it.
+
+Everything here is pure read-side: attaching a registry or recorder
+consumes no randomness and changes no job output bytes.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+# trace/render are loaded lazily (PEP 562): obs.metrics must stay
+# importable from low layers (cluster, engine) without dragging in
+# obs.trace, whose JobHistory base lives above them in the import graph.
+_LAZY = {
+    "TRACE_SCHEMA_VERSION": "repro.obs.trace",
+    "TraceRecorder": "repro.obs.trace",
+    "TraceSchemaError": "repro.obs.trace",
+    "load_trace": "repro.obs.trace",
+    "validate_trace_event": "repro.obs.trace",
+    "render_metrics": "repro.obs.render",
+    "render_timeline": "repro.obs.render",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "TraceSchemaError",
+    "load_trace",
+    "validate_trace_event",
+    "render_metrics",
+    "render_timeline",
+]

@@ -1,0 +1,200 @@
+"""Named metrics: counters, gauges, histograms, and a registry of them.
+
+One :class:`MetricsRegistry` per scope (a job, a cluster, a benchmark
+run). The registry replaces the ad-hoc integer fields that used to be
+scattered across ``Job``, ``ClusterMetrics``, and the perf harness, and
+gives every scope the same ``snapshot()`` shape for trace export.
+
+Design constraints, in force everywhere this module is used:
+
+* **Picklable.** Registries travel inside ``WorkloadResult`` through
+  the sweep engine's ``ProcessPoolExecutor``, so there are no locks,
+  lambdas, or open files here — plain attributes only.
+* **Deterministic on the sim substrate.** Job- and cluster-scoped
+  metrics hold only counts and simulated-time durations. Wall-clock
+  readings (``registry.timer``) are reserved for benchmark registries
+  and trace span events, which are never part of job output.
+* **Cheap when idle.** Metric objects are created on first use and
+  updated with plain attribute arithmetic; the scan engine's per-row
+  hot loop never touches a registry (tasks fold their totals in at
+  completion, see DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Invalid metric usage (name collisions across metric types, etc.)."""
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways (pending splits, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Histogram:
+    """Summary statistics of an observed distribution.
+
+    Stores count/sum/min/max rather than raw samples so a registry's
+    size is bounded no matter how many observations flow through it.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": None}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _Timer:
+    """Context manager that records wall-clock elapsed into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(_time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created lazily on first access.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when
+    the name is already registered — callers never need to cache metric
+    handles, though hot paths may for speed. Requesting a name as the
+    wrong kind raises :class:`MetricsError` instead of silently
+    shadowing.
+    """
+
+    def __init__(self, *, scope: str = "") -> None:
+        self.scope = scope
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise MetricsError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> _Timer:
+        """Time a ``with`` block (wall clock) into histogram ``name``.
+
+        Wall-clock readings are non-deterministic by nature; use only in
+        benchmark/trace scopes, never for anything that feeds a JobResult.
+        """
+        return _Timer(self.histogram(name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view, sorted by name — stable for trace export.
+
+        Shape: ``{name: {"kind": ..., "value": ...}}`` where ``value``
+        is a number for counters/gauges and a stats dict for histograms.
+        """
+        return {
+            name: {"kind": metric.kind, "value": metric.snapshot()}
+            for name, metric in sorted(self._metrics.items())
+        }

@@ -1,0 +1,109 @@
+"""Human-readable views over a recorded trace (``repro trace/metrics``)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _one_line(event: dict) -> str:
+    """Compact single-line summary of one trace event."""
+    type_ = event["type"]
+    time = event["time"]
+    prefix = f"[{time:10.3f}] {type_:20s}"
+    if type_ == "provider_evaluation":
+        response = event["response"]
+        policy = event.get("policy") or "-"
+        progress = event.get("progress")
+        done = f"{progress['splits_completed']}/{progress['splits_added']}" if progress else "-"
+        cluster = event.get("cluster") or {}
+        slots = f"{cluster.get('available_map_slots', '?')}/{cluster.get('total_map_slots', '?')}"
+        return (
+            f"{prefix} policy={policy} phase={event['phase']} done={done} "
+            f"slots={slots} -> {response['kind']} splits={response['splits']}"
+        )
+    if type_ == "scan_span":
+        rps = event.get("rows_per_sec")
+        rate = f" ({rps:,.0f} rows/s)" if rps else ""
+        return (
+            f"{prefix} {event['task_id']} split={event['split_id']} "
+            f"mode={event['mode']} rows={event['rows']} outputs={event['outputs']}{rate}"
+        )
+    if type_ == "metrics_snapshot":
+        return f"{prefix} scope={event['scope']} ({len(event['metrics'])} metrics)"
+    if type_ == "sweep_point":
+        state = "cached" if event["cached"] else "computed"
+        return f"{prefix} #{event['index']} {event['kind']} [{state}]"
+    if type_ in ("sweep_started", "sweep_finished"):
+        return f"{prefix} points={event['points']}"
+    parts = [prefix]
+    if event.get("task_id"):
+        parts.append(str(event["task_id"]))
+    detail = event.get("detail")
+    if detail:
+        parts.append(" ".join(f"{k}={v}" for k, v in detail.items()))
+    return " ".join(parts)
+
+
+def render_timeline(events: Iterable[dict], *, job_id: str | None = None) -> str:
+    """Per-job timeline: events grouped by job, ordered by (time, seq).
+
+    Events without a ``job_id`` (sweep progress, run-scoped snapshots)
+    are grouped under a ``(run)`` section at the top.
+    """
+    by_job: dict[str, list[dict]] = {}
+    for event in events:
+        owner = event.get("job_id") or "(run)"
+        by_job.setdefault(owner, []).append(event)
+    if job_id is not None:
+        by_job = {job_id: by_job.get(job_id, [])}
+
+    lines: list[str] = []
+    # "(run)" first, then jobs in first-appearance order (dict preserves it).
+    ordered = sorted(by_job, key=lambda j: (j != "(run)",))
+    for owner in ordered:
+        job_events = sorted(by_job[owner], key=lambda e: (e["time"], e["seq"]))
+        lines.append(f"== {owner} ({len(job_events)} events) ==")
+        lines.extend(_one_line(event) for event in job_events)
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def _format_value(entry: dict) -> str:
+    value = entry["value"]
+    if entry["kind"] == "histogram":
+        if not value["count"]:
+            return "count=0"
+        return (
+            f"count={value['count']} mean={value['mean']:.6g} "
+            f"min={value['min']:.6g} max={value['max']:.6g}"
+        )
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_metrics(events: Iterable[dict]) -> str:
+    """Tables from every ``metrics_snapshot`` event in the trace."""
+    snapshots = [e for e in events if e["type"] == "metrics_snapshot"]
+    if not snapshots:
+        return "no metrics_snapshot events in trace"
+    blocks: list[str] = []
+    for event in snapshots:
+        scope = event["scope"]
+        owner = event.get("job_id")
+        title = f"{scope}" + (f" [{owner}]" if owner else "")
+        lines = [f"== {title} (t={event['time']:.3f}) =="]
+        metrics = event["metrics"]
+        if not metrics:
+            lines.append("  (empty)")
+        else:
+            width = max(len(name) for name in metrics)
+            for name in sorted(metrics):
+                entry = metrics[name]
+                lines.append(
+                    f"  {name:<{width}}  {entry['kind']:<9}  {_format_value(entry)}"
+                )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

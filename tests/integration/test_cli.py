@@ -118,6 +118,70 @@ class TestScanFlags:
             build_parser().parse_args(["query", self.SQL, "--scan-mode", "turbo"])
 
 
+class TestTracing:
+    def test_sample_trace_out_then_render(self, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        code, _ = run_cli(
+            ["sample", "--scale", "5", "--seed", "0",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        assert trace_path.exists()
+
+        code, text = run_cli(["trace", str(trace_path)])
+        assert code == 0
+        assert "job_submitted" in text
+        assert "provider_evaluation" in text
+        assert "job_succeeded" in text
+
+        code, text = run_cli(["metrics", str(trace_path)])
+        assert code == 0
+        assert "records_processed" in text
+
+    def test_trace_out_does_not_change_sample_output(self, tmp_path):
+        argv = ["sample", "--scale", "5", "--seed", "0"]
+        _, bare = run_cli(argv)
+        _, traced = run_cli(argv + ["--trace-out", str(tmp_path / "t.jsonl")])
+        assert bare == traced
+
+    def test_query_trace_out_emits_scan_spans(self, tmp_path):
+        trace_path = tmp_path / "q.jsonl"
+        code, _ = run_cli(
+            ["query", "SELECT ORDERKEY FROM lineitem WHERE l_quantity = 51 LIMIT 3",
+             "--rows", "8000", "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        content = trace_path.read_text()
+        assert '"type": "scan_span"' in content
+        assert '"type": "provider_evaluation"' in content
+
+    def test_sweep_trace_out_records_points(self, tmp_path):
+        trace_path = tmp_path / "s.jsonl"
+        code, _ = run_cli(
+            ["sweep", "--figure", "4", "--jobs", "1", "--quiet", "--no-cache",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        content = trace_path.read_text()
+        assert '"type": "sweep_started"' in content
+        assert '"type": "sweep_finished"' in content
+
+    def test_trace_filter_by_job(self, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        run_cli(["sample", "--scale", "5", "--trace-out", str(trace_path)])
+        code, text = run_cli(["trace", str(trace_path), "--job", "nonexistent"])
+        assert code == 0
+        assert "job_submitted" not in text
+
+    def test_trace_command_rejects_garbage(self, tmp_path):
+        from repro.obs.trace import TraceSchemaError
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "an event"}\n')
+        with pytest.raises(TraceSchemaError):
+            run_cli(["trace", str(bad)])
+
+
 class TestCacheDir:
     def test_sweep_cache_dir_flag_honored(self, tmp_path):
         cache_dir = tmp_path / "cache"

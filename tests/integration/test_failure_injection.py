@@ -4,7 +4,13 @@ import pytest
 
 from repro import SimulatedCluster, make_sampling_conf
 from repro.cluster import paper_topology
-from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
+from repro.core import SamplingInputProvider, default_providers
+from repro.data import (
+    build_materialized_dataset,
+    build_profiled_dataset,
+    dataset_spec_for_scale,
+    predicate_for_skew,
+)
 from repro.engine.failures import FailFirstAttempts, FailureInjector
 from repro.engine.job import JobState
 from repro.errors import ClusterConfigError
@@ -106,6 +112,92 @@ class TestRetries:
         assert result.state is JobState.SUCCEEDED
         assert result.outputs_produced == 10_000
         assert result.failed_map_attempts > 0
+
+
+class TestRetryAccountingAcrossScanModes:
+    """Pins the failure-model invariants the module docstring claims:
+    a failed split re-enters the pending queue as a fresh attempt, no
+    counter double-counts across retries — including the records the
+    real scan engine reads, in all three scan modes — and the Input
+    Provider sees the split as pending throughout."""
+
+    @pytest.fixture()
+    def materialized(self):
+        pred = predicate_for_skew(0)
+        data = build_materialized_dataset(
+            dataset_spec_for_scale(0.001, num_partitions=8), {pred: 0.0},
+            seed=2, selectivity=0.05,
+        )
+        return pred, data
+
+    def _run(self, pred, data, *, injector, mode, k=20):
+        cluster = make_cluster(injector)
+        cluster.load_dataset("/d", data)
+        conf = sampling_conf(pred, policy="Hadoop", k=k)
+        conf.set("scan.mode", mode)
+        return cluster.run_job(conf)
+
+    @pytest.mark.parametrize("mode", ["interpreted", "compiled", "batch"])
+    def test_counters_never_double_count_across_retries(self, materialized, mode):
+        pred, data = materialized
+        clean = self._run(pred, data, injector=FailureInjector(), mode=mode)
+        flaky = self._run(pred, data, injector=FailFirstAttempts(1), mode=mode)
+        assert flaky.state is JobState.SUCCEEDED
+        assert flaky.failed_map_attempts == 8  # one failure per split
+        # Counters identical to the clean run: a failed attempt executes
+        # no mapper, so retried splits fold their records/outputs into
+        # the job's registry exactly once.
+        assert flaky.records_processed == clean.records_processed
+        assert flaky.map_outputs_produced == clean.map_outputs_produced
+        assert flaky.outputs_produced == clean.outputs_produced
+        assert flaky.splits_processed == clean.splits_processed == 8
+
+    def test_retry_accounting_identical_across_modes(self, materialized):
+        pred, data = materialized
+        results = {
+            mode: self._run(pred, data, injector=FailFirstAttempts(1), mode=mode)
+            for mode in ("interpreted", "compiled", "batch")
+        }
+        records = {r.records_processed for r in results.values()}
+        outputs = {r.map_outputs_produced for r in results.values()}
+        assert len(records) == 1
+        assert len(outputs) == 1
+
+    def test_provider_sees_failed_split_as_pending(self, dataset):
+        observed = []
+
+        class RecordingProvider(SamplingInputProvider):
+            def evaluate(self, progress, cluster):
+                observed.append(progress)
+                return super().evaluate(progress, cluster)
+
+        registry = default_providers()
+        registry.register("recording", RecordingProvider)
+        pred, data = dataset
+        cluster = SimulatedCluster(
+            paper_topology(),
+            failure_injector=FailFirstAttempts(attempts_to_fail=1),
+            providers=registry,
+            seed=0,
+        )
+        cluster.load_dataset("/d", data)
+        conf = make_sampling_conf(
+            name="q", input_path="/d", predicate=pred, sample_size=10_000,
+            policy_name="LA", provider_name="recording",
+        )
+        result = cluster.run_job(conf)
+        assert result.state is JobState.SUCCEEDED
+        assert result.failed_map_attempts > 0
+        assert observed  # the provider was actually consulted
+        for progress in observed:
+            # A failed split never leaves the pending set: the provider's
+            # view stays consistent at every evaluation point.
+            assert progress.splits_pending == (
+                progress.splits_added - progress.splits_completed
+            )
+            assert progress.splits_pending >= 0
+            assert progress.records_pending >= 0
+        assert result.outputs_produced == 10_000
 
 
 class TestJobKill:

@@ -1,11 +1,13 @@
 """Unit tests for failure-injection models and task retry mechanics."""
 
+import pickle
+
 import pytest
 
 from repro.cluster import paper_topology
 from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate_for_skew
 from repro.dfs import DistributedFileSystem
-from repro.engine.failures import FailFirstAttempts, FailureInjector
+from repro.engine.failures import FailFirstAttempts, FailureConfig, FailureInjector
 from repro.engine.task import MapTask, TaskState
 from repro.errors import ClusterConfigError, JobError
 
@@ -76,6 +78,44 @@ class TestInjectorModels:
             FailFirstAttempts(attempts_to_fail=-1)
 
 
+class TestFailureConfig:
+    """The declarative, cache-keyable form of an injector setup."""
+
+    def test_disabled_default_builds_nothing(self):
+        config = FailureConfig()
+        assert not config.enabled
+        assert config.build() is None
+
+    def test_build_returns_fresh_injectors(self):
+        config = FailureConfig(map_failure_probability=0.5, seed=3)
+        first, second = config.build(), config.build()
+        assert first is not second
+        # Fresh RNG each build: identical decision streams.
+        assert [first._rng.random() for _ in range(5)] == [
+            second._rng.random() for _ in range(5)
+        ]
+
+    def test_flaky_nodes_reach_the_injector(self):
+        config = FailureConfig(
+            map_failure_probability=1.0, flaky_nodes=("node03",)
+        )
+        injector = config.build()
+        assert injector.flaky_nodes == {"node03"}
+
+    def test_hashable_picklable_stable_repr(self):
+        config = FailureConfig(map_failure_probability=0.1, seed=2)
+        assert hash(config) == hash(FailureConfig(map_failure_probability=0.1, seed=2))
+        assert pickle.loads(pickle.dumps(config)) == config
+        assert repr(config) == repr(FailureConfig(map_failure_probability=0.1, seed=2))
+        assert repr(config) != repr(FailureConfig(map_failure_probability=0.2, seed=2))
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            FailureConfig(map_failure_probability=1.5)
+        with pytest.raises(ClusterConfigError):
+            FailureConfig(flaky_nodes=["node00"])  # list is not cache-safe
+
+
 class TestTaskRetryMechanics:
     def test_retry_increments_attempt_and_resets_state(self, split):
         task = running_task(split)
@@ -108,3 +148,29 @@ class TestTaskRetryMechanics:
         task = MapTask(task_id="x", job_id="j", split=split)
         with pytest.raises(JobError):
             task.mark_failed(1.0)
+
+    def test_failed_attempt_keeps_split_pending(self, split):
+        """records_pending is untouched by a failure and the retry sits
+        back in the pending queue — the docstring's re-entry claim."""
+        from repro.core.sampling_job import make_sampling_conf
+        from repro.data import predicate_for_skew
+        from repro.engine.job import Job
+
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=predicate_for_skew(0),
+            sample_size=10, policy_name="LA",
+        )
+        job = Job("job_t", conf, total_splits_known=2, submit_time=0.0)
+        (task,) = job.add_splits([split])
+        pending_before = job.records_pending
+        job.map_started(task)
+        task.mark_running("node00", True, 0.0)
+        task.mark_failed(1.0)
+        retry = job.map_failed(task)
+        assert retry is not None
+        assert retry.attempt == 2
+        assert job.records_pending == pending_before
+        assert job.failed_map_attempts == 1
+        assert job.records_processed == 0  # nothing folded in yet
+        assert not job.pending_maps.empty  # the retry is queued
+        assert job.splits_pending == 1

@@ -115,6 +115,62 @@ class TestBaseProvider:
         b = sampling_provider(seed=5).take_random(4)
         assert [s.split_id for s in a] == [s.split_id for s in b]
 
+    def test_take_random_nan_rejected(self):
+        # Regression: NaN compares false against everything, so it used
+        # to fall through to int(nan) deep in split selection.
+        provider = sampling_provider()
+        with pytest.raises(InputProviderError):
+            provider.take_random(float("nan"))
+
+    def test_take_all_drains_pool(self):
+        provider = sampling_provider(num_partitions=8)
+        taken = provider.take_all()
+        assert len(taken) == 8
+        assert provider.remaining_splits == 0
+        assert provider.take_all() == []
+
+    def test_take_all_matches_legacy_infinite_grab(self):
+        # The explicit take-everything path must consume the RNG exactly
+        # like the take_random(inf) spelling it replaced, so seeds keep
+        # producing byte-identical samples.
+        a = sampling_provider(seed=7).take_all()
+        b = sampling_provider(seed=7).take_random(math.inf)
+        assert [s.split_id for s in a] == [s.split_id for s in b]
+
+
+class BrokenLimitPolicy:
+    """Stub policy whose max_grab returns whatever the test wants."""
+
+    name = "broken"
+
+    def __init__(self, limit):
+        self._limit = limit
+
+    def max_grab(self, *, total_slots, available_slots):
+        return self._limit
+
+
+def provider_with_policy(policy):
+    provider = sampling_provider()
+    provider._policy = policy
+    return provider
+
+
+class TestGrabLimitValidation:
+    """The policy boundary rejects malformed grab limits up front instead
+    of silently selecting nothing (negative) or crashing later (NaN)."""
+
+    @pytest.mark.parametrize("limit", [float("nan"), -1, -0.5, "eight", None, True])
+    def test_malformed_limits_rejected(self, limit):
+        provider = provider_with_policy(BrokenLimitPolicy(limit))
+        with pytest.raises(InputProviderError, match="broken"):
+            provider.grab_limit(status())
+
+    @pytest.mark.parametrize("limit", [0, 4, 2.5, math.inf])
+    def test_well_formed_limits_pass_through(self, limit):
+        provider = provider_with_policy(BrokenLimitPolicy(limit))
+        assert provider.grab_limit(status()) == limit
+
 
 class TestStaticProvider:
     def test_takes_everything_up_front(self):

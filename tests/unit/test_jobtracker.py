@@ -8,6 +8,7 @@ from repro.data import build_profiled_dataset, dataset_spec_for_scale, predicate
 from repro.dfs import DistributedFileSystem
 from repro.engine.job import JobState
 from repro.engine.jobtracker import JobTracker
+from repro.engine.scheduler import FairScheduler
 from repro.errors import JobError
 from repro.sim import Simulator
 
@@ -160,6 +161,98 @@ class TestSlotAccounting:
     def test_dispatch_delay_validated(self):
         with pytest.raises(JobError):
             JobTracker(Simulator(), paper_topology(), dispatch_delay=-1)
+
+
+class CountingTracker(JobTracker):
+    """JobTracker that records the simulated time of every dispatch pass."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dispatch_times = []
+
+    def _dispatch(self):
+        self.dispatch_times.append(self._sim.now)
+        super()._dispatch()
+
+
+class TestDispatchRetryTimer:
+    """Delay-scheduling retry timer: liveness across repeated stalls, and
+    no phantom dispatches once a stall resolves."""
+
+    def _pinned_world(self, tracker_cls=JobTracker, locality_delay=8.0):
+        """A job whose splits all live on one 4-slot node, so every
+        dispatch pass declines the other nodes' slot offers until the
+        locality wait expires."""
+        sim = Simulator()
+        topo = paper_topology()
+        tracker = tracker_cls(
+            sim, topo, scheduler=FairScheduler(locality_delay=locality_delay),
+            dispatch_delay=0.5,
+        )
+        pred = predicate_for_skew(0)
+        data = build_profiled_dataset(
+            dataset_spec_for_scale(5, num_partitions=80), {pred: 0.0}, seed=0
+        )
+        dfs = DistributedFileSystem(topo.storage_locations())
+        dfs.write_dataset("/d", data)
+        splits = dfs.open_splits("/d")
+        node_a = splits[0].location.node_id
+        pinned = [s for s in splits if s.location.node_id == node_a]
+        return sim, tracker, pred, pinned
+
+    def test_liveness_across_multiple_stalled_waves(self):
+        # Eight splits on a 4-slot node: the second wave stalls behind the
+        # locality wait just like the first, so the job only completes if
+        # a retry timer is armed for *every* decline, not just the first.
+        sim, tracker, pred, pinned = self._pinned_world()
+        assert len(pinned) == 8
+        job = tracker.submit_job(
+            scan_conf(pred), pinned, input_complete=True,
+            total_splits_known=len(pinned),
+        )
+        sim.run()
+        assert job.state is JobState.SUCCEEDED
+        assert job.splits_completed == 8
+        assert not tracker.retry_pending
+
+    def test_retry_rearms_while_stall_persists(self):
+        sim, tracker, pred, pinned = self._pinned_world(
+            tracker_cls=CountingTracker
+        )
+        tracker.submit_job(
+            scan_conf(pred), pinned, input_complete=True,
+            total_splits_known=len(pinned),
+        )
+        # Setup (4.0) + dispatch delay (0.5): first pass fills node A and
+        # declines everywhere else -> timer armed to fire at 6.5.
+        sim.run(until=5.0)
+        assert tracker.retry_pending
+        dispatches = len(tracker.dispatch_times)
+        # The timer fires at 6.5, the retried dispatch (7.0) declines
+        # again — the locality wait has not expired and the first wave is
+        # still running — so a fresh timer must be armed for the second
+        # stall too.
+        sim.run(until=7.8)
+        assert len(tracker.dispatch_times) > dispatches
+        assert tracker.retry_pending
+
+    def test_resolved_stall_cancels_timer_without_phantom_dispatch(self):
+        # Regression: the retry timer used to survive the dispatch that
+        # resolved its stall, firing a phantom dispatch later whose
+        # coalescing window could pull unrelated dispatches earlier.
+        sim, tracker, _pred, _pinned = self._pinned_world(
+            tracker_cls=CountingTracker
+        )
+        tracker._schedule_retry()
+        assert tracker.retry_pending
+        # A dispatch pass that declines nothing (no pending work at all)
+        # resolves the stall and must disarm the timer...
+        tracker._dispatch()
+        assert not tracker.retry_pending
+        # ...and the cancelled timer must not fire a phantom dispatch.
+        dispatches_after_resolve = len(tracker.dispatch_times)
+        sim.run()
+        assert len(tracker.dispatch_times) == dispatches_after_resolve
 
 
 class TestReducePhase:

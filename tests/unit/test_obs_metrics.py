@@ -1,0 +1,99 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import MetricsError
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("records")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricsError):
+            Counter("records").inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge("pending")
+        gauge.inc(10)
+        gauge.dec(3)
+        assert gauge.value == 7
+        gauge.set(2)
+        assert gauge.snapshot() == 2
+
+    def test_can_go_negative(self):
+        gauge = Gauge("delta")
+        gauge.dec(5)
+        assert gauge.value == -5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram("latency")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap == {
+            "count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_empty_snapshot_has_null_extremes(self):
+        snap = Histogram("latency").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None and snap["mean"] is None
+
+
+class TestRegistry:
+    def test_lazy_creation_returns_same_metric(self):
+        registry = MetricsRegistry(scope="job:test")
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+        assert "a" in registry
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("records")
+        with pytest.raises(MetricsError):
+            registry.gauge("records")
+        with pytest.raises(MetricsError):
+            registry.histogram("records")
+
+    def test_snapshot_sorted_and_typed(self):
+        registry = MetricsRegistry(scope="cluster")
+        registry.gauge("zeta").set(1)
+        registry.counter("alpha").inc(2)
+        snap = registry.snapshot()
+        assert list(snap) == ["alpha", "zeta"]
+        assert snap["alpha"] == {"kind": "counter", "value": 2}
+        assert snap["zeta"] == {"kind": "gauge", "value": 1}
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("span"):
+            pass
+        stats = registry.histogram("span").snapshot()
+        assert stats["count"] == 1
+        assert stats["min"] >= 0.0
+
+    def test_registry_is_picklable(self):
+        registry = MetricsRegistry(scope="job:j1")
+        registry.counter("records").inc(3)
+        registry.histogram("per_task").observe(1.5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.scope == "job:j1"
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_iteration_is_name_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert [m.name for m in registry] == ["a", "b"]

@@ -1,0 +1,209 @@
+"""Unit tests for the trace recorder, schema validation, and rendering."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import paper_policies
+from repro.core.protocol import ClusterStatus, JobProgress
+from repro.engine.history import JobHistory
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    TraceSchemaError,
+    load_trace,
+    render_metrics,
+    render_timeline,
+    validate_trace_event,
+)
+from repro.obs.trace import EVENT_FIELDS, policy_knobs, validate_trace
+
+
+def progress(job_id="job_000001"):
+    return JobProgress(
+        job_id=job_id,
+        total_splits_known=40,
+        splits_added=8,
+        splits_completed=4,
+        splits_pending=4,
+        records_processed=10_000,
+        outputs_produced=5,
+        records_pending=10_000,
+    )
+
+
+def cluster():
+    return ClusterStatus(
+        total_map_slots=40,
+        available_map_slots=32,
+        running_map_tasks=8,
+        queued_map_tasks=0,
+    )
+
+
+class TestRecorderCore:
+    def test_is_a_job_history(self):
+        recorder = TraceRecorder()
+        assert isinstance(recorder, JobHistory)
+        recorder.record(1.0, "job_submitted", "job_000001", name="q")
+        # Both views see the event: the history log and the typed stream.
+        assert recorder.kinds("job_000001") == ["job_submitted"]
+        assert recorder.raw_events[0]["type"] == "job_submitted"
+        assert recorder.raw_events[0]["detail"] == {"name": "q"}
+
+    def test_events_carry_version_and_increasing_seq(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "job_submitted", "j")
+        recorder.record(1.0, "job_activated", "j")
+        seqs = [event["seq"] for event in recorder.raw_events]
+        assert seqs == [0, 1]
+        assert all(e["v"] == TRACE_SCHEMA_VERSION for e in recorder.raw_events)
+
+    def test_stream_receives_jsonl(self):
+        stream = io.StringIO()
+        recorder = TraceRecorder(stream=stream)
+        recorder.record(2.5, "job_succeeded", "j")
+        recorder.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["type"] == "job_succeeded"
+        assert event["time"] == 2.5
+
+    def test_path_and_stream_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceRecorder(tmp_path / "t.jsonl", stream=io.StringIO())
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceRecorder(path) as recorder:
+            recorder.record(0.0, "job_submitted", "j")
+            recorder.metrics_snapshot(9.0, scope="job", job_id="j", metrics={})
+        events = load_trace(path)
+        assert [e["type"] for e in events] == ["job_submitted", "metrics_snapshot"]
+
+
+class TestTypedEvents:
+    def test_provider_evaluation_shape(self):
+        recorder = TraceRecorder()
+        policy = paper_policies().get("LA")
+        recorder.provider_evaluation(
+            4.0,
+            job_id="job_000001",
+            phase="evaluate",
+            policy=policy.name,
+            knobs=policy_knobs(policy),
+            progress=progress(),
+            cluster=cluster(),
+            response_kind="INPUT_AVAILABLE",
+            splits=3,
+        )
+        event = recorder.raw_events[0]
+        validate_trace_event(event)
+        assert event["policy"] == "LA"
+        assert event["knobs"]["grab_limit"] == policy.grab_limit.source
+        assert event["progress"]["records_processed"] == 10_000
+        assert event["cluster"]["available_map_slots"] == 32
+        assert event["response"] == {"kind": "INPUT_AVAILABLE", "splits": 3}
+
+    def test_initial_phase_allows_null_progress(self):
+        recorder = TraceRecorder()
+        recorder.provider_evaluation(
+            0.0,
+            job_id="j",
+            phase="initial",
+            policy="Hadoop",
+            knobs=None,
+            progress=None,
+            cluster=cluster(),
+            response_kind="END_OF_INPUT",
+            splits=40,
+        )
+        validate_trace_event(recorder.raw_events[0])
+        assert recorder.raw_events[0]["progress"] is None
+
+    def test_scan_span_derives_throughput(self):
+        recorder = TraceRecorder()
+        recorder.scan_span(
+            1.0, task_id="t", split_id="s", mode="batch", batch_size=4096,
+            rows=1000, outputs=10, elapsed_s=0.5,
+        )
+        event = recorder.raw_events[0]
+        validate_trace_event(event)
+        assert event["rows_per_sec"] == pytest.approx(2000.0)
+
+    def test_sweep_events(self):
+        recorder = TraceRecorder()
+        recorder.sweep_started(points=2, jobs=1)
+        recorder.sweep_point(index=0, kind="figure5", params={"scale": 5}, cached=False)
+        recorder.sweep_finished(points=2)
+        assert validate_trace(recorder.raw_events) == 3
+
+
+class TestSchemaValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_trace_event({"v": TRACE_SCHEMA_VERSION, "seq": 0, "time": 0.0, "type": "nope"})
+
+    def test_missing_required_field_rejected(self):
+        event = {"v": TRACE_SCHEMA_VERSION, "seq": 0, "time": 0.0, "type": "map_started"}
+        with pytest.raises(TraceSchemaError):
+            validate_trace_event(event)  # no job_id
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_trace_event({"v": 99, "seq": 0, "time": 0.0, "type": "job_submitted", "job_id": "j"})
+
+    def test_non_monotonic_seq_rejected(self):
+        a = {"v": TRACE_SCHEMA_VERSION, "seq": 1, "time": 0.0, "type": "job_submitted", "job_id": "j"}
+        b = {"v": TRACE_SCHEMA_VERSION, "seq": 1, "time": 1.0, "type": "job_activated", "job_id": "j"}
+        with pytest.raises(TraceSchemaError):
+            validate_trace([a, b])
+
+    def test_every_declared_type_is_coverable(self):
+        # Guard against EVENT_FIELDS drifting out of sync with the
+        # lifecycle kinds the JobTracker actually records.
+        for kind in ("job_submitted", "map_retried", "job_killed"):
+            assert kind in EVENT_FIELDS
+
+    def test_invalid_json_line_reported_with_location(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"v": 1, "seq": 0, "time": 0.0, "type": "job_submitted", "job_id": "j"}\nnot json\n')
+        with pytest.raises(TraceSchemaError):
+            load_trace(path)
+
+
+class TestRendering:
+    def _recorded(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "job_submitted", "job_000001", name="q")
+        recorder.record(4.0, "job_activated", "job_000001")
+        recorder.provider_evaluation(
+            8.0, job_id="job_000001", phase="evaluate", policy="LA",
+            knobs=None, progress=progress(), cluster=cluster(),
+            response_kind="NO_INPUT_AVAILABLE", splits=0,
+        )
+        recorder.metrics_snapshot(
+            9.0, scope="job", job_id="job_000001",
+            metrics={"records_processed": {"kind": "counter", "value": 10}},
+        )
+        return recorder
+
+    def test_timeline_groups_by_job(self):
+        text = render_timeline(self._recorded().raw_events)
+        assert "job_000001" in text
+        assert "job_submitted" in text
+        assert "NO_INPUT_AVAILABLE" in text
+
+    def test_timeline_filters_by_job(self):
+        recorder = self._recorded()
+        recorder.record(10.0, "job_submitted", "job_000002")
+        text = render_timeline(recorder.raw_events, job_id="job_000002")
+        assert "job_000002" in text
+        assert "job_000001" not in text
+
+    def test_metrics_table_lists_values(self):
+        text = render_metrics(self._recorded().raw_events)
+        assert "records_processed" in text
+        assert "10" in text

@@ -105,6 +105,36 @@ class TestCacheKeys:
         cache.path(point).write_bytes(b"")
         assert not ResultCache.is_hit(cache.get(point))
 
+    def test_failure_config_is_part_of_the_key(self, tmp_path):
+        # Regression: cells simulated under failure injection used to
+        # share keys with clean cells, so a failure sweep could serve a
+        # clean run stale results (and vice versa).
+        from repro.engine.failures import FailureConfig
+
+        cache = ResultCache(tmp_path)
+        clean = figure5_points(**SMALL_GRID)
+        flaky = figure5_points(
+            **SMALL_GRID, failures=FailureConfig(map_failure_probability=0.1)
+        )
+        reseeded = figure5_points(
+            **SMALL_GRID,
+            failures=FailureConfig(map_failure_probability=0.1, seed=9),
+        )
+        keys = {
+            cache.key(point)
+            for grid in (clean, flaky, reseeded)
+            for point in grid
+        }
+        assert len(keys) == len(clean) + len(flaky) + len(reseeded)
+
+    def test_failure_config_rides_inside_the_point(self):
+        from repro.engine.failures import FailureConfig
+
+        config = FailureConfig(map_failure_probability=0.2, seed=4)
+        point = figure5_points(**SMALL_GRID, failures=config)[0]
+        assert point.as_dict()["failures"] == config
+        assert pickle.loads(pickle.dumps(point)) == point
+
 
 class TestSerialSweep:
     def test_matches_direct_cell_runs(self):
@@ -148,6 +178,26 @@ class TestSerialSweep:
         )
         run_sweep(points, jobs=1, cache=stale, progress=lambda p, s: statuses.append(s))
         assert statuses == ["ran"] * len(points)
+
+    def test_failure_points_execute_end_to_end(self):
+        # A failure-bearing point must flow through the sweep runner into
+        # the cell function (it used to be unrepresentable in the grid).
+        from repro.engine.failures import FailureConfig
+
+        point = figure5_points(
+            scales=(5,), skews=(0,), policies=("Hadoop",), seeds=(0,),
+            sample_size=10_000,
+            failures=FailureConfig(map_failure_probability=0.15, seed=3),
+        )[0]
+        clean_point = figure5_points(
+            scales=(5,), skews=(0,), policies=("Hadoop",), seeds=(0,),
+            sample_size=10_000,
+        )[0]
+        flaky = run_sweep_point(point)
+        clean = run_sweep_point(clean_point)
+        # Retries cost time but the sample is still delivered in full.
+        assert flaky.sample_size.mean == clean.sample_size.mean == 10_000
+        assert flaky.mean_response > clean.mean_response
 
     def test_duplicate_points_run_once(self):
         calls = []
