@@ -11,6 +11,10 @@ Commands mirror the deliverables:
   with real (LocalRunner) execution.
 * ``trace`` / ``metrics`` — render a structured trace file written by
   ``--trace-out`` as a per-job timeline or as metric tables.
+* ``audit`` — replay a trace against the paper's policy contract and
+  the task-accounting invariants; exits non-zero on any violation.
+* ``report`` — render one or more traces as a deterministic
+  markdown/HTML comparative report (``--diff`` for two-trace A/B).
 * ``policies`` — write the default policy catalogue as policy.xml.
 
 The figure commands accept ``--jobs N`` (process-pool fan-out over the
@@ -109,13 +113,34 @@ def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
             "'repro trace FILE' / 'repro metrics FILE')"
         ),
     )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help=(
+            "print live progress lines to stderr as the run's trace "
+            "events arrive (job output is unchanged)"
+        ),
+    )
 
 
 def _trace_recorder(args):
-    """Context manager yielding a TraceRecorder, or None without --trace-out."""
-    if getattr(args, "trace_out", None):
-        return TraceRecorder(args.trace_out)
-    return nullcontext(None)
+    """Context manager yielding a TraceRecorder, or None without
+    --trace-out / --progress.
+
+    ``--progress`` alone attaches the live reporter to an in-memory
+    recorder (no file is written); combined with ``--trace-out`` the
+    same recorder does both. Either way the reporter is a read-side
+    listener writing to stderr, so stdout stays byte-identical.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    progress = getattr(args, "progress", False)
+    if not trace_out and not progress:
+        return nullcontext(None)
+    recorder = TraceRecorder(trace_out) if trace_out else TraceRecorder()
+    if progress:
+        from repro.obs.progress import ProgressReporter
+
+        recorder.add_listener(ProgressReporter())
+    return recorder
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -241,6 +266,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("path", help="JSONL trace file written by --trace-out")
     metrics.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation while loading",
+    )
+
+    audit = commands.add_parser(
+        "audit",
+        help=(
+            "replay a --trace-out file against the paper's policy contract "
+            "and task-accounting invariants (exit 1 on violation)"
+        ),
+    )
+    audit.add_argument("path", help="JSONL trace file written by --trace-out")
+    audit.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation while loading",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="render one or more --trace-out files as a comparative report",
+    )
+    report.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="JSONL trace file(s) written by --trace-out",
+    )
+    report.add_argument(
+        "--format", default="md", choices=("md", "html"), dest="fmt",
+        help="output format (default: md)",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report here instead of stdout",
+    )
+    report.add_argument(
+        "--diff", action="store_true",
+        help="append a per-policy A/B/delta section (needs exactly 2 traces)",
+    )
+    report.add_argument(
         "--no-validate", action="store_true",
         help="skip schema validation while loading",
     )
@@ -482,6 +545,15 @@ def cmd_query(args, out) -> int:
 
 def cmd_trace(args, out) -> int:
     events = load_trace(args.path, validate=not args.no_validate)
+    if args.job is not None:
+        known = sorted({e["job_id"] for e in events if e.get("job_id")})
+        if args.job not in known:
+            print(
+                f"error: no job {args.job!r} in {args.path}; "
+                f"trace contains: {', '.join(known) or '(none)'}",
+                file=sys.stderr,
+            )
+            return 2
     print(render_timeline(events, job_id=args.job), file=out)
     return 0
 
@@ -489,6 +561,40 @@ def cmd_trace(args, out) -> int:
 def cmd_metrics(args, out) -> int:
     events = load_trace(args.path, validate=not args.no_validate)
     print(render_metrics(events), file=out)
+    return 0
+
+
+def cmd_audit(args, out) -> int:
+    from repro.obs.audit import audit_events, render_audit
+
+    events = load_trace(args.path, validate=not args.no_validate)
+    audit = audit_events(events)
+    print(render_audit(audit), file=out)
+    return 0 if audit.ok else 1
+
+
+def cmd_report(args, out) -> int:
+    from pathlib import Path
+
+    from repro.obs.report import render_report
+
+    traces = [
+        (Path(path).name, load_trace(path, validate=not args.no_validate))
+        for path in args.paths
+    ]
+    if args.diff and len(traces) != 2:
+        print(
+            f"error: --diff needs exactly 2 traces, got {len(traces)}",
+            file=sys.stderr,
+        )
+        return 2
+    text = render_report(traces, fmt=args.fmt, diff=args.diff)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=out)
+    else:
+        print(text, file=out, end="")
     return 0
 
 
@@ -517,6 +623,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "query": cmd_query,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
+        "audit": cmd_audit,
+        "report": cmd_report,
         "policies": cmd_policies,
     }
     return handlers[args.command](args, out)

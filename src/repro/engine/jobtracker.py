@@ -117,6 +117,8 @@ class JobTracker:
             "job_submitted", job.job_id, name=conf.name,
             dynamic=conf.is_dynamic, splits=len(splits),
             input_complete=input_complete,
+            total_splits=total_splits_known,
+            sample_size=conf.sample_size,
         )
         self._jobs[job.job_id] = job
         self._active_jobs.append(job)

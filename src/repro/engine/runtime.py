@@ -104,6 +104,8 @@ class LocalRunner:
                 0.0, "job_submitted", job_id, name=conf.name,
                 dynamic=conf.is_dynamic, splits=len(splits),
                 input_complete=not conf.is_dynamic,
+                total_splits=len(splits),
+                sample_size=conf.sample_size,
             )
         if conf.is_dynamic:
             map_results, evaluations, increments = self._run_dynamic(

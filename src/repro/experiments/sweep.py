@@ -40,7 +40,9 @@ from repro.errors import SweepError
 #: v2: JobResult grew metrics_snapshot; failure config became part of
 #: every point's identity (it previously was not representable at all,
 #: so any pre-v2 cell is implicitly "no failures" under stale keys).
-CACHE_SCHEMA_VERSION = 2
+#: v3: histogram snapshots (inside JobResult.metrics_snapshot) gained
+#: log-bucket p50/p95/p99 quantiles; pre-v3 cached cells lack the keys.
+CACHE_SCHEMA_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

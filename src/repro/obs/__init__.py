@@ -18,6 +18,17 @@ Two halves:
   so the JobTracker treats either interchangeably — rather than
   duplicating it.
 
+On top of the stream sit pure read-side consumers:
+
+* :mod:`repro.obs.analyze` — rebuilds a run model (span trees, waves,
+  utilization series, per-policy Figure 5–8 summaries) from events;
+* :mod:`repro.obs.audit` — replays every provider evaluation against
+  the paper's Table I contract and the task-accounting invariants;
+* :mod:`repro.obs.report` — deterministic markdown/HTML comparative
+  reports, including a two-trace diff mode;
+* :mod:`repro.obs.progress` — an opt-in live stderr reporter attached
+  as a recorder listener.
+
 Everything here is pure read-side: attaching a registry or recorder
 consumes no randomness and changes no job output bytes.
 """
@@ -35,6 +46,17 @@ _LAZY = {
     "validate_trace_event": "repro.obs.trace",
     "render_metrics": "repro.obs.render",
     "render_timeline": "repro.obs.render",
+    "analyze_trace": "repro.obs.analyze",
+    "policy_summaries": "repro.obs.analyze",
+    "RunModel": "repro.obs.analyze",
+    "JobModel": "repro.obs.analyze",
+    "audit_events": "repro.obs.audit",
+    "render_audit": "repro.obs.audit",
+    "AuditReport": "repro.obs.audit",
+    "Violation": "repro.obs.audit",
+    "build_report": "repro.obs.report",
+    "render_report": "repro.obs.report",
+    "ProgressReporter": "repro.obs.progress",
 }
 
 
@@ -59,4 +81,15 @@ __all__ = [
     "validate_trace_event",
     "render_metrics",
     "render_timeline",
+    "analyze_trace",
+    "policy_summaries",
+    "RunModel",
+    "JobModel",
+    "audit_events",
+    "render_audit",
+    "AuditReport",
+    "Violation",
+    "build_report",
+    "render_report",
+    "ProgressReporter",
 ]

@@ -45,6 +45,12 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int | float = 1) -> None:
+        # ``amount < 0`` alone would let NaN through (every comparison
+        # against NaN is False) and one NaN poisons the sum forever.
+        if not math.isfinite(amount):
+            raise MetricsError(
+                f"counter {self.name!r} increment must be finite (inc {amount})"
+            )
         if amount < 0:
             raise MetricsError(f"counter {self.name!r} cannot decrease (inc {amount})")
         self.value += amount
@@ -77,14 +83,33 @@ class Gauge:
         return self.value
 
 
-class Histogram:
-    """Summary statistics of an observed distribution.
+#: Log-bucket resolution: buckets per decade of value. 20 per decade
+#: means consecutive bucket bounds differ by ~12%, so any reported
+#: quantile is within ~6% (half a bucket) of the true sample quantile.
+BUCKETS_PER_DECADE = 20
 
-    Stores count/sum/min/max rather than raw samples so a registry's
-    size is bounded no matter how many observations flow through it.
+#: Bucket indices are clamped into [-_BUCKET_CLAMP, _BUCKET_CLAMP]
+#: (1e-20 .. 1e+20), bounding a histogram at 801 buckets plus the
+#: non-positive underflow bucket no matter what flows through it.
+_BUCKET_CLAMP = 20 * BUCKETS_PER_DECADE
+
+#: Quantiles carried in every snapshot (and rendered by ``repro metrics``).
+SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class Histogram:
+    """Summary statistics plus bounded log-bucket quantile estimation.
+
+    Stores count/sum/min/max and a bounded dict of logarithmic buckets
+    rather than raw samples, so a registry's size stays bounded no matter
+    how many observations flow through it. Positive values land in bucket
+    ``floor(log10(v) * BUCKETS_PER_DECADE)`` (clamped); zero and negative
+    values share one underflow bucket. :meth:`quantile` walks the buckets
+    and answers within half a bucket width (~6% relative error), clamped
+    to the observed ``[min, max]``.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "underflow")
 
     kind = "histogram"
 
@@ -94,28 +119,71 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+        self.underflow = 0
 
     def observe(self, value: int | float) -> None:
+        if not math.isfinite(value):
+            raise MetricsError(
+                f"histogram {self.name!r} observation must be finite (got {value})"
+            )
         self.count += 1
         self.total += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        if value <= 0:
+            self.underflow += 1
+            return
+        index = math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+        if index < -_BUCKET_CLAMP:
+            index = -_BUCKET_CLAMP
+        elif index > _BUCKET_CLAMP:
+            index = _BUCKET_CLAMP
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile of the observed values (None if empty).
+
+        The underflow bucket (values <= 0) is represented by the observed
+        minimum; a positive bucket by its geometric midpoint. The result
+        is clamped into ``[min, max]``, so single-value histograms answer
+        exactly.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        # Rank of the q-quantile, 1-based: the ceil(q * count)-th smallest.
+        rank = max(1, math.ceil(q * self.count))
+        seen = self.underflow
+        if rank <= seen:
+            return self.min if self.min <= 0 else 0.0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if rank <= seen:
+                midpoint = 10.0 ** ((index + 0.5) / BUCKETS_PER_DECADE)
+                return min(max(midpoint, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count by construction
+
     def snapshot(self) -> dict:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": None}
+            return {
+                "count": 0, "total": 0.0, "min": None, "max": None, "mean": None,
+                **{key: None for key, _q in SNAPSHOT_QUANTILES},
+            }
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            **{key: self.quantile(q) for key, q in SNAPSHOT_QUANTILES},
         }
 
 

@@ -1,0 +1,110 @@
+"""Opt-in live progress: a read-side listener over the trace stream.
+
+``--progress`` on ``repro sample``/``query``/``sweep`` attaches a
+:class:`ProgressReporter` to the run's :class:`TraceRecorder` (creating
+an in-memory recorder when no ``--trace-out`` was asked for). The
+reporter is a plain event listener: it sees exactly the events the
+recorder emits and writes compact one-liners to *stderr*, so job stdout
+— results, tables, JSON — is byte-identical with or without it. That is
+the same trace-parity contract the recorder itself honors (DESIGN.md
+§9): observation never changes the observed run.
+
+High-frequency event types (``map_finished``, ``scan_span``) are
+throttled to every Nth occurrence per job so a 5k-split run does not
+print 5k lines; lifecycle transitions, provider evaluations, input
+increments, and sweep points always print.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+#: Always-printed event types (low volume, high signal).
+_LIFECYCLE = {
+    "job_submitted",
+    "job_activated",
+    "input_complete",
+    "reduce_started",
+    "reduce_finished",
+    "job_succeeded",
+    "job_killed",
+    "map_failed",
+    "map_retried",
+    "sweep_started",
+    "sweep_point",
+    "sweep_finished",
+}
+
+#: Throttled event types: printed every Nth occurrence per job.
+_THROTTLED = {"map_finished", "scan_span"}
+
+
+class ProgressReporter:
+    """Callable listener for :meth:`TraceRecorder.add_listener`.
+
+    Strictly read-side: never mutates events, writes only to ``stream``
+    (stderr by default).
+    """
+
+    def __init__(self, stream: IO[str] | None = None, *, every: int = 25) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._stream = stream if stream is not None else sys.stderr
+        self._every = every
+        self._counts: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def __call__(self, event: dict) -> None:
+        line = self._format(event)
+        if line is not None:
+            self._stream.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    def _format(self, event: dict) -> str | None:
+        type_ = event["type"]
+        time = event.get("time", 0.0)
+        job_id = event.get("job_id") or "-"
+        prefix = f"[{time:>10.2f}s] {job_id}"
+
+        if type_ == "provider_evaluation":
+            response = event.get("response") or {}
+            kind = response.get("kind", "?")
+            splits = response.get("splits", 0)
+            extra = f" +{splits} splits" if splits else ""
+            return f"{prefix} provider[{event.get('policy')}] -> {kind}{extra}"
+        if type_ == "input_added":
+            detail = event.get("detail") or {}
+            return f"{prefix} input_added +{detail.get('splits', '?')} splits"
+        if type_ == "metrics_snapshot":
+            if event.get("scope") != "job":
+                return None
+            metrics = event.get("metrics") or {}
+            outputs = metrics.get("outputs_produced")
+            produced = outputs["value"] if outputs else "?"
+            return f"{prefix} metrics outputs_produced={produced}"
+        if type_ in _THROTTLED:
+            key = (job_id, type_)
+            count = self._counts.get(key, 0) + 1
+            self._counts[key] = count
+            if count % self._every:
+                return None
+            return f"{prefix} {type_} x{count}"
+        if type_ in _LIFECYCLE:
+            detail = event.get("detail") or {}
+            bits = ""
+            if type_ == "job_submitted":
+                bits = (
+                    f" name={detail.get('name')} splits={detail.get('splits')}"
+                    f" k={detail.get('sample_size')}"
+                )
+            elif type_ == "sweep_point":
+                cached = " (cached)" if event.get("cached") else ""
+                return (
+                    f"[{time:>10.2f}s] sweep point {event.get('index')}"
+                    f" {event.get('kind')}{cached}"
+                )
+            elif type_ in ("sweep_started", "sweep_finished"):
+                return f"[{time:>10.2f}s] {type_} points={event.get('points')}"
+            return f"{prefix} {type_}{bits}"
+        return None

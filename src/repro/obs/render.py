@@ -22,8 +22,10 @@ def _one_line(event: dict) -> str:
             f"slots={slots} -> {response['kind']} splits={response['splits']}"
         )
     if type_ == "scan_span":
+        # rows_per_sec is None when elapsed_s was 0; a legitimate 0.0
+        # rate (zero rows over positive time) must still be shown.
         rps = event.get("rows_per_sec")
-        rate = f" ({rps:,.0f} rows/s)" if rps else ""
+        rate = f" ({rps:,.0f} rows/s)" if rps is not None else ""
         return (
             f"{prefix} {event['task_id']} split={event['split_id']} "
             f"mode={event['mode']} rows={event['rows']} outputs={event['outputs']}{rate}"
@@ -75,10 +77,18 @@ def _format_value(entry: dict) -> str:
     if entry["kind"] == "histogram":
         if not value["count"]:
             return "count=0"
-        return (
+        text = (
             f"count={value['count']} mean={value['mean']:.6g} "
             f"min={value['min']:.6g} max={value['max']:.6g}"
         )
+        # Quantiles appear in snapshots from the log-bucket histogram;
+        # .get() keeps pre-quantile traces renderable.
+        quantiles = " ".join(
+            f"{key}={value[key]:.6g}"
+            for key in ("p50", "p95", "p99")
+            if value.get(key) is not None
+        )
+        return f"{text} {quantiles}" if quantiles else text
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)

@@ -1,0 +1,306 @@
+"""Comparative run reports: deterministic markdown/HTML from traces.
+
+``repro report`` turns one or more recorded traces into the tables the
+paper reads off its figures:
+
+* a per-job table (policy, k, time-to-k, split and record accounting);
+* a per-policy comparison table mirroring Figures 5–8 — mean time-to-k,
+  splits consumed (absolute and relative to the Hadoop baseline when the
+  trace contains one), map-slot utilization;
+* with ``--diff`` and exactly two traces, a side-by-side per-policy
+  metric diff (A, B, delta) for regression-hunting between runs.
+
+Rendering is a pure function of the analyzed models: the builder emits a
+list of typed blocks (headings, paragraphs, tables) and the two
+renderers serialize those blocks. No timestamps, hashes, or environment
+data are embedded, so the same trace bytes always produce the same
+report bytes — CI uploads the output as an artifact and any churn in it
+is a real behavior change.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.obs.analyze import RunModel, analyze_trace, policy_summaries
+
+
+# ---------------------------------------------------------------------------
+# Report blocks
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Heading:
+    level: int
+    text: str
+
+
+@dataclass(frozen=True)
+class Paragraph:
+    text: str
+
+
+@dataclass(frozen=True)
+class Table:
+    headers: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+
+
+Block = Heading | Paragraph | Table
+
+
+def _fmt(value, *, digits: int = 2) -> str:
+    """Deterministic cell formatting; '-' for unknown values."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.{digits}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+def _jobs_table(model: RunModel) -> Table:
+    headers = (
+        "job", "name", "policy", "state", "k", "time-to-k (s)",
+        "splits added", "splits consumed", "splits total",
+        "records", "evals", "waves", "failed maps",
+    )
+    rows = []
+    for job in model.jobs.values():
+        evaluations = sum(1 for e in job.evaluations if e.phase == "evaluate")
+        rows.append(
+            (
+                job.job_id,
+                _fmt(job.name),
+                _fmt(job.policy or ("(static)" if job.dynamic is False else None)),
+                _fmt(job.state or "open"),
+                _fmt(job.sample_size),
+                _fmt(job.response_time),
+                _fmt(job.splits_added),
+                _fmt(job.splits_completed),
+                _fmt(job.total_splits),
+                _fmt(job.records_processed),
+                _fmt(evaluations),
+                _fmt(len(job.waves)),
+                _fmt(job.failed_attempts),
+            )
+        )
+    return Table(headers=headers, rows=tuple(rows))
+
+
+def _policy_table(model: RunModel) -> Table:
+    """The Figures 5–8 comparison: one row per policy, Hadoop-relative."""
+    summaries = policy_summaries(model)
+    baseline = summaries.get("Hadoop")
+    headers = (
+        "policy", "jobs", "time-to-k (s)", "splits consumed",
+        "vs Hadoop", "splits added", "records", "evals",
+        "waves", "utilization %",
+    )
+    rows = []
+    for name, summary in summaries.items():
+        ratio = None
+        if baseline is not None and baseline.splits_consumed:
+            ratio = summary.splits_consumed / baseline.splits_consumed
+        rows.append(
+            (
+                name,
+                _fmt(summary.jobs),
+                _fmt(summary.time_to_k),
+                _fmt(summary.splits_consumed),
+                f"{ratio:.2f}x" if ratio is not None else "-",
+                _fmt(summary.splits_added),
+                _fmt(summary.records_processed),
+                _fmt(summary.evaluations),
+                _fmt(summary.increments),
+                _fmt(summary.utilization_pct, digits=1),
+            )
+        )
+    return Table(headers=headers, rows=tuple(rows))
+
+
+def _trace_blocks(label: str, model: RunModel) -> list[Block]:
+    blocks: list[Block] = [Heading(2, f"Trace: {label}")]
+    slots = _fmt(model.total_map_slots)
+    blocks.append(
+        Paragraph(
+            f"{model.events:,} events, {len(model.jobs):,} job(s), "
+            f"total map slots: {slots}."
+        )
+    )
+    if model.jobs:
+        blocks.append(Heading(3, "Jobs"))
+        blocks.append(_jobs_table(model))
+        blocks.append(Heading(3, "Per-policy comparison (Figures 5-8)"))
+        blocks.append(_policy_table(model))
+    if model.sweep_events:
+        points = sum(1 for e in model.sweep_events if e["type"] == "sweep_point")
+        cached = sum(
+            1
+            for e in model.sweep_events
+            if e["type"] == "sweep_point" and e.get("cached")
+        )
+        blocks.append(
+            Paragraph(f"Sweep: {points:,} point(s) recorded, {cached:,} from cache.")
+        )
+    return blocks
+
+
+#: Per-policy metrics surfaced in diff mode, as (label, attribute).
+_DIFF_METRICS = (
+    ("jobs", "jobs"),
+    ("time-to-k (s)", "time_to_k"),
+    ("splits consumed", "splits_consumed"),
+    ("splits added", "splits_added"),
+    ("records", "records_processed"),
+    ("evals", "evaluations"),
+    ("waves", "increments"),
+    ("failed maps", "failed_attempts"),
+    ("utilization %", "utilization_pct"),
+)
+
+
+def _diff_blocks(
+    label_a: str, model_a: RunModel, label_b: str, model_b: RunModel
+) -> list[Block]:
+    blocks: list[Block] = [Heading(2, f"Diff: {label_a} vs {label_b}")]
+    summaries_a = policy_summaries(model_a)
+    summaries_b = policy_summaries(model_b)
+    policies = sorted(set(summaries_a) | set(summaries_b))
+    for policy in policies:
+        a = summaries_a.get(policy)
+        b = summaries_b.get(policy)
+        blocks.append(Heading(3, f"Policy {policy}"))
+        if a is None or b is None:
+            present, missing = (label_a, label_b) if b is None else (label_b, label_a)
+            blocks.append(
+                Paragraph(f"Only present in {present}; no jobs in {missing}.")
+            )
+            continue
+        rows = []
+        for metric_label, attr in _DIFF_METRICS:
+            va = getattr(a, attr)
+            vb = getattr(b, attr)
+            delta = (
+                vb - va if isinstance(va, (int, float)) and isinstance(vb, (int, float))
+                else None
+            )
+            rows.append(
+                (metric_label, _fmt(va), _fmt(vb), _fmt(delta) if delta is not None else "-")
+            )
+        blocks.append(
+            Table(
+                headers=("metric", label_a, label_b, "delta"),
+                rows=tuple(rows),
+            )
+        )
+    return blocks
+
+
+def build_report(
+    traces: Sequence[tuple[str, Iterable[dict]]], *, diff: bool = False
+) -> list[Block]:
+    """Assemble report blocks for labeled event streams.
+
+    ``diff=True`` requires exactly two traces and appends a per-policy
+    A/B/delta section after the per-trace sections.
+    """
+    if diff and len(traces) != 2:
+        raise ValueError(f"diff mode needs exactly 2 traces, got {len(traces)}")
+    models = [(label, analyze_trace(events)) for label, events in traces]
+    blocks: list[Block] = [Heading(1, "Run report")]
+    for label, model in models:
+        blocks.extend(_trace_blocks(label, model))
+    if diff:
+        (label_a, model_a), (label_b, model_b) = models
+        blocks.extend(_diff_blocks(label_a, model_a, label_b, model_b))
+    return blocks
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+def render_markdown(blocks: Sequence[Block]) -> str:
+    out: list[str] = []
+    for block in blocks:
+        if isinstance(block, Heading):
+            out.append(f"{'#' * block.level} {block.text}")
+        elif isinstance(block, Paragraph):
+            out.append(block.text)
+        elif isinstance(block, Table):
+            widths = [
+                max(len(block.headers[i]), *(len(r[i]) for r in block.rows))
+                if block.rows
+                else len(block.headers[i])
+                for i in range(len(block.headers))
+            ]
+            def line(cells):
+                return "| " + " | ".join(
+                    cell.ljust(width) for cell, width in zip(cells, widths)
+                ) + " |"
+            out.append(line(block.headers))
+            out.append(line(["-" * width for width in widths]))
+            for row in block.rows:
+                out.append(line(row))
+        out.append("")
+    return "\n".join(out).rstrip("\n") + "\n"
+
+
+def render_html(blocks: Sequence[Block]) -> str:
+    out: list[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset=\"utf-8\"><title>Run report</title>",
+        "<style>",
+        "body{font-family:sans-serif;margin:2em}",
+        "table{border-collapse:collapse;margin:1em 0}",
+        "th,td{border:1px solid #999;padding:0.3em 0.6em;text-align:left}",
+        "th{background:#eee}",
+        "</style></head><body>",
+    ]
+    for block in blocks:
+        if isinstance(block, Heading):
+            out.append(
+                f"<h{block.level}>{_html.escape(block.text)}</h{block.level}>"
+            )
+        elif isinstance(block, Paragraph):
+            out.append(f"<p>{_html.escape(block.text)}</p>")
+        elif isinstance(block, Table):
+            out.append("<table>")
+            out.append(
+                "<tr>"
+                + "".join(f"<th>{_html.escape(h)}</th>" for h in block.headers)
+                + "</tr>"
+            )
+            for row in block.rows:
+                out.append(
+                    "<tr>"
+                    + "".join(f"<td>{_html.escape(c)}</td>" for c in row)
+                    + "</tr>"
+                )
+            out.append("</table>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def render_report(
+    traces: Sequence[tuple[str, Iterable[dict]]],
+    *,
+    fmt: str = "md",
+    diff: bool = False,
+) -> str:
+    """One-call build + render; ``fmt`` is ``"md"`` or ``"html"``."""
+    blocks = build_report(traces, diff=diff)
+    if fmt == "md":
+        return render_markdown(blocks)
+    if fmt == "html":
+        return render_html(blocks)
+    raise ValueError(f"unknown report format {fmt!r} (expected 'md' or 'html')")

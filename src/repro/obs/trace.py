@@ -118,6 +118,7 @@ class TraceRecorder(JobHistory):
         super().__init__(capacity=capacity)
         self.raw_events: list[dict] = []
         self._seq = 0
+        self._listeners: list = []
         self._stream = stream
         self._owns_stream = False
         if path is not None:
@@ -143,7 +144,17 @@ class TraceRecorder(JobHistory):
         self.raw_events.append(event)
         if self._stream is not None:
             self._stream.write(json.dumps(event, sort_keys=False) + "\n")
+        for listener in self._listeners:
+            listener(event)
         return event
+
+    def add_listener(self, listener) -> None:
+        """Register a callable invoked with every emitted event dict.
+
+        Listeners are strictly read-side consumers (live progress
+        reporting); they must not mutate the event.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # JobHistory contract — lifecycle events from the JobTracker

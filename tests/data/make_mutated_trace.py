@@ -1,0 +1,55 @@
+"""Write a deliberately-broken variant of the golden trace for CI.
+
+CI runs ``repro audit`` twice: on the golden trace (must pass) and on
+the mutant this script writes (must fail). The mutation flips the first
+*evaluate*-phase ``INPUT_AVAILABLE`` response to a premature
+``END_OF_INPUT`` — the job had neither reached k results nor exhausted
+its input at that point, so the auditor's ``end_of_input`` check must
+fire. Keeping the mutant generated (not checked in) means it can never
+drift out of sync with the golden trace or the schema.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/make_mutated_trace.py [OUT]
+
+``OUT`` defaults to ``tests/data/mutated_trace.jsonl`` next to the
+golden file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "golden_trace.jsonl"
+
+
+def mutate(events: list[dict]) -> list[dict]:
+    for event in events:
+        if (
+            event["type"] == "provider_evaluation"
+            and event["phase"] == "evaluate"
+            and event["response"]["kind"] == "INPUT_AVAILABLE"
+        ):
+            event["response"] = {"kind": "END_OF_INPUT", "splits": 0}
+            return events
+    raise SystemExit(
+        "golden trace has no evaluate-phase INPUT_AVAILABLE response to mutate"
+    )
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else GOLDEN.with_name(
+        "mutated_trace.jsonl"
+    )
+    events = [json.loads(line) for line in GOLDEN.read_text().splitlines() if line]
+    mutate(events)
+    with out.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    print(f"wrote {out} (premature END_OF_INPUT seeded)")
+
+
+if __name__ == "__main__":
+    main()

@@ -169,9 +169,20 @@ class TestTracing:
     def test_trace_filter_by_job(self, tmp_path):
         trace_path = tmp_path / "run.jsonl"
         run_cli(["sample", "--scale", "5", "--trace-out", str(trace_path)])
-        code, text = run_cli(["trace", str(trace_path), "--job", "nonexistent"])
+        code, text = run_cli(["trace", str(trace_path), "--job", "job_000001"])
         assert code == 0
-        assert "job_submitted" not in text
+        assert "job_submitted" in text
+
+    def test_trace_unknown_job_id_fails(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        run_cli(["sample", "--scale", "5", "--trace-out", str(trace_path)])
+        code, text = run_cli(["trace", str(trace_path), "--job", "nonexistent"])
+        assert code != 0
+        assert text == ""
+        err = capsys.readouterr().err
+        assert "nonexistent" in err
+        # The error names the job ids that *are* present.
+        assert "job_000001" in err
 
     def test_trace_command_rejects_garbage(self, tmp_path):
         from repro.obs.trace import TraceSchemaError

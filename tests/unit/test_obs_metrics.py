@@ -20,6 +20,15 @@ class TestCounter:
         with pytest.raises(MetricsError):
             Counter("records").inc(-1)
 
+    def test_non_finite_increment_rejected(self):
+        # NaN slips past a bare ``amount < 0`` check (all NaN comparisons
+        # are False) and would poison the running sum forever.
+        counter = Counter("records")
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(MetricsError):
+                counter.inc(bad)
+        assert counter.value == 0
+
 
 class TestGauge:
     def test_moves_both_ways(self):
@@ -42,14 +51,68 @@ class TestHistogram:
         for value in (1.0, 3.0, 2.0):
             hist.observe(value)
         snap = hist.snapshot()
-        assert snap == {
-            "count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        assert snap["count"] == 3
+        assert snap["total"] == 6.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == 2.0
+        # Log-bucket quantiles ride along in every snapshot.
+        assert set(snap) == {
+            "count", "total", "min", "max", "mean", "p50", "p95", "p99",
         }
 
     def test_empty_snapshot_has_null_extremes(self):
         snap = Histogram("latency").snapshot()
         assert snap["count"] == 0
         assert snap["min"] is None and snap["max"] is None and snap["mean"] is None
+        assert snap["p50"] is None and snap["p95"] is None and snap["p99"] is None
+
+    def test_quantiles_bounded_relative_error(self):
+        # 20 buckets per decade => representatives are within ~6% of any
+        # observed value; check p50/p95/p99 against the exact quantiles.
+        hist = Histogram("latency")
+        values = [float(v) for v in range(1, 1001)]
+        for value in values:
+            hist.observe(value)
+        for q, exact in ((0.50, 500.0), (0.95, 950.0), (0.99, 990.0)):
+            estimate = hist.quantile(q)
+            assert abs(estimate - exact) / exact < 0.07, (q, estimate)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram("latency")
+        hist.observe(42.0)
+        # Single value: every quantile is exact (bucket midpoint clamps
+        # to [min, max]).
+        assert hist.quantile(0.0) == 42.0
+        assert hist.quantile(0.5) == 42.0
+        assert hist.quantile(1.0) == 42.0
+
+    def test_quantile_handles_zero_and_negative(self):
+        hist = Histogram("delta")
+        for value in (-5.0, 0.0, 100.0):
+            hist.observe(value)
+        # Non-positive observations land in the underflow bucket and
+        # surface as the recorded minimum.
+        assert hist.quantile(0.1) == -5.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_quantile_rejects_bad_q_and_non_finite_observations(self):
+        hist = Histogram("latency")
+        with pytest.raises(MetricsError):
+            hist.quantile(1.5)
+        with pytest.raises(MetricsError):
+            hist.quantile(-0.1)
+        with pytest.raises(MetricsError):
+            hist.observe(float("nan"))
+        assert hist.quantile(0.5) is None  # still empty
+
+    def test_bucket_count_stays_bounded(self):
+        hist = Histogram("latency")
+        for exponent in range(-30, 31):
+            hist.observe(10.0 ** exponent)
+        # One bucket per distinct log-bucket index, hard-clamped tails.
+        assert len(hist.buckets) <= 801
+        assert hist.count == 61
 
 
 class TestRegistry:
