@@ -1,0 +1,212 @@
+"""Noise-aware regression detection between two benchmark runs.
+
+A metric regresses when its median moved in the *worse* direction by
+more than a threshold scaled to the observed noise:
+
+    threshold = max(threshold_mads * max(MAD_baseline, MAD_current),
+                    rel_floor * |median_baseline|)
+
+The MAD term adapts the gate to each metric's measured repeat-to-repeat
+jitter; the relative floor keeps near-deterministic metrics (MAD ~ 0,
+e.g. simulated response times) from tripping on infinitesimal shifts.
+Metrics with fewer than ``min_repeats`` repeats on either side are
+reported but never gated — two samples cannot estimate noise.
+
+Direction comes from the recorded metric entry (``"higher"`` for
+``*_per_sec``/``*_speedup`` throughputs, ``"lower"`` for durations), so
+a throughput drop and a latency rise are both "worse".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import BenchError
+
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVEMENT = "improvement"
+STATUS_SKIPPED = "skipped"
+
+DEFAULT_THRESHOLD_MADS = 5.0
+DEFAULT_REL_FLOOR = 0.10
+DEFAULT_MIN_REPEATS = 3
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current verdict."""
+
+    suite: str
+    metric: str
+    direction: str
+    baseline_median: float
+    current_median: float
+    threshold: float
+    status: str
+    note: str = ""
+
+    @property
+    def delta(self) -> float:
+        return self.current_median - self.baseline_median
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline_median == 0:
+            return None
+        return self.current_median / self.baseline_median
+
+
+@dataclass
+class CompareReport:
+    """Every per-metric verdict plus run-level context and warnings."""
+
+    baseline_id: str
+    current_id: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == STATUS_REGRESSION]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == STATUS_IMPROVEMENT]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_id,
+            "current": self.current_id,
+            "ok": self.ok,
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "warnings": list(self.warnings),
+            "deltas": [
+                {**asdict(delta), "delta": delta.delta, "ratio": delta.ratio}
+                for delta in self.deltas
+            ],
+        }
+
+
+def _judge(
+    suite: str,
+    metric: str,
+    baseline: dict,
+    current: dict,
+    *,
+    threshold_mads: float,
+    rel_floor: float,
+    min_repeats: int,
+) -> MetricDelta:
+    direction = current.get("direction", baseline.get("direction", "lower"))
+    base_median = baseline["median"]
+    cur_median = current["median"]
+    threshold = max(
+        threshold_mads * max(baseline["mad"], current["mad"]),
+        rel_floor * abs(base_median),
+    )
+    if baseline["repeats"] < min_repeats or current["repeats"] < min_repeats:
+        return MetricDelta(
+            suite, metric, direction, base_median, cur_median, threshold,
+            STATUS_SKIPPED,
+            note=(
+                f"not gated: {min(baseline['repeats'], current['repeats'])} repeats "
+                f"< min_repeats={min_repeats}"
+            ),
+        )
+    # Positive ``worse`` means the current run moved in the bad direction.
+    worse = cur_median - base_median if direction == "lower" else base_median - cur_median
+    if worse > threshold:
+        status = STATUS_REGRESSION
+    elif -worse > threshold:
+        status = STATUS_IMPROVEMENT
+    else:
+        status = STATUS_OK
+    return MetricDelta(
+        suite, metric, direction, base_median, cur_median, threshold, status
+    )
+
+
+def compare_runs(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold_mads: float = DEFAULT_THRESHOLD_MADS,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_repeats: int = DEFAULT_MIN_REPEATS,
+) -> CompareReport:
+    """Judge every metric both runs share; see the module docstring."""
+    if threshold_mads <= 0 or rel_floor < 0 or min_repeats < 1:
+        raise BenchError(
+            "invalid compare settings: need threshold_mads > 0, "
+            f"rel_floor >= 0, min_repeats >= 1 (got {threshold_mads}, "
+            f"{rel_floor}, {min_repeats})"
+        )
+    report = CompareReport(
+        baseline_id=str(baseline.get("run_id", "?")),
+        current_id=str(current.get("run_id", "?")),
+    )
+    if baseline.get("machine") != current.get("machine"):
+        report.warnings.append(
+            "machine fingerprints differ; absolute comparisons are unreliable"
+        )
+    if baseline.get("options", {}).get("quick") != current.get("options", {}).get("quick"):
+        report.warnings.append("one run is --quick and the other is not")
+
+    base_suites = baseline.get("suites", {})
+    cur_suites = current.get("suites", {})
+    shared = sorted(set(base_suites) & set(cur_suites))
+    if not shared:
+        raise BenchError("runs share no suites; nothing to compare")
+    for missing in sorted(set(base_suites) ^ set(cur_suites)):
+        report.warnings.append(f"suite {missing!r} present in only one run")
+
+    for suite in shared:
+        base_metrics = base_suites[suite].get("metrics", {})
+        cur_metrics = cur_suites[suite].get("metrics", {})
+        for metric in sorted(set(base_metrics) & set(cur_metrics)):
+            report.deltas.append(
+                _judge(
+                    suite,
+                    metric,
+                    base_metrics[metric],
+                    cur_metrics[metric],
+                    threshold_mads=threshold_mads,
+                    rel_floor=rel_floor,
+                    min_repeats=min_repeats,
+                )
+            )
+    return report
+
+
+def render_compare(report: CompareReport) -> str:
+    """Human-readable verdict table, worst news first."""
+    lines = [f"bench compare: {report.baseline_id} (baseline) vs {report.current_id}"]
+    for warning in report.warnings:
+        lines.append(f"warning: {warning}")
+    header = (
+        f"{'status':<12} {'suite':<8} {'metric':<28} "
+        f"{'baseline':>14} {'current':>14} {'ratio':>7}"
+    )
+    lines += [header, "-" * len(header)]
+    order = {STATUS_REGRESSION: 0, STATUS_IMPROVEMENT: 1, STATUS_OK: 2, STATUS_SKIPPED: 3}
+    for delta in sorted(report.deltas, key=lambda d: (order[d.status], d.suite, d.metric)):
+        ratio = f"{delta.ratio:.3f}" if delta.ratio is not None else "n/a"
+        lines.append(
+            f"{delta.status:<12} {delta.suite:<8} {delta.metric:<28} "
+            f"{delta.baseline_median:>14.4f} {delta.current_median:>14.4f} {ratio:>7}"
+            + (f"  [{delta.note}]" if delta.note else "")
+        )
+    verdict = "OK" if report.ok else f"{len(report.regressions)} REGRESSION(S)"
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def report_json(report: CompareReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,95 @@
+"""Machine-keyed JSONL history store for benchmark runs.
+
+One append-only file per machine fingerprint under
+``benchmarks/history/`` — absolute numbers are only comparable within a
+machine, so the key keeps different hardware from interleaving in one
+series. Records are the full run dicts produced by
+:func:`repro.bench.runner.run_suites`, one JSON object per line, newest
+last.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.errors import BenchError
+
+#: Default store location, relative to the working directory (the repo
+#: root in CI and normal use).
+DEFAULT_HISTORY_DIR = Path("benchmarks/history")
+
+HISTORY_SCHEMA_VERSION = 1
+
+
+def machine_info() -> dict:
+    """The hardware/runtime fingerprint stored with (and keying) runs."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def machine_key(info: dict | None = None) -> str:
+    """Stable 12-hex-digit key for one machine fingerprint."""
+    info = info if info is not None else machine_info()
+    blob = json.dumps(info, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def history_path(directory: str | Path | None = None, key: str | None = None) -> Path:
+    directory = Path(directory) if directory is not None else DEFAULT_HISTORY_DIR
+    return directory / f"{key if key is not None else machine_key()}.jsonl"
+
+
+def append_run(record: dict, directory: str | Path | None = None) -> Path:
+    """Append one run record to this machine's history file."""
+    path = history_path(directory, machine_key(record.get("machine")))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(
+    directory: str | Path | None = None, key: str | None = None
+) -> list[dict]:
+    """All recorded runs for one machine, oldest first ([] when none)."""
+    path = history_path(directory, key)
+    if not path.exists():
+        return []
+    records = []
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise BenchError(f"{path}:{line_no}: corrupt history record: {exc}")
+    return records
+
+
+def find_run(records: list[dict], run_id: str) -> dict:
+    """The record with this run_id (unique-prefix match allowed)."""
+    matches = [r for r in records if str(r.get("run_id", "")).startswith(run_id)]
+    if not matches:
+        raise BenchError(f"no run {run_id!r} in history ({len(records)} records)")
+    if len(matches) > 1:
+        raise BenchError(f"run id {run_id!r} is ambiguous ({len(matches)} matches)")
+    return matches[0]
+
+
+def latest_run(records: list[dict], *, label: str | None = None) -> dict:
+    """The newest record, optionally restricted to one label."""
+    pool = records if label is None else [r for r in records if r.get("label") == label]
+    if not pool:
+        where = f" with label {label!r}" if label is not None else ""
+        raise BenchError(f"history has no runs{where}")
+    return pool[-1]

@@ -1,0 +1,171 @@
+"""Runs benchmark suites under the phase profiler and aggregates repeats.
+
+Every repeat of every suite runs under a *fresh*
+:class:`~repro.obs.profile.PhaseProfiler` installed for just that run,
+so per-phase wall/CPU totals come out per repeat and aggregate to
+median + MAD exactly like the suite's own metrics. When ``profile_dir``
+is given the last repeat of each suite additionally captures cProfile
+stacks, exported as ``<dir>/<suite>/<phase>.pstats`` and
+``.collapsed`` (flamegraph input).
+
+The runner also times each suite call as ``<suite>.seconds`` — with the
+:data:`~repro.bench.suites.SLOWDOWN_ENV` sleep inside that window, so
+the regression gate can be exercised against a synthetically slowed
+run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.history import HISTORY_SCHEMA_VERSION, machine_info
+from repro.bench.stats import summarize
+from repro.bench.suites import (
+    Suite,
+    injected_slowdown_s,
+    metric_direction,
+    resolve_suites,
+)
+from repro.errors import BenchError
+from repro.obs.profile import PhaseProfiler, wall_clock
+
+
+def _summarize_metric(name: str, values: list[float]) -> dict:
+    return {"direction": metric_direction(name), **summarize(values)}
+
+
+def _run_one_suite(
+    suite: Suite,
+    *,
+    repeats: int,
+    quick: bool,
+    profile_dir: Path | None,
+    progress: Callable[[str], None] | None,
+) -> dict:
+    metric_values: dict[str, list[float]] = {}
+    phase_values: dict[str, dict[str, list[float]]] = {}
+    slowdown = injected_slowdown_s()
+
+    for repeat in range(repeats):
+        capture = profile_dir is not None and repeat == repeats - 1
+        profiler = PhaseProfiler(capture=capture)
+        with profiler:
+            start = wall_clock()
+            metrics = suite.runner(quick)
+            if slowdown:
+                time.sleep(slowdown)
+            elapsed = wall_clock() - start
+        if not isinstance(metrics, dict):
+            raise BenchError(f"suite {suite.name!r} returned {type(metrics).__name__}")
+        metrics = dict(metrics)
+        metrics[f"{suite.name}.seconds"] = elapsed
+        for name, value in metrics.items():
+            metric_values.setdefault(name, []).append(float(value))
+        for phase, totals in profiler.phase_totals().items():
+            slot = phase_values.setdefault(phase, {"wall_s": [], "cpu_s": []})
+            slot["wall_s"].append(totals["wall_s"])
+            slot["cpu_s"].append(totals["cpu_s"])
+        if capture and profiler.captured_phases:
+            out = profile_dir / suite.name
+            profiler.dump_pstats(out)
+            profiler.write_collapsed(out)
+        if progress is not None:
+            progress(f"{suite.name}: repeat {repeat + 1}/{repeats} done")
+
+    lengths = {len(values) for values in metric_values.values()}
+    if lengths != {repeats}:
+        raise BenchError(
+            f"suite {suite.name!r} metrics changed between repeats: {sorted(metric_values)}"
+        )
+    return {
+        "metrics": {
+            name: _summarize_metric(name, values)
+            for name, values in sorted(metric_values.items())
+        },
+        "phases": {
+            phase: {kind: summarize(values) for kind, values in sorted(slot.items())}
+            for phase, slot in sorted(phase_values.items())
+        },
+    }
+
+
+def run_suites(
+    names: list[str] | None = None,
+    *,
+    repeats: int = 3,
+    quick: bool = False,
+    label: str = "",
+    profile_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run suites ``repeats`` times each; returns the full run record.
+
+    The record is self-describing and append-ready for the history
+    store: schema version, a content-hashed ``run_id``, the machine
+    fingerprint, the options that shaped the numbers, and per-suite
+    ``metrics`` (median/MAD per metric, direction included) plus
+    ``phases`` (profiler wall/CPU medians per phase).
+    """
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    suites = resolve_suites(names)
+    profile_path = Path(profile_dir) if profile_dir is not None else None
+
+    results = {
+        suite.name: _run_one_suite(
+            suite,
+            repeats=repeats,
+            quick=quick,
+            profile_dir=profile_path,
+            progress=progress,
+        )
+        for suite in suites
+    }
+
+    record = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "pr": 5,
+        "timestamp": time.time(),
+        "label": label,
+        "machine": machine_info(),
+        "options": {
+            "quick": quick,
+            "repeats": repeats,
+            "suites": [suite.name for suite in suites],
+            "injected_slowdown_s": injected_slowdown_s(),
+        },
+        "suites": results,
+    }
+    blob = json.dumps(record, sort_keys=True).encode()
+    record["run_id"] = hashlib.sha256(blob).hexdigest()[:12]
+    return record
+
+
+def render_run(record: dict) -> str:
+    """Human-readable summary of one run record (metrics + phase medians)."""
+    options = record["options"]
+    lines = [
+        f"bench run {record['run_id']}"
+        f"  (repeats={options['repeats']}, quick={options['quick']}"
+        + (f", label={record['label']!r}" if record.get("label") else "")
+        + ")"
+    ]
+    for suite, data in record["suites"].items():
+        lines.append(f"[{suite}]")
+        for name, metric in data["metrics"].items():
+            lines.append(
+                f"  {name:<32} median {metric['median']:>14.4f}"
+                f"  mad {metric['mad']:.4f}  ({metric['direction']} is better)"
+            )
+        if data["phases"]:
+            lines.append("  phases (median):")
+            for phase, slot in data["phases"].items():
+                lines.append(
+                    f"    {phase:<24} {slot['wall_s']['median']:>10.4f} wall s"
+                    f"  {slot['cpu_s']['median']:>10.4f} cpu s"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Robust summary statistics for benchmark repeats.
+
+Benchmark samples are small (3-10 repeats) and occasionally polluted by
+a scheduler hiccup, so everything here is median-based: the median is
+the central estimate and the MAD (median absolute deviation) the noise
+estimate. One outlier repeat moves neither; a mean/stddev pair would be
+dragged by exactly the repeats we want to ignore.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchError
+
+
+def median(values: list[float]) -> float:
+    """The sample median (midpoint of the two central values when even)."""
+    if not values:
+        raise BenchError("median of an empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: list[float]) -> float:
+    """Median absolute deviation from the median (raw, unscaled).
+
+    Left unscaled (no 1.4826 normal-consistency factor) because it is
+    only ever compared against thresholds expressed in MAD units.
+    """
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def summarize(values: list[float]) -> dict:
+    """The stored shape for one metric's repeats: values + median + MAD."""
+    return {
+        "repeats": len(values),
+        "values": [float(v) for v in values],
+        "median": median(values),
+        "mad": mad(values),
+    }

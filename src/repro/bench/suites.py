@@ -1,0 +1,213 @@
+"""The declarative benchmark suite registry behind ``repro bench``.
+
+Each :class:`Suite` is a named function from a ``quick`` flag to a flat
+``{metric_name: value}`` dict; the runner times the whole call as
+``<suite>.seconds`` on top of whatever the suite reports itself. Metric
+direction is encoded in the name: ``*_per_sec`` / ``*_speedup`` metrics
+are higher-is-better, everything else (durations, counts of work done)
+is lower-is-better — :func:`metric_direction` is the single source of
+that rule for the runner and the compare gate.
+
+Suites exercise the real code paths end to end — the simulator kernel,
+:func:`repro.scan.engine.run_map_task` over a materialized DFS dataset,
+a full Figure 5 policy cell, and the sweep engine — so a regression in
+any layer lands in at least one suite.
+
+``REPRO_BENCH_SLOWDOWN_S`` injects a sleep into every timed suite run;
+it exists so the regression gate can be tested (and CI-verified) against
+a synthetically slowed binary without patching code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import BenchError
+from repro.obs.profile import wall_clock
+
+#: Environment hook: a float number of seconds slept inside every timed
+#: suite window. For testing the regression gate only.
+SLOWDOWN_ENV = "REPRO_BENCH_SLOWDOWN_S"
+
+
+def injected_slowdown_s() -> float:
+    """The synthetic per-run slowdown requested via the environment."""
+    raw = os.environ.get(SLOWDOWN_ENV)
+    if raw is None:
+        return 0.0
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BenchError(f"{SLOWDOWN_ENV} must be a float, got {raw!r}") from None
+    if value < 0:
+        raise BenchError(f"{SLOWDOWN_ENV} must be >= 0, got {value}")
+    return value
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"`` when bigger is better for this metric, else ``"lower"``."""
+    if name.endswith("_per_sec") or name.endswith("_speedup"):
+        return "higher"
+    return "lower"
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One registered benchmark: a name, what it covers, and its runner."""
+
+    name: str
+    description: str
+    runner: Callable[[bool], dict[str, float]]
+
+
+# ---------------------------------------------------------------------------
+# kernel: the discrete-event simulator loop
+# ---------------------------------------------------------------------------
+def _bench_kernel(quick: bool) -> dict[str, float]:
+    from repro.sim.simulator import PeriodicTask, Simulator
+
+    events = 30_000 if quick else 200_000
+    sim = Simulator()
+    # Eight competing periodic tasks give the heap real interleaving
+    # work instead of a single hot entry.
+    for i in range(8):
+        PeriodicTask(sim, 1.0 + i * 0.13, lambda: None)
+    start = wall_clock()
+    sim.run(max_events=events)
+    elapsed = wall_clock() - start
+    if sim.events_processed < events:
+        raise BenchError(
+            f"kernel bench drained early: {sim.events_processed} < {events}"
+        )
+    return {"kernel.events_per_sec": events / elapsed if elapsed > 0 else 0.0}
+
+
+# ---------------------------------------------------------------------------
+# scan: the three scan-engine modes over one materialized dataset
+# ---------------------------------------------------------------------------
+_SCAN_SELECTIVITY = 0.0005  # the paper's 0.05%
+_SCAN_PARTITIONS = 8
+_scan_cache: dict[int, tuple] = {}
+
+
+def _scan_fixture(rows: int):
+    """(conf, splits) for the scan suite, built once per row count."""
+    cached = _scan_cache.get(rows)
+    if cached is not None:
+        return cached
+    from repro.cluster import paper_topology
+    from repro.core.sampling_job import make_scan_conf
+    from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
+    from repro.data.predicates import predicate_for_skew
+    from repro.dfs import DistributedFileSystem
+
+    spec = dataset_spec_for_scale(
+        rows / 6_000_000, name="bench_lineitem", num_partitions=_SCAN_PARTITIONS
+    )
+    predicate = predicate_for_skew(0)
+    dataset = build_materialized_dataset(
+        spec, {predicate: 0.0}, seed=0, selectivity=_SCAN_SELECTIVITY
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/bench/lineitem", dataset)
+    splits = dfs.open_splits("/bench/lineitem")
+    conf = make_scan_conf(
+        name="bench_scan",
+        input_path="/bench/lineitem",
+        predicate=predicate,
+        columns=("l_orderkey", "l_quantity"),
+    )
+    _scan_cache[rows] = (conf, splits)
+    return conf, splits
+
+
+def _bench_scan(quick: bool) -> dict[str, float]:
+    from repro.scan.engine import SCAN_MODES, ScanOptions, run_map_task
+
+    rows = 12_000 if quick else 120_000
+    conf, splits = _scan_fixture(rows)
+
+    metrics: dict[str, float] = {}
+    reference = None
+    for mode in SCAN_MODES:
+        options = ScanOptions(mode=mode)
+        start = wall_clock()
+        scanned = 0
+        outputs = []
+        for split in splits:
+            context = run_map_task(conf, split, options)
+            scanned += context.records_read
+            outputs.extend(context.outputs)
+        elapsed = wall_clock() - start
+        # Timings are only meaningful if the modes agree on the work.
+        if reference is None:
+            reference = (scanned, outputs)
+        elif (scanned, outputs) != reference:
+            raise BenchError(f"scan mode {mode!r} diverged from reference output")
+        metrics[f"scan.{mode}.rows_per_sec"] = scanned / elapsed if elapsed > 0 else 0.0
+    metrics["scan.batch_speedup"] = (
+        metrics["scan.batch.rows_per_sec"] / metrics["scan.interpreted.rows_per_sec"]
+        if metrics["scan.interpreted.rows_per_sec"] > 0
+        else 0.0
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# e2e: one Figure 5 policy cell on the simulated cluster
+# ---------------------------------------------------------------------------
+def _bench_e2e(quick: bool) -> dict[str, float]:
+    from repro.experiments.single_user import run_single_user_cell
+
+    scale = 5 if quick else 20
+    seeds = (0,) if quick else (0, 1)
+    cell = run_single_user_cell(scale=scale, z=1, policy="LA", seeds=seeds)
+    # Simulated response time is deterministic — zero-MAD by design. It
+    # rides along as a semantic canary: a change that moves it altered
+    # behavior, not just speed.
+    return {"e2e.sim_response_s": cell.response_time.mean}
+
+
+# ---------------------------------------------------------------------------
+# sweep: a small grid through the sweep engine (serial, uncached)
+# ---------------------------------------------------------------------------
+def _bench_sweep(quick: bool) -> dict[str, float]:
+    from repro.experiments.sweep import figure5_points, run_sweep
+
+    policies = ("LA",) if quick else ("LA", "AP")
+    points = figure5_points(
+        scales=(5,), skews=(1,), policies=policies, seeds=(0,), sample_size=100
+    )
+    start = wall_clock()
+    results = run_sweep(points, jobs=1, cache=None)
+    elapsed = wall_clock() - start
+    if len(results) != len(points):
+        raise BenchError(f"sweep bench lost cells: {len(results)} != {len(points)}")
+    return {"sweep.cells_per_sec": len(points) / elapsed if elapsed > 0 else 0.0}
+
+
+#: The registry, in display order. ``repro bench run`` with no --suite
+#: runs all of them.
+SUITES: dict[str, Suite] = {
+    suite.name: suite
+    for suite in (
+        Suite("kernel", "discrete-event simulator loop throughput", _bench_kernel),
+        Suite("scan", "scan-engine modes over a materialized dataset", _bench_scan),
+        Suite("e2e", "one Figure 5 policy cell end to end (sim substrate)", _bench_e2e),
+        Suite("sweep", "sweep engine over a small Figure 5 grid", _bench_sweep),
+    )
+}
+
+
+def resolve_suites(names: list[str] | None) -> list[Suite]:
+    """The suites to run, validating names; None/empty means all."""
+    if not names:
+        return list(SUITES.values())
+    missing = [name for name in names if name not in SUITES]
+    if missing:
+        raise BenchError(
+            f"unknown suite(s) {missing}; registered: {sorted(SUITES)}"
+        )
+    return [SUITES[name] for name in names]

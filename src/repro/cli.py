@@ -15,7 +15,14 @@ Commands mirror the deliverables:
   the task-accounting invariants; exits non-zero on any violation.
 * ``report`` — render one or more traces as a deterministic
   markdown/HTML comparative report (``--diff`` for two-trace A/B).
+* ``bench`` — run the benchmark suites under the phase profiler, track
+  median+MAD history per machine, and compare runs with noise-aware
+  regression gating (``repro bench run`` / ``compare`` / ``history``).
 * ``policies`` — write the default policy catalogue as policy.xml.
+
+``sample``, ``query`` and ``sweep`` additionally accept ``--profile`` /
+``--profile-dir`` for per-phase wall/CPU attribution of a single run
+(summary on stderr, optional pstats + flamegraph-collapsed exports).
 
 The figure commands accept ``--jobs N`` (process-pool fan-out over the
 grid's independent cells; ``--jobs 1`` is the plain serial path) and
@@ -25,8 +32,10 @@ grid's independent cells; ``--jobs 1`` is the plain serial path) and
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
 
 from repro.core.policy_file import dump_policies
 from repro.core.policy import paper_policies
@@ -120,6 +129,66 @@ def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
             "events arrive (job output is unchanged)"
         ),
     )
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "record per-phase wall/CPU timings (summary on stderr; job "
+            "output is unchanged)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-dir", default=None, metavar="DIR",
+        help=(
+            "additionally capture cProfile stacks per phase and export "
+            "<phase>.pstats + flamegraph-collapsed <phase>.collapsed "
+            "files into DIR (implies --profile)"
+        ),
+    )
+
+
+@contextmanager
+def _profiler(args):
+    """Install a PhaseProfiler for the command body, or yield None.
+
+    The profiler is strictly read-side: stdout (and therefore results)
+    stay byte-identical with or without it; everything it prints goes
+    to stderr in :func:`_finish_profile`.
+    """
+    if not getattr(args, "profile", False) and not getattr(args, "profile_dir", None):
+        yield None
+        return
+    from repro.obs.profile import PhaseProfiler
+
+    profiler = PhaseProfiler(capture=getattr(args, "profile_dir", None) is not None)
+    with profiler:
+        yield profiler
+
+
+def _finish_profile(args, profiler, trace) -> None:
+    """Export what the profiler saw: a metrics_snapshot trace event
+    (scope "profile"), optional pstats/collapsed dumps, stderr summary.
+
+    Must run before the trace recorder closes (inside its ``with``).
+    """
+    if profiler is None:
+        return
+    from repro.obs.profile import PHASE_PREFIX, render_profile
+
+    if trace is not None:
+        trace.metrics_snapshot(
+            0.0,
+            scope="profile",
+            metrics=profiler.registry.snapshot(prefix=PHASE_PREFIX),
+        )
+    profile_dir = getattr(args, "profile_dir", None)
+    if profile_dir:
+        profiler.dump_pstats(profile_dir)
+        profiler.write_collapsed(profile_dir)
+        print(f"profile exports written to {profile_dir}", file=sys.stderr)
+    print(render_profile(profiler), file=sys.stderr)
 
 
 def _trace_recorder(args):
@@ -216,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", type=float, default=5, help="figure 4 dataset scale")
     sweep.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
     _add_trace_arg(sweep)
+    _add_profile_args(sweep)
 
     sample = commands.add_parser("sample", help="run one sampling job")
     sample.add_argument("--scale", type=float, default=100)
@@ -224,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--k", type=int, default=10_000)
     sample.add_argument("--seed", type=int, default=0)
     _add_trace_arg(sample)
+    _add_profile_args(sample)
 
     query = commands.add_parser("query", help="execute SQL on a demo warehouse")
     query.add_argument("sql", help="e.g. \"SELECT * FROM lineitem WHERE l_quantity = 51 LIMIT 5\"")
@@ -247,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="storage layout for the demo table partitions",
     )
     _add_trace_arg(query)
+    _add_profile_args(query)
 
     trace = commands.add_parser(
         "trace", help="render a --trace-out file as a per-job timeline"
@@ -310,6 +382,86 @@ def build_parser() -> argparse.ArgumentParser:
 
     policies = commands.add_parser("policies", help="write policy.xml")
     policies.add_argument("--out", default="policy.xml")
+
+    bench = commands.add_parser(
+        "bench",
+        help="run benchmark suites, track history, detect regressions",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run suites N times, report median+MAD, append to history"
+    )
+    bench_run.add_argument(
+        "--suite", action="append", dest="suites", metavar="NAME",
+        help="suite to run (repeatable; default: all — see 'bench list')",
+    )
+    bench_run.add_argument("--repeats", type=int, default=3, metavar="N")
+    bench_run.add_argument(
+        "--quick", action="store_true", help="smaller workloads (CI smoke sizes)"
+    )
+    bench_run.add_argument(
+        "--label", default="", help="free-form tag stored with the run"
+    )
+    bench_run.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="history store (default: benchmarks/history)",
+    )
+    bench_run.add_argument(
+        "--no-history", action="store_true", help="do not append to the history store"
+    )
+    bench_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the full run record JSON here",
+    )
+    bench_run.add_argument(
+        "--profile-dir", default=None, metavar="DIR",
+        help="export pstats + flamegraph-collapsed stacks per suite into DIR",
+    )
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help=(
+            "noise-aware regression check between two runs "
+            "(exit 1 when any metric regressed)"
+        ),
+    )
+    bench_compare.add_argument(
+        "baseline", nargs="?", default=None,
+        help="run id prefix, 'latest', 'previous', or a run-record JSON file",
+    )
+    bench_compare.add_argument(
+        "current", nargs="?", default="latest",
+        help="same forms as baseline (default: latest history record)",
+    )
+    bench_compare.add_argument(
+        "--against", default=None, metavar="FILE",
+        help="baseline run-record JSON artifact (alternative to the positional)",
+    )
+    bench_compare.add_argument("--history-dir", default=None, metavar="DIR")
+    bench_compare.add_argument(
+        "--threshold-mads", type=float, default=None, metavar="X",
+        help="median shift per metric allowed, in MAD units (default: 5)",
+    )
+    bench_compare.add_argument(
+        "--rel-floor", type=float, default=None, metavar="F",
+        help="relative shift always tolerated, vs baseline median (default: 0.10)",
+    )
+    bench_compare.add_argument(
+        "--min-repeats", type=int, default=None, metavar="N",
+        help="gate only metrics with at least N repeats on both sides (default: 3)",
+    )
+    bench_compare.add_argument(
+        "--out", default=None, metavar="FILE", help="write the JSON report here"
+    )
+
+    bench_sub.add_parser("list", help="list registered suites")
+
+    bench_history = bench_sub.add_parser(
+        "history", help="show this machine's recorded runs"
+    )
+    bench_history.add_argument("--history-dir", default=None, metavar="DIR")
+    bench_history.add_argument("--limit", type=int, default=10, metavar="N")
 
     return parser
 
@@ -455,24 +607,27 @@ def cmd_sweep(args, out) -> int:
         args.skews = (0, 2) if figure == 6 else (0, 1, 2)
     if args.measurement is None:
         args.measurement = 2400.0 if figure == 6 else 3600.0
-    with _trace_recorder(args) as trace:
+    with _trace_recorder(args) as trace, _profiler(args) as profiler:
         args._trace = trace
         if figure == 4:
             args.seed = args.seeds[0]
             args.top = 10
-            return cmd_figure4(args, out)
-        if figure == 5:
-            return cmd_figure5(args, out)
-        if figure == 6:
-            return cmd_figure6(args, out)
-        if figure == 7:
-            return _cmd_heterogeneous(args, out, scheduler="fifo", figure="Figure 7")
-        return _cmd_heterogeneous(args, out, scheduler="fair", figure="Figure 8")
+            code = cmd_figure4(args, out)
+        elif figure == 5:
+            code = cmd_figure5(args, out)
+        elif figure == 6:
+            code = cmd_figure6(args, out)
+        elif figure == 7:
+            code = _cmd_heterogeneous(args, out, scheduler="fifo", figure="Figure 7")
+        else:
+            code = _cmd_heterogeneous(args, out, scheduler="fair", figure="Figure 8")
+        _finish_profile(args, profiler, trace)
+    return code
 
 
 def cmd_sample(args, out) -> int:
     predicate = predicate_for_skew(args.skew)
-    with _trace_recorder(args) as trace:
+    with _trace_recorder(args) as trace, _profiler(args) as profiler:
         cluster = single_user_cluster(seed=args.seed, trace=trace)
         cluster.load_dataset("/d", dataset_for(args.scale, args.skew, args.seed))
         conf = make_sampling_conf(
@@ -480,6 +635,7 @@ def cmd_sample(args, out) -> int:
             sample_size=args.k, policy_name=args.policy,
         )
         result = cluster.run_job(conf)
+        _finish_profile(args, profiler, trace)
     print(
         render_table(
             ("Metric", "Value"),
@@ -517,7 +673,7 @@ def cmd_query(args, out) -> int:
     )
     dfs = DistributedFileSystem(paper_topology().storage_locations())
     dfs.write_dataset("/warehouse/lineitem", dataset)
-    with _trace_recorder(args) as trace:
+    with _trace_recorder(args) as trace, _profiler(args) as profiler:
         runner = LocalRunner(
             seed=args.seed,
             scan_options=ScanOptions(mode=args.scan_mode, batch_size=args.batch_size),
@@ -527,6 +683,7 @@ def cmd_query(args, out) -> int:
         session = HiveSession(runner=runner, dfs=dfs)
         session.register_table("lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA)
         result = session.execute(args.sql)
+        _finish_profile(args, profiler, trace)
     print(f"-- {result.statement}", file=out)
     for row in result.rows[: args.max_print]:
         print(row, file=out)
@@ -604,6 +761,114 @@ def cmd_policies(args, out) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# bench: continuous benchmarking
+# ---------------------------------------------------------------------------
+def _bench_resolve(ref: str | None, history_dir, *, what: str) -> dict:
+    """A run record from a JSON file path, 'latest'/'previous', or a run id."""
+    from repro.bench.history import find_run, latest_run, load_history
+    from repro.errors import BenchError
+
+    if ref is None:
+        raise BenchError(f"no {what} given: pass a run id, 'latest', or a JSON file")
+    path = Path(ref)
+    if path.suffix == ".json" or path.exists():
+        return json.loads(path.read_text())
+    records = load_history(history_dir)
+    if ref == "latest":
+        return latest_run(records)
+    if ref == "previous":
+        if len(records) < 2:
+            raise BenchError(f"history has {len(records)} run(s); no 'previous'")
+        return records[-2]
+    return find_run(records, ref)
+
+
+def cmd_bench_run(args, out) -> int:
+    from repro.bench.history import append_run
+    from repro.bench.runner import render_run, run_suites
+
+    record = run_suites(
+        args.suites,
+        repeats=args.repeats,
+        quick=args.quick,
+        label=args.label,
+        profile_dir=args.profile_dir,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    print(render_run(record), file=out)
+    if not args.no_history:
+        path = append_run(record, args.history_dir)
+        print(f"recorded run {record['run_id']} in {path}", file=out)
+    if args.out:
+        Path(args.out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}", file=out)
+    return 0
+
+
+def cmd_bench_compare(args, out) -> int:
+    from repro.bench.compare import compare_runs, render_compare, report_json
+
+    baseline_ref = args.against if args.against is not None else args.baseline
+    if args.against is not None and args.baseline is not None:
+        # Both forms given: the positional shifts to being the current run.
+        args.current = args.baseline
+    baseline = _bench_resolve(baseline_ref, args.history_dir, what="baseline")
+    current = _bench_resolve(args.current, args.history_dir, what="current run")
+    settings = {
+        key: value
+        for key, value in (
+            ("threshold_mads", args.threshold_mads),
+            ("rel_floor", args.rel_floor),
+            ("min_repeats", args.min_repeats),
+        )
+        if value is not None
+    }
+    report = compare_runs(baseline, current, **settings)
+    print(render_compare(report), file=out)
+    if args.out:
+        Path(args.out).write_text(report_json(report))
+        print(f"wrote {args.out}", file=out)
+    return 0 if report.ok else 1
+
+
+def cmd_bench_list(_args, out) -> int:
+    from repro.bench.suites import SUITES
+
+    for suite in SUITES.values():
+        print(f"{suite.name:<8} {suite.description}", file=out)
+    return 0
+
+
+def cmd_bench_history(args, out) -> int:
+    from repro.bench.history import load_history, machine_key
+
+    records = load_history(args.history_dir)
+    if not records:
+        print(f"no recorded runs for machine {machine_key()}", file=out)
+        return 0
+    shown = records[-args.limit:] if args.limit > 0 else records
+    for record in shown:
+        suites = ",".join(record.get("options", {}).get("suites", []))
+        label = record.get("label") or "-"
+        print(
+            f"{record.get('run_id', '?'):<14} repeats={record['options']['repeats']}"
+            f" quick={record['options']['quick']} label={label} suites={suites}",
+            file=out,
+        )
+    print(f"{len(records)} run(s) for machine {machine_key()}", file=out)
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    return {
+        "run": cmd_bench_run,
+        "compare": cmd_bench_compare,
+        "list": cmd_bench_list,
+        "history": cmd_bench_history,
+    }[args.bench_command](args, out)
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -626,6 +891,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "audit": cmd_audit,
         "report": cmd_report,
         "policies": cmd_policies,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args, out)
 

@@ -37,6 +37,7 @@ from repro.engine.job import Job, JobResult
 from repro.engine.jobconf import JobConf
 from repro.engine.jobtracker import JobTracker
 from repro.errors import JobConfError, JobError
+from repro.obs import profile as _profile
 from repro.obs.trace import policy_knobs
 from repro.sim.random_source import RandomSource
 from repro.sim.simulator import PeriodicTask, Simulator
@@ -118,7 +119,11 @@ class JobClient:
         provider.initialize(splits, conf, policy, rng)
 
         cluster = self._jobtracker.cluster_status()
-        initial, complete = provider.initial_input(cluster)
+        # Span exactly the provider invocation (not the gate around it),
+        # so profile.provider.evaluate call counts match the trace's
+        # provider_evaluation events one-for-one.
+        with _profile.profiled_span(_profile.PHASE_EVALUATE):
+            initial, complete = provider.initial_input(cluster)
         job = self._jobtracker.submit_job(
             conf,
             initial,
@@ -177,7 +182,8 @@ class JobClient:
         handle.splits_completed_at_last_eval = job.splits_completed
         progress = job.progress()
         cluster = self._jobtracker.cluster_status()
-        response = handle.provider.evaluate(progress, cluster)
+        with _profile.profiled_span(_profile.PHASE_EVALUATE):
+            response = handle.provider.evaluate(progress, cluster)
         trace = self._jobtracker.trace
         if trace is not None:
             trace.provider_evaluation(

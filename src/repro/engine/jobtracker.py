@@ -27,6 +27,7 @@ from repro.engine.scheduler.fifo import FifoScheduler
 from repro.engine.task import MapTask, ReduceTask, TaskState
 from repro.engine.tasktracker import TaskTracker
 from repro.errors import JobError
+from repro.obs import profile as _profile
 from repro.sim.simulator import Simulator
 
 JobListener = Callable[[Job], None]
@@ -202,6 +203,10 @@ class JobTracker:
         self._sim.schedule(self.dispatch_delay, self._dispatch, label="dispatch")
 
     def _dispatch(self) -> None:
+        with _profile.profiled_span(_profile.PHASE_DISPATCH):
+            self._dispatch_pass()
+
+    def _dispatch_pass(self) -> None:
         self._dispatch_scheduled = False
         schedulable = [
             job

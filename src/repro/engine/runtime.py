@@ -29,6 +29,7 @@ from repro.engine.jobconf import JobConf
 from repro.engine.mapreduce import ReduceContext
 from repro.engine.shuffle import group_outputs
 from repro.errors import JobConfError, JobError
+from repro.obs import profile as _profile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import policy_knobs
 from repro.scan.engine import ScanOptions, ScanSpan, run_map_task
@@ -181,7 +182,10 @@ class LocalRunner:
 
         total = len(splits)
         cluster = self._cluster_status()
-        batch, complete = provider.initial_input(cluster)
+        # Same span discipline as JobClient: exactly one provider.evaluate
+        # span per provider invocation, matching provider_evaluation events.
+        with _profile.profiled_span(_profile.PHASE_EVALUATE):
+            batch, complete = provider.initial_input(cluster)
         if self.trace is not None:
             self.trace.provider_evaluation(
                 0.0,
@@ -206,7 +210,8 @@ class LocalRunner:
             evaluations += 1
             progress = self._progress(conf, total, map_results)
             cluster = self._cluster_status()
-            response = provider.evaluate(progress, cluster)
+            with _profile.profiled_span(_profile.PHASE_EVALUATE):
+                response = provider.evaluate(progress, cluster)
             if self.trace is not None:
                 self.trace.provider_evaluation(
                     0.0,

@@ -88,3 +88,7 @@ class SweepError(ReproError):
 
 class ScanCompileError(ReproError):
     """A predicate could not be compiled by the scan codegen layer."""
+
+
+class BenchError(ReproError):
+    """A benchmark suite, history store, or comparison was misused."""

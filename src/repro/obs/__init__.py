@@ -57,6 +57,10 @@ _LAZY = {
     "build_report": "repro.obs.report",
     "render_report": "repro.obs.report",
     "ProgressReporter": "repro.obs.progress",
+    "PhaseProfiler": "repro.obs.profile",
+    "active_profiler": "repro.obs.profile",
+    "profiled_span": "repro.obs.profile",
+    "render_profile": "repro.obs.profile",
 }
 
 
@@ -92,4 +96,8 @@ __all__ = [
     "build_report",
     "render_report",
     "ProgressReporter",
+    "PhaseProfiler",
+    "active_profiler",
+    "profiled_span",
+    "render_profile",
 ]

@@ -188,20 +188,33 @@ class Histogram:
 
 
 class _Timer:
-    """Context manager that records wall-clock elapsed into a histogram."""
+    """Context manager that records wall-clock elapsed into a histogram.
 
-    __slots__ = ("_histogram", "_start")
+    Records only on clean exit: a block that raises would contribute a
+    partial timing (however far it got before the exception), which
+    poisons benchmark medians. Failed blocks increment the sibling
+    ``<name>.errors`` counter instead, so failures stay visible without
+    skewing the distribution.
+    """
 
-    def __init__(self, histogram: Histogram) -> None:
-        self._histogram = histogram
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
         self._start = 0.0
 
     def __enter__(self) -> "_Timer":
         self._start = _time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self._histogram.observe(_time.perf_counter() - self._start)
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._registry.histogram(self._name).observe(
+                _time.perf_counter() - self._start
+            )
+        else:
+            self._registry.counter(f"{self._name}.errors").inc()
 
 
 class MetricsRegistry:
@@ -243,8 +256,13 @@ class MetricsRegistry:
 
         Wall-clock readings are non-deterministic by nature; use only in
         benchmark/trace scopes, never for anything that feeds a JobResult.
+        Elapsed time is recorded only when the block exits cleanly; a
+        raising block increments ``<name>.errors`` instead.
         """
-        return _Timer(self.histogram(name))
+        # Create the histogram eagerly so the snapshot shape is stable
+        # (and kind mismatches surface here) even if every block raises.
+        self.histogram(name)
+        return _Timer(self, name)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
@@ -256,13 +274,17 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def snapshot(self) -> dict:
+    def snapshot(self, *, prefix: str | None = None) -> dict:
         """Plain-dict view, sorted by name — stable for trace export.
 
         Shape: ``{name: {"kind": ..., "value": ...}}`` where ``value``
         is a number for counters/gauges and a stats dict for histograms.
+        With ``prefix=`` only metrics whose name starts with it are
+        included, so renderers can pull one phase without copying the
+        whole registry.
         """
         return {
             name: {"kind": metric.kind, "value": metric.snapshot()}
             for name, metric in sorted(self._metrics.items())
+            if prefix is None or name.startswith(prefix)
         }

@@ -29,6 +29,7 @@ import heapq
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs import profile as _profile
 from repro.sim.clock import SimClock
 from repro.sim.events import EventHandle, ScheduledEvent
 
@@ -169,28 +170,32 @@ class Simulator:
         clock = self._clock
         heappop = heapq.heappop
         processed = self._events_processed
+        # One span per run() call, not per event — the loop itself stays
+        # timing-free (profiled_span is a shared no-op when no profiler
+        # is installed).
         try:
-            while heap:
-                if self._stopped:
-                    break
-                if max_events is not None and processed >= max_events:
-                    break
-                entry = heap[0]
-                event = entry[2]
-                if event.cancelled:
+            with _profile.profiled_span(_profile.PHASE_KERNEL):
+                while heap:
+                    if self._stopped:
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    entry = heap[0]
+                    event = entry[2]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    if until is not None and entry[0] > until:
+                        break
                     heappop(heap)
-                    continue
-                if until is not None and entry[0] > until:
-                    break
-                heappop(heap)
-                event.live = False
-                self._live -= 1
-                # Heap order guarantees monotone times, so skip the
-                # backwards-motion check in SimClock.advance_to here.
-                clock._now = entry[0]
-                processed += 1
-                self._events_processed = processed
-                event.callback(*event.args)
+                    event.live = False
+                    self._live -= 1
+                    # Heap order guarantees monotone times, so skip the
+                    # backwards-motion check in SimClock.advance_to here.
+                    clock._now = entry[0]
+                    processed += 1
+                    self._events_processed = processed
+                    event.callback(*event.args)
             if (
                 until is not None
                 and advance_clock

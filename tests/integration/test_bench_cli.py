@@ -1,0 +1,150 @@
+"""End-to-end tests for ``repro bench`` (run / compare / list / history).
+
+The expensive real suites are swapped for an instant fake so the tests
+exercise the full CLI plumbing — history store, run records, the
+noise-aware compare gate — in milliseconds. The regression path is
+driven exactly the way CI drives it: the ``REPRO_BENCH_SLOWDOWN_S``
+hook injects a sleep into the timed window and ``bench compare`` must
+exit non-zero; a same-binary re-run must exit zero.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.bench import suites
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def fake_suite(monkeypatch):
+    """One registered suite with a small, steady workload."""
+    from repro.obs import profile
+
+    def run_fake(quick):
+        with profile.profiled_span(profile.PHASE_SCAN):
+            total = sum(range(50_000))
+        return {"fake.items_per_sec": float(total)}
+
+    monkeypatch.setattr(
+        suites, "SUITES", {"fake": suites.Suite("fake", "test suite", run_fake)}
+    )
+    monkeypatch.delenv(suites.SLOWDOWN_ENV, raising=False)
+
+
+def bench_run(history_dir, *extra):
+    return run_cli(
+        ["bench", "run", "--suite", "fake", "--repeats", "3", "--quick",
+         "--history-dir", str(history_dir), *extra]
+    )
+
+
+class TestBenchRun:
+    def test_run_records_history_and_artifact(self, fake_suite, tmp_path):
+        out_file = tmp_path / "record.json"
+        code, text = bench_run(tmp_path / "hist", "--out", str(out_file))
+        assert code == 0
+        record = json.loads(out_file.read_text())
+        assert record["run_id"] in text
+        assert record["options"] == {
+            "quick": True, "repeats": 3, "suites": ["fake"],
+            "injected_slowdown_s": 0.0,
+        }
+        assert "fake.items_per_sec" in record["suites"]["fake"]["metrics"]
+        history_files = list((tmp_path / "hist").glob("*.jsonl"))
+        assert len(history_files) == 1
+        stored = json.loads(history_files[0].read_text())
+        assert stored["run_id"] == record["run_id"]
+
+    def test_no_history_flag_skips_the_store(self, fake_suite, tmp_path):
+        code, _ = bench_run(tmp_path / "hist", "--no-history")
+        assert code == 0
+        assert not (tmp_path / "hist").exists()
+
+    def test_unknown_suite_rejected(self, fake_suite, tmp_path):
+        from repro.errors import BenchError
+
+        with pytest.raises(BenchError, match="nope"):
+            run_cli(["bench", "run", "--suite", "nope",
+                     "--history-dir", str(tmp_path)])
+
+
+class TestBenchCompare:
+    def test_rerun_of_same_binary_passes(self, fake_suite, tmp_path):
+        hist = tmp_path / "hist"
+        assert bench_run(hist)[0] == 0
+        assert bench_run(hist)[0] == 0
+        code, text = run_cli(
+            ["bench", "compare", "previous", "latest",
+             "--history-dir", str(hist)]
+        )
+        assert code == 0
+        assert "verdict: OK" in text
+
+    def test_injected_slowdown_fails_the_gate(self, fake_suite, tmp_path, monkeypatch):
+        hist = tmp_path / "hist"
+        baseline = tmp_path / "baseline.json"
+        assert bench_run(hist, "--out", str(baseline))[0] == 0
+        monkeypatch.setenv(suites.SLOWDOWN_ENV, "0.05")
+        assert bench_run(hist)[0] == 0
+        report_file = tmp_path / "report.json"
+        code, text = run_cli(
+            ["bench", "compare", "--against", str(baseline), "latest",
+             "--history-dir", str(hist), "--out", str(report_file)]
+        )
+        assert code == 1
+        assert "REGRESSION" in text
+        report = json.loads(report_file.read_text())
+        assert report["ok"] is False
+        regressed = {
+            d["metric"] for d in report["deltas"]
+            if d["status"] == "regression"
+        }
+        assert "fake.seconds" in regressed
+
+    def test_compare_by_run_id_prefix(self, fake_suite, tmp_path):
+        hist = tmp_path / "hist"
+        out_file = tmp_path / "r.json"
+        bench_run(hist, "--out", str(out_file))
+        bench_run(hist)
+        run_id = json.loads(out_file.read_text())["run_id"]
+        code, text = run_cli(
+            ["bench", "compare", run_id[:6], "latest",
+             "--history-dir", str(hist)]
+        )
+        assert code == 0
+        assert "verdict: OK" in text
+
+    def test_missing_history_is_a_clear_error(self, fake_suite, tmp_path):
+        from repro.errors import BenchError
+
+        with pytest.raises(BenchError):
+            run_cli(["bench", "compare", "latest", "latest",
+                     "--history-dir", str(tmp_path / "empty")])
+
+
+class TestBenchListAndHistory:
+    def test_list_names_real_registry(self):
+        # No fixture: the genuine registry must be visible to users.
+        code, text = run_cli(["bench", "list"])
+        assert code == 0
+        for name in ("kernel", "scan", "e2e", "sweep"):
+            assert name in text
+
+    def test_history_renders_runs(self, fake_suite, tmp_path):
+        hist = tmp_path / "hist"
+        code, text = run_cli(["bench", "history", "--history-dir", str(hist)])
+        assert code == 0
+        assert "no recorded runs" in text
+        bench_run(hist, "--label", "nightly")
+        code, text = run_cli(["bench", "history", "--history-dir", str(hist)])
+        assert code == 0
+        assert "label=nightly" in text
+        assert "1 run(s)" in text

@@ -1,0 +1,280 @@
+"""Unit tests for the continuous-benchmark subsystem (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import compare, history, runner, stats, suites
+from repro.errors import BenchError
+
+
+class TestStats:
+    def test_median_odd_and_even(self):
+        assert stats.median([3.0, 1.0, 2.0]) == 2.0
+        assert stats.median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(BenchError):
+            stats.median([])
+
+    def test_mad_is_robust_to_one_outlier(self):
+        clean = [10.0, 10.1, 9.9, 10.0, 10.05]
+        polluted = clean[:-1] + [50.0]
+        assert stats.mad(polluted) < 1.0  # the outlier doesn't blow it up
+        assert stats.median(polluted) == pytest.approx(10.0)
+
+    def test_summarize_shape(self):
+        summary = stats.summarize([2.0, 1.0, 3.0])
+        assert summary == {
+            "repeats": 3,
+            "values": [2.0, 1.0, 3.0],
+            "median": 2.0,
+            "mad": 1.0,
+        }
+
+
+class TestSuites:
+    def test_metric_direction(self):
+        assert suites.metric_direction("kernel.events_per_sec") == "higher"
+        assert suites.metric_direction("scan.batch_speedup") == "higher"
+        assert suites.metric_direction("kernel.seconds") == "lower"
+        assert suites.metric_direction("e2e.sim_response_s") == "lower"
+
+    def test_registry_contents(self):
+        assert set(suites.SUITES) == {"kernel", "scan", "e2e", "sweep"}
+
+    def test_resolve_suites_default_and_validation(self):
+        assert [s.name for s in suites.resolve_suites(None)] == list(suites.SUITES)
+        assert [s.name for s in suites.resolve_suites(["scan"])] == ["scan"]
+        with pytest.raises(BenchError):
+            suites.resolve_suites(["scan", "nope"])
+
+    def test_injected_slowdown_parsing(self, monkeypatch):
+        monkeypatch.delenv(suites.SLOWDOWN_ENV, raising=False)
+        assert suites.injected_slowdown_s() == 0.0
+        monkeypatch.setenv(suites.SLOWDOWN_ENV, "0.25")
+        assert suites.injected_slowdown_s() == 0.25
+        monkeypatch.setenv(suites.SLOWDOWN_ENV, "banana")
+        with pytest.raises(BenchError):
+            suites.injected_slowdown_s()
+        monkeypatch.setenv(suites.SLOWDOWN_ENV, "-1")
+        with pytest.raises(BenchError):
+            suites.injected_slowdown_s()
+
+    def test_kernel_suite_runs_quick(self):
+        metrics = suites.SUITES["kernel"].runner(True)
+        assert metrics["kernel.events_per_sec"] > 0
+
+
+@pytest.fixture
+def fake_suite(monkeypatch):
+    """Replace the registry with one instant suite that spans a phase."""
+    from repro.obs import profile
+
+    def run_fake(quick):
+        with profile.profiled_span(profile.PHASE_SCAN):
+            pass
+        return {"fake.items_per_sec": 100.0 if quick else 200.0}
+
+    fake = suites.Suite("fake", "test suite", run_fake)
+    monkeypatch.setattr(suites, "SUITES", {"fake": fake})
+    return fake
+
+
+class TestRunner:
+    def test_run_record_shape(self, fake_suite):
+        record = runner.run_suites(["fake"], repeats=3, quick=True, label="t")
+        assert record["schema"] == history.HISTORY_SCHEMA_VERSION
+        assert record["pr"] == 5
+        assert len(record["run_id"]) == 12
+        assert record["label"] == "t"
+        assert record["options"]["suites"] == ["fake"]
+        data = record["suites"]["fake"]
+        metric = data["metrics"]["fake.items_per_sec"]
+        assert metric["direction"] == "higher"
+        assert metric["repeats"] == 3
+        assert metric["median"] == 100.0
+        seconds = data["metrics"]["fake.seconds"]
+        assert seconds["direction"] == "lower"
+        assert seconds["median"] > 0.0
+        # The profiler saw the suite's span on every repeat.
+        phases = data["phases"]["scan.map_task"]
+        assert phases["wall_s"]["repeats"] == 3
+        assert phases["cpu_s"]["repeats"] == 3
+
+    def test_record_is_json_serializable(self, fake_suite):
+        record = runner.run_suites(["fake"], repeats=1, quick=True)
+        json.dumps(record)
+
+    def test_repeats_validated(self, fake_suite):
+        with pytest.raises(BenchError):
+            runner.run_suites(["fake"], repeats=0)
+
+    def test_injected_slowdown_lands_in_seconds(self, fake_suite, monkeypatch):
+        fast = runner.run_suites(["fake"], repeats=2, quick=True)
+        monkeypatch.setenv(suites.SLOWDOWN_ENV, "0.05")
+        slow = runner.run_suites(["fake"], repeats=2, quick=True)
+        assert (
+            slow["suites"]["fake"]["metrics"]["fake.seconds"]["median"]
+            >= fast["suites"]["fake"]["metrics"]["fake.seconds"]["median"] + 0.04
+        )
+        assert slow["options"]["injected_slowdown_s"] == 0.05
+
+    def test_profile_dir_exports_capture(self, fake_suite, tmp_path):
+        runner.run_suites(["fake"], repeats=2, quick=True, profile_dir=tmp_path)
+        exported = sorted(p.name for p in (tmp_path / "fake").iterdir())
+        assert exported == ["scan.map_task.collapsed", "scan.map_task.pstats"]
+
+    def test_render_run_mentions_everything(self, fake_suite):
+        record = runner.run_suites(["fake"], repeats=1, quick=True, label="x")
+        text = runner.render_run(record)
+        assert record["run_id"] in text
+        assert "fake.items_per_sec" in text
+        assert "scan.map_task" in text
+
+
+class TestHistory:
+    def test_machine_key_stable_and_info_keyed(self):
+        assert history.machine_key() == history.machine_key()
+        assert history.machine_key({"a": 1}) != history.machine_key({"a": 2})
+        assert len(history.machine_key()) == 12
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        record = {"run_id": "abc123", "machine": history.machine_info(), "n": 1}
+        path = history.append_run(record, tmp_path)
+        assert path.parent == tmp_path
+        assert path.name == f"{history.machine_key()}.jsonl"
+        history.append_run({**record, "run_id": "def456", "n": 2}, tmp_path)
+        records = history.load_history(tmp_path)
+        assert [r["run_id"] for r in records] == ["abc123", "def456"]
+
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert history.load_history(tmp_path) == []
+
+    def test_corrupt_line_reported_with_position(self, tmp_path):
+        path = history.history_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"run_id": "ok"}\nnot json\n')
+        with pytest.raises(BenchError, match=":2:"):
+            history.load_history(tmp_path)
+
+    def test_find_run_prefix_and_ambiguity(self):
+        records = [{"run_id": "abc111"}, {"run_id": "abd222"}]
+        assert history.find_run(records, "abc")["run_id"] == "abc111"
+        with pytest.raises(BenchError):
+            history.find_run(records, "ab")
+        with pytest.raises(BenchError):
+            history.find_run(records, "zzz")
+
+    def test_latest_run_with_label(self):
+        records = [
+            {"run_id": "1", "label": "a"},
+            {"run_id": "2", "label": "b"},
+            {"run_id": "3", "label": "a"},
+        ]
+        assert history.latest_run(records)["run_id"] == "3"
+        assert history.latest_run(records, label="b")["run_id"] == "2"
+        with pytest.raises(BenchError):
+            history.latest_run(records, label="c")
+        with pytest.raises(BenchError):
+            history.latest_run([])
+
+
+def _run(metrics, *, machine="m", quick=False, suite="s"):
+    """A minimal run record with one suite of summarized metrics."""
+    return {
+        "run_id": "r-" + str(abs(hash(json.dumps(metrics, sort_keys=True))))[:8],
+        "machine": machine,
+        "options": {"quick": quick},
+        "suites": {suite: {"metrics": metrics, "phases": {}}},
+    }
+
+
+def _metric(values, *, direction="lower"):
+    return {"direction": direction, **stats.summarize(values)}
+
+
+class TestCompare:
+    def test_identical_runs_ok(self):
+        run = _run({"s.seconds": _metric([1.0, 1.1, 0.9])})
+        report = compare.compare_runs(run, run)
+        assert report.ok
+        assert [d.status for d in report.deltas] == [compare.STATUS_OK]
+
+    def test_regression_detected_lower_better(self):
+        base = _run({"s.seconds": _metric([1.0, 1.01, 0.99])})
+        slow = _run({"s.seconds": _metric([2.0, 2.01, 1.99])})
+        report = compare.compare_runs(base, slow)
+        assert not report.ok
+        assert report.deltas[0].status == compare.STATUS_REGRESSION
+        # The other direction is an improvement, not a regression.
+        assert compare.compare_runs(slow, base).ok
+
+    def test_direction_awareness_higher_better(self):
+        base = _run({"s.rows_per_sec": _metric([1000.0] * 3, direction="higher")})
+        slow = _run({"s.rows_per_sec": _metric([500.0] * 3, direction="higher")})
+        report = compare.compare_runs(base, slow)
+        assert report.deltas[0].status == compare.STATUS_REGRESSION
+        assert compare.compare_runs(slow, base).deltas[0].status == (
+            compare.STATUS_IMPROVEMENT
+        )
+
+    def test_noise_scaled_threshold_tolerates_jitter(self):
+        # Median shift of 0.3 with MAD ~0.2: inside 5 MADs, no alarm.
+        base = _run({"s.seconds": _metric([1.0, 1.2, 0.8, 1.1, 0.9])})
+        wobble = _run({"s.seconds": _metric([1.3, 1.5, 1.1, 1.4, 1.2])})
+        assert compare.compare_runs(base, wobble).ok
+
+    def test_rel_floor_saves_zero_mad_metrics(self):
+        # Deterministic metrics (MAD 0) would otherwise regress on any
+        # epsilon shift; the relative floor absorbs small moves.
+        base = _run({"s.sim_response_s": _metric([100.0] * 3)})
+        tiny = _run({"s.sim_response_s": _metric([101.0] * 3)})
+        big = _run({"s.sim_response_s": _metric([150.0] * 3)})
+        assert compare.compare_runs(base, tiny).ok
+        assert not compare.compare_runs(base, big).ok
+
+    def test_min_repeats_guard_skips(self):
+        base = _run({"s.seconds": _metric([1.0, 1.0])})
+        slow = _run({"s.seconds": _metric([9.0, 9.0])})
+        report = compare.compare_runs(base, slow, min_repeats=3)
+        assert report.deltas[0].status == compare.STATUS_SKIPPED
+        assert report.ok  # skipped metrics never gate
+
+    def test_machine_and_quick_mismatch_warn(self):
+        base = _run({"s.seconds": _metric([1.0] * 3)}, machine="a")
+        other = _run({"s.seconds": _metric([1.0] * 3)}, machine="b", quick=True)
+        report = compare.compare_runs(base, other)
+        assert any("machine" in w for w in report.warnings)
+        assert any("--quick" in w for w in report.warnings)
+
+    def test_disjoint_suites_rejected_and_partial_warned(self):
+        base = _run({"s.seconds": _metric([1.0] * 3)}, suite="a")
+        other = _run({"s.seconds": _metric([1.0] * 3)}, suite="b")
+        with pytest.raises(BenchError):
+            compare.compare_runs(base, other)
+        both = _run({"s.seconds": _metric([1.0] * 3)}, suite="a")
+        both["suites"]["b"] = {"metrics": {}, "phases": {}}
+        report = compare.compare_runs(base, both)
+        assert any("'b'" in w for w in report.warnings)
+
+    def test_invalid_settings_rejected(self):
+        run = _run({"s.seconds": _metric([1.0] * 3)})
+        with pytest.raises(BenchError):
+            compare.compare_runs(run, run, threshold_mads=0)
+        with pytest.raises(BenchError):
+            compare.compare_runs(run, run, rel_floor=-0.1)
+        with pytest.raises(BenchError):
+            compare.compare_runs(run, run, min_repeats=0)
+
+    def test_render_and_json(self):
+        base = _run({"s.seconds": _metric([1.0, 1.01, 0.99])})
+        slow = _run({"s.seconds": _metric([2.0, 2.01, 1.99])})
+        report = compare.compare_runs(base, slow)
+        text = compare.render_compare(report)
+        assert "regression" in text
+        assert "1 REGRESSION" in text
+        payload = json.loads(compare.report_json(report))
+        assert payload["ok"] is False
+        assert payload["deltas"][0]["metric"] == "s.seconds"
+        assert payload["deltas"][0]["ratio"] == pytest.approx(2.0)

@@ -147,6 +147,42 @@ class TestRegistry:
         assert stats["count"] == 1
         assert stats["min"] >= 0.0
 
+    def test_timer_raising_block_records_error_not_timing(self):
+        # Regression: __exit__ used to observe elapsed even when the
+        # block raised, polluting benchmark histograms with partial
+        # timings from failed runs.
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.timer("span"):
+                raise ValueError("boom")
+        assert registry.histogram("span").count == 0
+        assert registry.counter("span.errors").value == 1
+        # A later clean run still records normally.
+        with registry.timer("span"):
+            pass
+        assert registry.histogram("span").count == 1
+        assert registry.counter("span.errors").value == 1
+
+    def test_timer_creates_histogram_eagerly(self):
+        # The histogram exists (empty) even if every block raises, so
+        # snapshot shapes don't depend on failure patterns.
+        registry = MetricsRegistry()
+        registry.timer("span")
+        assert "span" in registry
+        assert registry.histogram("span").count == 0
+
+    def test_snapshot_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("profile.scan.calls").inc()
+        registry.counter("profile.kernel.calls").inc(2)
+        registry.gauge("queue.depth").set(3)
+        snap = registry.snapshot(prefix="profile.")
+        assert list(snap) == ["profile.kernel.calls", "profile.scan.calls"]
+        assert snap["profile.scan.calls"]["value"] == 1
+        # No prefix keeps the full view; unmatched prefix is empty.
+        assert len(registry.snapshot()) == 3
+        assert registry.snapshot(prefix="nope.") == {}
+
     def test_registry_is_picklable(self):
         registry = MetricsRegistry(scope="job:j1")
         registry.counter("records").inc(3)

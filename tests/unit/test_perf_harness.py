@@ -1,0 +1,106 @@
+"""Unit tests for the ``benchmarks.perf`` harness entry point.
+
+``main()`` had no direct coverage: these tests pin down the arg
+parsing, the ``--quick`` shrink factors, and the output JSON schema by
+monkeypatching the expensive bench functions with recorders.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf import harness  # noqa: E402
+
+
+@pytest.fixture
+def recorded(monkeypatch):
+    """Stub the three bench sections; records the kwargs they received."""
+    calls = {}
+
+    def fake_kernel(*, events, repeats, registry):
+        calls["kernel"] = {"events": events, "repeats": repeats}
+        registry.timer("kernel.current.seconds").__enter__()  # touch registry
+        return {"events_per_sec": 1000, "seed_events_per_sec": 500, "speedup": 2.0}
+
+    def fake_cell(*, repeats, registry):
+        calls["cell"] = {"repeats": repeats}
+        return {"params": {}, "seconds": 1.23}
+
+    def fake_sweep(*, jobs, registry):
+        calls["sweep"] = {"jobs": jobs}
+        return {"grid_cells": 75, "jobs": jobs, "serial_seconds": 2.0,
+                "parallel_seconds": 1.0, "speedup": 2.0, "cpu_count": 4,
+                "seeds_per_cell": 5}
+
+    monkeypatch.setattr(harness, "bench_kernel", fake_kernel)
+    monkeypatch.setattr(harness, "bench_figure5_cell", fake_cell)
+    monkeypatch.setattr(harness, "bench_sweep", fake_sweep)
+    return calls
+
+
+class TestArgs:
+    def test_quick_shrinks_events_and_repeats_and_skips_sweep(
+        self, recorded, tmp_path, capsys
+    ):
+        out = tmp_path / "bench.json"
+        assert harness.main(["--quick", "--out", str(out)]) == 0
+        assert recorded["kernel"] == {"events": 50_000, "repeats": 2}
+        assert recorded["cell"] == {"repeats": 2}
+        assert "sweep" not in recorded
+        capsys.readouterr()
+
+    def test_full_run_uses_defaults_and_runs_sweep(self, recorded, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert harness.main(["--out", str(out)]) == 0
+        assert recorded["kernel"] == {
+            "events": harness.KERNEL_EVENTS, "repeats": 3,
+        }
+        assert recorded["sweep"] == {"jobs": 4}
+        capsys.readouterr()
+
+    def test_jobs_flag_passed_to_sweep(self, recorded, tmp_path, capsys):
+        harness.main(["--jobs", "7", "--out", str(tmp_path / "b.json")])
+        assert recorded["sweep"] == {"jobs": 7}
+        capsys.readouterr()
+
+    def test_out_defaults_to_repo_bench_file(self):
+        assert harness.BENCH_FILE.name == "BENCH_PR1.json"
+        assert harness.BENCH_FILE.parent == REPO_ROOT
+
+
+class TestOutputSchema:
+    def test_quick_json_schema(self, recorded, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        harness.main(["--quick", "--out", str(out)])
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"pr", "kernel", "figure5_cell", "meta", "metrics"}
+        assert payload["pr"] == 1
+        assert payload["meta"]["quick"] is True
+        assert set(payload["meta"]) == {"python", "platform", "cpu_count", "quick"}
+        # The registry snapshot rides along (the fake touched one timer).
+        assert "kernel.current.seconds" in payload["metrics"]
+        capsys.readouterr()
+
+    def test_full_json_includes_sweep_section(self, recorded, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        harness.main(["--out", str(out)])
+        payload = json.loads(out.read_text())
+        assert set(payload) == {
+            "pr", "kernel", "figure5_cell", "sweep", "meta", "metrics",
+        }
+        assert payload["meta"]["quick"] is False
+        assert payload["sweep"]["grid_cells"] == 75
+        capsys.readouterr()
+
+    def test_stdout_reports_each_section(self, recorded, tmp_path, capsys):
+        harness.main(["--quick", "--out", str(tmp_path / "b.json")])
+        text = capsys.readouterr().out
+        assert "kernel microbenchmark" in text
+        assert "50,000 events" in text
+        assert "Figure-5 cell" in text
+        assert "wrote" in text
