@@ -26,6 +26,20 @@ DEFAULT_HISTORY_DIR = Path("benchmarks/history")
 HISTORY_SCHEMA_VERSION = 1
 
 
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware).
+
+    ``os.cpu_count()`` reports the host's cores; containers and CI
+    runners routinely pin the process to fewer. Parallel-scan speedups
+    are only interpretable against *this* number, so it is recorded in
+    the machine fingerprint alongside ``cpu_count``.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platform without sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def machine_info() -> dict:
     """The hardware/runtime fingerprint stored with (and keying) runs."""
     return {
@@ -34,6 +48,7 @@ def machine_info() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "effective_cpus": effective_cpu_count(),
     }
 
 

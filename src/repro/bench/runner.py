@@ -128,7 +128,7 @@ def run_suites(
 
     record = {
         "schema": HISTORY_SCHEMA_VERSION,
-        "pr": 5,
+        "pr": 6,
         "timestamp": time.time(),
         "label": label,
         "machine": machine_info(),

@@ -156,6 +156,103 @@ def _bench_scan(quick: bool) -> dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# scan_mp: serial vs process-parallel scan over an mmap dataset
+# ---------------------------------------------------------------------------
+_scan_mp_cache: dict[int, tuple] = {}
+
+
+def _scan_mp_fixture(rows: int):
+    """(conf, splits) over an mmap-layout dataset, built once per row count.
+
+    The backing file lives in a TemporaryDirectory held by the cache (and
+    registered for atexit cleanup), so worker processes can re-open it by
+    path for the lifetime of the bench run.
+    """
+    cached = _scan_mp_cache.get(rows)
+    if cached is not None:
+        return cached[0], cached[1]
+    import atexit
+    import tempfile
+
+    from repro.cluster import paper_topology
+    from repro.core.sampling_job import make_scan_conf
+    from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
+    from repro.data.predicates import predicate_for_skew
+    from repro.dfs import DistributedFileSystem
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro_bench_mmap_")
+    atexit.register(tmp.cleanup)
+    spec = dataset_spec_for_scale(
+        rows / 6_000_000, name="bench_mmap_lineitem", num_partitions=_SCAN_PARTITIONS
+    )
+    predicate = predicate_for_skew(0)
+    dataset = build_materialized_dataset(
+        spec,
+        {predicate: 0.0},
+        seed=0,
+        selectivity=_SCAN_SELECTIVITY,
+        layout="mmap",
+        mmap_path=os.path.join(tmp.name, "lineitem.rcs"),
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/bench/lineitem_mmap", dataset)
+    splits = dfs.open_splits("/bench/lineitem_mmap")
+    conf = make_scan_conf(
+        name="bench_scan_mp",
+        input_path="/bench/lineitem_mmap",
+        predicate=predicate,
+        columns=("l_orderkey", "l_quantity"),
+    )
+    _scan_mp_cache[rows] = (conf, splits, tmp)
+    return conf, splits
+
+
+def _bench_scan_mp(quick: bool) -> dict[str, float]:
+    from repro.bench.history import effective_cpu_count
+    from repro.engine.runtime import LocalRunner
+
+    rows = 12_000 if quick else 120_000
+    conf, splits = _scan_mp_fixture(rows)
+
+    # Guard the preconditions of the process fast path explicitly: if
+    # either fails, the runner would silently fall back to the inline
+    # path and this suite would mislabel serial numbers as parallel.
+    if conf.mapper_factory().scan_task_spec() is None:
+        raise BenchError("scan_mp: mapper does not expose a scan task spec")
+    if any(split.mmap_ref is None for split in splits):
+        raise BenchError("scan_mp: dataset splits carry no mmap refs")
+
+    workers = effective_cpu_count()
+
+    def timed_run(runner) -> tuple[float, object]:
+        runner.run(conf, splits)  # warm-up: pool fork, mmap opens, caches
+        start = wall_clock()
+        result = runner.run(conf, splits)
+        return wall_clock() - start, result
+
+    with LocalRunner() as runner:
+        serial_s, serial = timed_run(runner)
+    with LocalRunner(map_workers=workers, map_executor="process") as runner:
+        process_s, parallel = timed_run(runner)
+
+    # Timings are only meaningful if both executors agree on the work.
+    if (
+        parallel.output_data != serial.output_data
+        or parallel.records_processed != serial.records_processed
+        or parallel.map_outputs_produced != serial.map_outputs_produced
+        or parallel.splits_processed != serial.splits_processed
+    ):
+        raise BenchError("scan_mp: process executor diverged from serial output")
+    scanned = serial.records_processed
+    return {
+        "scan_mp.single.rows_per_sec": scanned / serial_s if serial_s > 0 else 0.0,
+        "scan_mp.process.rows_per_sec": scanned / process_s if process_s > 0 else 0.0,
+        "scan_mp.process_speedup": serial_s / process_s if process_s > 0 else 0.0,
+        "scan_mp.workers": float(workers),
+    }
+
+
+# ---------------------------------------------------------------------------
 # e2e: one Figure 5 policy cell on the simulated cluster
 # ---------------------------------------------------------------------------
 def _bench_e2e(quick: bool) -> dict[str, float]:
@@ -195,6 +292,11 @@ SUITES: dict[str, Suite] = {
     for suite in (
         Suite("kernel", "discrete-event simulator loop throughput", _bench_kernel),
         Suite("scan", "scan-engine modes over a materialized dataset", _bench_scan),
+        Suite(
+            "scan_mp",
+            "serial vs process-parallel scan over an mmap dataset",
+            _bench_scan_mp,
+        ),
         Suite("e2e", "one Figure 5 policy cell end to end (sim substrate)", _bench_e2e),
         Suite("sweep", "sweep engine over a small Figure 5 grid", _bench_sweep),
     )

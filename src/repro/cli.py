@@ -67,6 +67,8 @@ from repro.experiments.single_user import (
 )
 from repro.experiments.skew_figure import figure4_series
 from repro.experiments.sweep import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.data.datasets import DATASET_LAYOUTS
+from repro.engine.runtime import MAP_EXECUTORS
 from repro.obs import TraceRecorder, load_trace
 from repro.obs.render import render_metrics, render_timeline
 from repro.scan import DEFAULT_BATCH_SIZE, SCAN_BATCH, SCAN_MODES
@@ -310,15 +312,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per columnar batch in batch mode",
     )
     query.add_argument(
-        "--map-workers", type=int, default=1, metavar="N",
-        help="run each batch's map tasks on N threads (default: 1, serial)",
+        "--map-workers", type=int, default=None, metavar="N",
+        help=(
+            "run each batch's map tasks on N workers "
+            "(default: $REPRO_MAP_WORKERS or 1, serial)"
+        ),
     )
     query.add_argument(
-        "--layout", default="row", choices=("row", "columnar"),
-        help="storage layout for the demo table partitions",
+        "--map-executor", default=None, choices=MAP_EXECUTORS,
+        help=(
+            "worker substrate for parallel map batches: 'thread' "
+            "(in-process) or 'process' (mmap-layout datasets only; "
+            "workers share page-cache pages). "
+            "Default: $REPRO_MAP_EXECUTOR or thread"
+        ),
+    )
+    query.add_argument(
+        "--layout", default="row", choices=DATASET_LAYOUTS,
+        help=(
+            "storage layout for the demo table partitions; 'mmap' writes "
+            "a binary columnar file and scans it via mmap"
+        ),
+    )
+    query.add_argument(
+        "--data", default=None, metavar="FILE",
+        help=(
+            "query an existing mmap dataset file (written by "
+            "'repro dataset build') instead of generating the demo table; "
+            "overrides --rows/--seed/--layout"
+        ),
     )
     _add_trace_arg(query)
     _add_profile_args(query)
+
+    dataset = commands.add_parser(
+        "dataset",
+        help="build and inspect on-disk mmap columnar datasets",
+    )
+    dataset_sub = dataset.add_subparsers(dest="dataset_command", required=True)
+
+    dataset_build = dataset_sub.add_parser(
+        "build",
+        help=(
+            "stream a LINEITEM dataset into a binary columnar file; "
+            "memory stays bounded by one partition at any scale"
+        ),
+    )
+    dataset_build.add_argument("--out", required=True, metavar="FILE")
+    dataset_build.add_argument(
+        "--rows", type=int, default=120_000,
+        help="total rows (100M-row-scale builds are supported; default: 120000)",
+    )
+    dataset_build.add_argument(
+        "--partitions", type=int, default=None, metavar="P",
+        help="input partitions (default: the paper's 8-per-scale-unit rule)",
+    )
+    dataset_build.add_argument("--seed", type=int, default=0)
+    dataset_build.add_argument(
+        "--selectivity", type=float, default=0.01,
+        help="controlled match fraction per marker predicate (default: 0.01)",
+    )
+
+    dataset_info = dataset_sub.add_parser(
+        "info", help="print an mmap dataset file's schema and layout summary"
+    )
+    dataset_info.add_argument("path", metavar="FILE")
 
     trace = commands.add_parser(
         "trace", help="render a --trace-out file as a per-job timeline"
@@ -657,6 +715,8 @@ def cmd_sample(args, out) -> int:
 
 
 def cmd_query(args, out) -> int:
+    import tempfile
+
     from repro.cluster import paper_topology
     from repro.data import LINEITEM_SCHEMA
     from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
@@ -666,24 +726,46 @@ def cmd_query(args, out) -> int:
 
     from repro.scan.engine import ScanOptions
 
-    spec = dataset_spec_for_scale(args.rows / 6_000_000, num_partitions=16)
-    predicates = {predicate_for_skew(z): float(z) for z in (0, 1, 2)}
-    dataset = build_materialized_dataset(
-        spec, predicates, seed=args.seed, selectivity=0.01, layout=args.layout
-    )
+    scratch = None
+    if args.data is not None:
+        from repro.scan.mmapstore import load_mmap_dataset
+
+        dataset = load_mmap_dataset(args.data)
+    else:
+        spec = dataset_spec_for_scale(args.rows / 6_000_000, num_partitions=16)
+        predicates = {predicate_for_skew(z): float(z) for z in (0, 1, 2)}
+        build_kwargs = {}
+        if args.layout == "mmap":
+            # The demo table is rebuilt per run; an unlinked scratch file
+            # keeps the mapping alive for exactly this query's lifetime.
+            scratch = tempfile.TemporaryDirectory(prefix="repro-query-")
+            build_kwargs["mmap_path"] = str(Path(scratch.name) / "lineitem.rcs")
+        dataset = build_materialized_dataset(
+            spec, predicates, seed=args.seed, selectivity=0.01,
+            layout=args.layout, **build_kwargs,
+        )
     dfs = DistributedFileSystem(paper_topology().storage_locations())
     dfs.write_dataset("/warehouse/lineitem", dataset)
-    with _trace_recorder(args) as trace, _profiler(args) as profiler:
-        runner = LocalRunner(
-            seed=args.seed,
-            scan_options=ScanOptions(mode=args.scan_mode, batch_size=args.batch_size),
-            map_workers=args.map_workers,
-            trace=trace,
-        )
-        session = HiveSession(runner=runner, dfs=dfs)
-        session.register_table("lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA)
-        result = session.execute(args.sql)
-        _finish_profile(args, profiler, trace)
+    try:
+        with _trace_recorder(args) as trace, _profiler(args) as profiler:
+            with LocalRunner(
+                seed=args.seed,
+                scan_options=ScanOptions(
+                    mode=args.scan_mode, batch_size=args.batch_size
+                ),
+                map_workers=args.map_workers,
+                map_executor=args.map_executor,
+                trace=trace,
+            ) as runner:
+                session = HiveSession(runner=runner, dfs=dfs)
+                session.register_table(
+                    "lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA
+                )
+                result = session.execute(args.sql)
+            _finish_profile(args, profiler, trace)
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
     print(f"-- {result.statement}", file=out)
     for row in result.rows[: args.max_print]:
         print(row, file=out)
@@ -753,6 +835,65 @@ def cmd_report(args, out) -> int:
     else:
         print(text, file=out, end="")
     return 0
+
+
+def cmd_dataset_build(args, out) -> int:
+    from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
+
+    spec = dataset_spec_for_scale(
+        args.rows / 6_000_000,
+        num_partitions=args.partitions,
+    )
+    predicates = {predicate_for_skew(z): float(z) for z in (0, 1, 2)}
+    build_materialized_dataset(
+        spec, predicates, seed=args.seed, selectivity=args.selectivity,
+        layout="mmap", mmap_path=args.out,
+    )
+    size = Path(args.out).stat().st_size
+    print(
+        f"wrote {args.out}: {spec.num_rows:,} rows in {spec.num_partitions} "
+        f"partitions, {size:,} bytes",
+        file=out,
+    )
+    return 0
+
+
+def cmd_dataset_info(args, out) -> int:
+    from repro.scan.mmapstore import open_mmap_dataset
+
+    reader = open_mmap_dataset(args.path)
+    rows = [
+        ["file bytes", f"{reader.file_size:,}"],
+        ["eager bytes on open", f"{reader.eager_bytes:,}"],
+        ["rows", f"{reader.num_rows:,}"],
+        ["partitions", reader.num_partitions],
+        ["columns", len(reader.names)],
+    ]
+    meta = reader.meta.get("repro")
+    if meta:
+        rows.append(["spec", meta["spec"]["name"]])
+        rows.append(
+            ["predicates", ", ".join(p["name"] for p in meta["predicates"])]
+        )
+    print(render_table(("Property", "Value"), rows, title=f"mmap dataset {args.path}"), file=out)
+    type_names = {"i": "int64", "f": "float64", "b": "bool", "s": "string"}
+    print(file=out)
+    print(
+        render_table(
+            ("Column", "Type"),
+            [[name, type_names[code]] for name, code in zip(reader.names, reader.types)],
+            title="Schema",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_dataset(args, out) -> int:
+    return {
+        "build": cmd_dataset_build,
+        "info": cmd_dataset_info,
+    }[args.dataset_command](args, out)
 
 
 def cmd_policies(args, out) -> int:
@@ -886,6 +1027,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "sweep": cmd_sweep,
         "sample": cmd_sample,
         "query": cmd_query,
+        "dataset": cmd_dataset,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "audit": cmd_audit,

@@ -31,7 +31,11 @@ from repro.engine.jobconf import (
 )
 from repro.engine.mapreduce import MapContext, Mapper, ReduceContext, Reducer
 from repro.errors import JobConfError
-from repro.scan.codegen import compile_batch_matcher, compile_row_matcher
+from repro.scan.codegen import (
+    batch_matcher_source,
+    compile_batch_matcher,
+    compile_row_matcher,
+)
 
 DUMMY_KEY = "k_dummy"
 """The single intermediate key shared by all sampling map output."""
@@ -67,6 +71,18 @@ class SamplingMapper(Mapper):
     def prepare_scan(self, mode: str) -> None:
         if mode != "interpreted":
             self._match = compile_row_matcher(self._predicate)
+
+    def scan_task_spec(self):
+        from repro.scan.proc import ScanTaskSpec
+
+        source, namespace = batch_matcher_source(self._predicate)
+        return ScanTaskSpec(
+            source=source,
+            namespace=namespace,
+            limit=self._k,
+            columns=self._columns,
+            fixed_key=DUMMY_KEY,
+        )
 
     def map(self, key: Any, value: Any, context: MapContext) -> None:
         if self._found_records < self._k and self._match(value):
@@ -169,6 +185,18 @@ class ScanMapper(Mapper):
     def prepare_scan(self, mode: str) -> None:
         if mode != "interpreted":
             self._match = compile_row_matcher(self._predicate)
+
+    def scan_task_spec(self):
+        from repro.scan.proc import ScanTaskSpec
+
+        source, namespace = batch_matcher_source(self._predicate)
+        return ScanTaskSpec(
+            source=source,
+            namespace=namespace,
+            limit=None,
+            columns=self._columns,
+            fixed_key=None,
+        )
 
     def map(self, key: Any, value: Any, context: MapContext) -> None:
         if self._match(value):

@@ -101,13 +101,16 @@ def dataset_spec_for_scale(
 class PartitionData:
     """One input partition: metadata always, data only when materialized.
 
-    Materialized partitions store their data in one of two layouts:
-    row-major (``rows``, the original list of dicts) or column-major
-    (``columns``, a :class:`~repro.scan.columnar.ColumnStore`). Either
-    layout serves both access patterns — :meth:`iter_rows` synthesizes
-    dicts from a column store, and :meth:`column_store` transposes (and
-    caches) rows on first use — so the scan engine's batch path works on
-    any materialized partition regardless of how it was built.
+    Materialized partitions store their data in one of three layouts:
+    row-major (``rows``, the original list of dicts), column-major
+    (``columns``, a :class:`~repro.scan.columnar.ColumnStore`), or
+    on-disk binary columnar (``mmap_ref``, a file-range reference into
+    an :mod:`repro.scan.mmapstore` dataset file opened read-only via
+    ``mmap``). Any layout serves both access patterns — :meth:`iter_rows`
+    synthesizes dicts from a column store, and :meth:`column_store`
+    transposes rows (or maps the file region, zero-copy) on first use —
+    so the scan engine's batch path works on any materialized partition
+    regardless of how it was built.
     """
 
     index: int
@@ -116,10 +119,15 @@ class PartitionData:
     match_counts: dict[str, int] = field(default_factory=dict)
     rows: list[Row] | None = None
     columns: "ColumnStore | None" = None
+    mmap_ref: "MmapSplitRef | None" = None
 
     @property
     def materialized(self) -> bool:
-        return self.rows is not None or self.columns is not None
+        return (
+            self.rows is not None
+            or self.columns is not None
+            or self.mmap_ref is not None
+        )
 
     def matches_for(self, predicate_name: str) -> int:
         """Matching-record count for a predicate (0 if never placed)."""
@@ -129,15 +137,27 @@ class PartitionData:
         """The partition's rows as dicts, whichever layout holds them."""
         if self.rows is not None:
             return iter(self.rows)
-        if self.columns is not None:
-            return self.columns.iter_rows()
+        if self.columns is not None or self.mmap_ref is not None:
+            return self.column_store().iter_rows()
         raise DataGenerationError(
             f"partition {self.index} is profile-only; rows are not materialized"
         )
 
     def column_store(self) -> "ColumnStore":
-        """The column-major view, transposed from rows (once) if needed."""
+        """The column-major view, transposed from rows (once) if needed.
+
+        mmap-backed partitions return the store of lazy zero-copy views
+        over the mapped file — no column data is duplicated; values
+        decode straight out of the page cache on access.
+        """
         if self.columns is None:
+            if self.mmap_ref is not None:
+                from repro.scan.mmapstore import open_mmap_dataset
+
+                self.columns = open_mmap_dataset(
+                    self.mmap_ref.path
+                ).partition_store(self.mmap_ref.partition)
+                return self.columns
             from repro.scan.columnar import ColumnStore
 
             if self.rows is None:
@@ -252,6 +272,10 @@ def build_profiled_dataset(
     )
 
 
+DATASET_LAYOUTS = ("row", "columnar", "mmap")
+"""The materialized-dataset layouts the builders understand."""
+
+
 def build_materialized_dataset(
     spec: DatasetSpec,
     skew_by_predicate: dict[MarkerEquals, float],
@@ -261,24 +285,35 @@ def build_materialized_dataset(
     placement_method: str = "multinomial",
     max_rows: int = 5_000_000,
     layout: str = "row",
+    mmap_path: "str | None" = None,
 ) -> PartitionedDataset:
     """Real-row dataset with matching rows stamped per the controlled placement.
 
-    Refuses to materialize more than ``max_rows`` rows — paper-scale
-    experiments must use :func:`build_profiled_dataset` instead.
+    The in-memory layouts refuse to materialize more than ``max_rows``
+    rows — paper-scale experiments must use :func:`build_profiled_dataset`
+    instead.
 
     ``layout="columnar"`` stores each partition column-major (the scan
-    engine's native layout) instead of as row dicts; both layouts yield
-    identical rows in identical order.
+    engine's native layout) instead of as row dicts. ``layout="mmap"``
+    streams each partition into the binary columnar file at ``mmap_path``
+    (required) as it is generated and drops the rows immediately, so peak
+    memory stays bounded by one partition no matter the scale — the
+    ``max_rows`` guard does not apply. All layouts yield identical rows
+    in identical order.
     """
-    if layout not in ("row", "columnar"):
+    if layout not in DATASET_LAYOUTS:
         raise DataGenerationError(
-            f"unknown dataset layout {layout!r}; use 'row' or 'columnar'"
+            f"unknown dataset layout {layout!r}; one of {DATASET_LAYOUTS}"
         )
-    if spec.num_rows > max_rows:
+    if layout == "mmap" and mmap_path is None:
+        raise DataGenerationError(
+            "layout='mmap' needs mmap_path= naming the dataset file to write"
+        )
+    if layout != "mmap" and spec.num_rows > max_rows:
         raise DataGenerationError(
             f"refusing to materialize {spec.num_rows} rows (> {max_rows}); "
-            "use build_profiled_dataset for paper-scale data"
+            "use build_profiled_dataset for paper-scale data, or "
+            "layout='mmap' to stream rows to disk"
         )
     dataset = build_profiled_dataset(
         spec,
@@ -290,6 +325,21 @@ def build_materialized_dataset(
     generator = LineItemGenerator(scale_factor=max(spec.scale, 0.01))
     gen_rng = random.Random(seed + 0x5EED)
     marker_predicates = list(dataset.predicates.values())
+
+    writer = None
+    if layout == "mmap":
+        from repro.scan.mmapstore import (
+            MmapDatasetWriter,
+            column_types_for_schema,
+            dataset_meta,
+        )
+
+        writer = MmapDatasetWriter(
+            mmap_path,
+            LINEITEM_SCHEMA.field_names,
+            column_types_for_schema(LINEITEM_SCHEMA),
+            meta=dataset_meta(dataset),
+        )
 
     for partition in dataset.partitions:
         rows = [generator.generate_row(gen_rng) for _ in range(partition.num_records)]
@@ -305,10 +355,20 @@ def build_materialized_dataset(
             chosen = gen_rng.sample(range(len(rows)), count)
             for row_index in chosen:
                 predicate.make_matching(rows[row_index])
-        partition.rows = rows
         partition.num_bytes = partition.num_records * spec.avg_row_bytes
-        if layout == "columnar":
-            partition.to_columnar()
+        if writer is not None:
+            columns = {
+                name: [row[name] for row in rows] for name in writer.names
+            }
+            partition.mmap_ref = writer.write_partition(
+                columns, partition.num_records
+            )
+        else:
+            partition.rows = rows
+            if layout == "columnar":
+                partition.to_columnar()
+    if writer is not None:
+        writer.close()
     return dataset
 
 

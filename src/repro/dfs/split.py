@@ -60,6 +60,15 @@ class InputSplit:
     def materialized(self) -> bool:
         return self.block.payload.materialized
 
+    @property
+    def mmap_ref(self):
+        """The split's file-range reference
+        (:class:`~repro.scan.mmapstore.MmapSplitRef`) when its partition
+        lives in an on-disk mmap dataset, else None. This is the
+        split ↔ file-range mapping process map workers receive instead
+        of rows."""
+        return self.block.payload.mmap_ref
+
     def matches_for(self, predicate_name: str) -> int:
         """Known matching-record count for a controlled predicate."""
         return self.block.payload.matches_for(predicate_name)

@@ -75,6 +75,18 @@ class Mapper:
         swap in compiled matchers here; the default ignores it.
         """
 
+    def scan_task_spec(self):
+        """Process-executor hook: this mapper's work as a shippable spec.
+
+        Mappers whose whole map phase is "match a predicate, emit (key,
+        row) pairs, optionally capped" return a
+        :class:`repro.scan.proc.ScanTaskSpec` so the runtime can run the
+        scan in a worker process over an mmap dataset. The default
+        (None) keeps the mapper on the in-process path — always correct,
+        never parallel across processes.
+        """
+        return None
+
     def run(self, records: Iterable[tuple[Any, Any]], context: MapContext) -> None:
         """The task main loop (override for whole-split algorithms)."""
         self.setup(context)

@@ -14,7 +14,11 @@ policies degrade gracefully to their idle-cluster grab limits.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.core.input_provider import (
@@ -33,7 +37,16 @@ from repro.obs import profile as _profile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import policy_knobs
 from repro.scan.engine import ScanOptions, ScanSpan, run_map_task
+from repro.scan.proc import ScanTask, materialize_outputs, run_scan_task
 from repro.sim.random_source import RandomSource
+
+MAP_EXECUTORS = ("thread", "process")
+"""How the LocalRunner parallelizes a map batch across workers."""
+
+#: Environment defaults, so existing entry points (tests, CI suites) can
+#: be switched to the process executor without changing call sites.
+MAP_EXECUTOR_ENV = "REPRO_MAP_EXECUTOR"
+MAP_WORKERS_ENV = "REPRO_MAP_WORKERS"
 
 
 @dataclass
@@ -58,11 +71,26 @@ class LocalRunner:
         seed: int = 0,
         virtual_map_slots: int = 40,
         scan_options: ScanOptions | None = None,
-        map_workers: int = 1,
+        map_workers: int | None = None,
         trace=None,
+        map_executor: str | None = None,
     ) -> None:
         if virtual_map_slots < 1:
             raise JobConfError("virtual_map_slots must be >= 1")
+        if map_executor is None:
+            map_executor = os.environ.get(MAP_EXECUTOR_ENV) or "thread"
+        if map_executor not in MAP_EXECUTORS:
+            raise JobConfError(
+                f"unknown map executor {map_executor!r}; one of {MAP_EXECUTORS}"
+            )
+        if map_workers is None:
+            env_workers = os.environ.get(MAP_WORKERS_ENV)
+            try:
+                map_workers = int(env_workers) if env_workers else 1
+            except ValueError:
+                raise JobConfError(
+                    f"{MAP_WORKERS_ENV} must be an integer, got {env_workers!r}"
+                ) from None
         if map_workers < 1:
             raise JobConfError(f"map_workers must be >= 1, got {map_workers}")
         self._policies = policies or paper_policies()
@@ -71,6 +99,8 @@ class LocalRunner:
         self._slots = virtual_map_slots
         self._scan_options = scan_options or ScanOptions()
         self._map_workers = map_workers
+        self._map_executor = map_executor
+        self._process_pool: ProcessPoolExecutor | None = None
         self._runs = 0
         self.trace = trace
         """Optional :class:`repro.obs.trace.TraceRecorder`. Pure
@@ -291,19 +321,20 @@ class LocalRunner:
         """Run one grabbed batch's map tasks, optionally across a worker pool.
 
         Results are gathered in submission order, so serial and parallel
-        execution produce byte-identical job output. Threads (not
-        processes) because mapper factories are closures; map tasks share
-        no mutable state, each getting its own mapper and context. Scan
+        execution produce byte-identical job output. The ``process``
+        executor ships tasks as (path, file range, matcher source) to
+        worker processes sharing the dataset's page-cache pages; it
+        applies only when every split lives in an mmap dataset and the
+        mapper's work reduces to a shippable scan spec — anything else
+        falls back to the in-process path, which is always correct. Scan
         spans are emitted here, after the gather, so the trace order is
         submission order no matter how the pool interleaved the work.
         """
-        if self._map_workers == 1 or len(splits) <= 1:
-            results = [self._run_map(conf, split) for split in splits]
-        else:
-            workers = min(self._map_workers, len(splits))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(self._run_map, conf, split) for split in splits]
-                results = [future.result() for future in futures]
+        results = None
+        if self._map_executor == "process" and splits:
+            results = self._run_map_batch_process(conf, splits)
+        if results is None:
+            results = self._run_map_batch_inline(conf, splits)
         if self.trace is not None:
             for result in results:
                 span = result.span
@@ -322,6 +353,116 @@ class LocalRunner:
                     elapsed_s=span.elapsed_s,
                 )
         return results
+
+    def _run_map_batch_inline(
+        self, conf: JobConf, splits: list[InputSplit]
+    ) -> list[LocalMapResult]:
+        """Serial or thread-pool execution inside this process. Threads
+        (not processes) because mapper factories are closures; map tasks
+        share no mutable state, each getting its own mapper and context."""
+        if self._map_workers == 1 or len(splits) <= 1:
+            return [self._run_map(conf, split) for split in splits]
+        workers = min(self._map_workers, len(splits))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(self._run_map, conf, split) for split in splits]
+            return [future.result() for future in futures]
+
+    def _run_map_batch_process(
+        self, conf: JobConf, splits: list[InputSplit]
+    ) -> list[LocalMapResult] | None:
+        """Ship the batch to worker processes; None means "fall back".
+
+        Preconditions checked here, not assumed: the mapper must expose
+        a scan-task spec, every split must reference an mmap dataset
+        file, and the spec must pickle (opaque predicates may not).
+        Workers return only match indices and counters; output rows are
+        materialized parent-side from its own mapping of the same file,
+        so bytes match serial execution exactly. Worker-measured
+        wall/CPU timings feed the ``scan.map_task`` profiler phase —
+        one timing per task, same as in-process scans.
+        """
+        spec = conf.mapper_factory().scan_task_spec()
+        if spec is None:
+            return None
+        refs = [split.mmap_ref for split in splits]
+        if any(ref is None for ref in refs):
+            return None
+        tasks = [ScanTask(ref=ref, spec=spec) for ref in refs]
+        try:
+            pickle.dumps(tasks[0])
+        except Exception:
+            return None
+        pool = self._ensure_process_pool()
+        futures = [pool.submit(run_scan_task, task) for task in tasks]
+        try:
+            outcomes = [future.result() for future in futures]
+        except BrokenProcessPool:
+            # A worker died mid-batch (OOM, signal): drop the pool so it
+            # is rebuilt lazily, and run this batch in process instead.
+            self._process_pool = None
+            return None
+        options = self._scan_options.with_conf(conf)
+        profiler = _profile.ACTIVE
+        results: list[LocalMapResult] = []
+        for split, outcome in zip(splits, outcomes):
+            outputs = materialize_outputs(
+                split.block.payload.column_store(), outcome, spec
+            )
+            if profiler is not None:
+                profiler.record_external(
+                    _profile.PHASE_SCAN, outcome.wall_s, outcome.cpu_s
+                )
+            span = None
+            if self.trace is not None:
+                # Workers always run the generated batch matcher; the
+                # span reports the runner's requested mode, which is
+                # byte-equivalent by the scan-mode parity contract.
+                span = ScanSpan(
+                    split_id=split.split_id,
+                    mode=options.mode,
+                    batch_size=options.batch_size,
+                    rows=outcome.scanned,
+                    outputs=len(outputs),
+                    elapsed_s=outcome.scan_wall_s,
+                )
+            results.append(
+                LocalMapResult(
+                    split=split,
+                    records_processed=outcome.scanned,
+                    outputs=outputs,
+                    span=span,
+                )
+            )
+        return results
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        """The runner's persistent worker pool, created on first use.
+
+        Forked where the platform allows it: forked workers inherit the
+        imported modules, so per-task cost is mmap-open (cached per
+        worker) + one small compile, never interpreter start-up.
+        """
+        if self._process_pool is None:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork
+                ctx = multiprocessing.get_context()
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self._map_workers, mp_context=ctx
+            )
+        return self._process_pool
+
+    def close(self) -> None:
+        """Shut down the process pool, if one was ever started."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown()
+            self._process_pool = None
+
+    def __enter__(self) -> "LocalRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _run_reduce(self, conf: JobConf, map_results: list[LocalMapResult]) -> list:
         all_outputs = [r.outputs for r in map_results]

@@ -90,5 +90,9 @@ class ScanCompileError(ReproError):
     """A predicate could not be compiled by the scan codegen layer."""
 
 
+class MmapStoreError(ReproError):
+    """An mmap columnar dataset file is invalid or was misused."""
+
+
 class BenchError(ReproError):
     """A benchmark suite, history store, or comparison was misused."""

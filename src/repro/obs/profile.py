@@ -188,6 +188,18 @@ class PhaseProfiler:
         """A context manager timing one entry into ``phase``."""
         return _Span(self, phase)
 
+    def record_external(self, phase: str, wall_s: float, cpu_s: float) -> None:
+        """Record one externally measured entry into ``phase``.
+
+        For work that runs where a span cannot reach this profiler —
+        e.g. a map task scanned inside a worker process, whose wall/CPU
+        durations come back with the task result. Keeps the phase
+        taxonomy reconciling (one ``scan.map_task`` timing per scan,
+        wherever the scan ran); both clocks must be durations from the
+        shared :data:`wall_clock` / :data:`cpu_clock` pair.
+        """
+        self._record(phase, wall_s, max(0.0, cpu_s), error=False)
+
     def _record(self, phase: str, wall: float, cpu: float, *, error: bool) -> None:
         with self._lock:
             if error:

@@ -168,7 +168,24 @@ def compile_batch_matcher(pred: Predicate) -> BatchMatcher:
         cached = None
     if cached is not None:
         return cached
+    source, namespace = batch_matcher_source(pred)
+    matcher = _compile(source, "_scan", namespace, pred)
+    _cache_put(_batch_cache, pred, matcher)
+    return matcher
 
+
+def batch_matcher_source(pred: Predicate) -> tuple[str, dict]:
+    """The batch matcher's generated source and constant namespace.
+
+    This is the shippable form of a compiled predicate: for core-algebra
+    predicates the namespace holds only column names and literals, so
+    ``(source, namespace)`` pickles cleanly and a map worker **process**
+    can re-``compile()`` the matcher locally instead of receiving code
+    objects (which don't pickle) or row data. Opaque function predicates
+    put callables in the namespace; whether those ship depends on their
+    own picklability — the runtime falls back to in-process execution
+    when they don't.
+    """
     col_vars: dict[str, str] = {}
 
     def ref(name: str) -> str:
@@ -199,9 +216,27 @@ def compile_batch_matcher(pred: Predicate) -> BatchMatcher:
         "                return _i - _start + 1\n"
         "    return _stop - _start\n"
     )
-    matcher = _compile(source, "_scan", em.namespace, pred)
-    _cache_put(_batch_cache, pred, matcher)
-    return matcher
+    return source, em.namespace
+
+
+def compile_batch_matcher_from_source(source: str, namespace: dict) -> BatchMatcher:
+    """Rebuild a batch matcher from :func:`batch_matcher_source` output.
+
+    Used by process map workers: the parent ships the source string and
+    constant pool, the worker compiles once per task. The namespace dict
+    is mutated by ``exec`` (it gains the function object), so callers
+    should pass a copy if they intend to reuse it.
+    """
+    try:
+        code = compile(source, "<scan:worker>", "exec")
+    except SyntaxError as exc:  # pragma: no cover - emitter bug guard
+        raise ScanCompileError(
+            f"received invalid scan source: {exc}\n{source}"
+        ) from exc
+    exec(code, namespace)
+    fn = namespace["_scan"]
+    fn.__scan_source__ = source
+    return fn
 
 
 def _row_synthesizer(columns: dict[str, list]):

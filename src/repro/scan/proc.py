@@ -1,0 +1,140 @@
+"""Process map-worker protocol for the shared-memory multiprocess scan.
+
+The :class:`~repro.engine.runtime.LocalRunner`'s ``map_executor="process"``
+mode ships each map task to a worker **process** as a
+:class:`ScanTask` — the dataset file path, the split's file range, and
+the compiled predicate's generated source — never pickled rows. The
+worker re-``mmap``s the file (the OS shares the page-cache pages with
+every other worker and the parent), re-compiles the batch matcher
+locally, scans its partition, and returns only match indices and
+counters (:class:`ScanTaskResult`). The parent materializes output rows
+at the hit indices from its own mapping, so job output is byte-identical
+to serial execution:
+
+* **Rows & order** — hits come back in ascending row order, exactly the
+  order the serial batch loop appends matches.
+* **LIMIT-k accounting** — the generated matcher returns ``index of the
+  k-th match + 1`` on early exit, a quantity independent of batch
+  chunking (the batch-size parity tests pin this), so scanning the whole
+  partition range in one call yields the same ``records_read`` as the
+  serial batch-by-batch loop.
+* **Keys** — :class:`ScanTaskSpec.fixed_key` reproduces the sampling
+  job's dummy-key emission; ``None`` keys each output by its absolute
+  row index, the scan job's convention.
+
+Everything in this module must stay importable and picklable from a bare
+interpreter: worker processes receive :func:`run_scan_task` by reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.record import row_at
+from repro.obs.profile import cpu_clock, wall_clock
+from repro.scan.codegen import compile_batch_matcher_from_source
+from repro.scan.mmapstore import MmapSplitRef, open_mmap_dataset
+
+
+@dataclass(frozen=True)
+class ScanTaskSpec:
+    """The job-level half of a process scan task: what to match and emit.
+
+    Built once per map batch by ``Mapper.scan_task_spec()``; everything
+    here must pickle (the runtime verifies and falls back to in-process
+    execution when a predicate's constant pool doesn't).
+    """
+
+    source: str
+    """Generated batch-matcher source (:func:`repro.scan.codegen.batch_matcher_source`)."""
+
+    namespace: dict
+    """The matcher's constant pool (column names, literals)."""
+
+    limit: int | None
+    """Per-task match cap (Algorithm 1's k), or None for full scans."""
+
+    columns: tuple[str, ...] | None
+    """Output projection, or None to emit whole rows."""
+
+    fixed_key: Any = None
+    """Emit every output under this key (the sampling job's dummy key);
+    None keys outputs by absolute row index instead (scan jobs)."""
+
+
+@dataclass(frozen=True)
+class ScanTask:
+    """One map task as shipped to a worker process."""
+
+    ref: MmapSplitRef
+    spec: ScanTaskSpec
+
+
+@dataclass(frozen=True)
+class ScanTaskResult:
+    """What a worker sends back: indices and counters, never rows."""
+
+    partition: int
+    scanned: int
+    """Rows actually read (the LIMIT-k early exit included) — feeds
+    ``records_read`` and the Input Provider's progress statistics."""
+
+    hits: list[int]
+    """Absolute row indices of matches, ascending, capped at the limit."""
+
+    wall_s: float
+    """Worker-measured wall time for the whole task (open + compile +
+    scan) — the parent feeds this to ``profile.scan.map_task`` so the
+    phase taxonomy reconciles even though the work ran elsewhere."""
+
+    cpu_s: float
+    scan_wall_s: float
+    """Wall time of just the scan loop (the ``ScanSpan.elapsed_s``
+    analogue); always <= ``wall_s`` so phase totals keep bounding span
+    totals."""
+
+
+def run_scan_task(task: ScanTask) -> ScanTaskResult:
+    """Execute one scan task inside a worker process.
+
+    Opens the dataset via the per-process mmap cache (so a worker maps
+    each file once no matter how many of its partitions it scans),
+    rebuilds the matcher from source, and scans the partition's full row
+    range in a single matcher call.
+    """
+    wall0 = wall_clock()
+    cpu0 = cpu_clock()
+    store = open_mmap_dataset(task.ref.path).partition_store(task.ref.partition)
+    matcher = compile_batch_matcher_from_source(
+        task.spec.source, dict(task.spec.namespace)
+    )
+    hits: list[int] = []
+    scan0 = wall_clock()
+    scanned = matcher(store.columns, 0, store.num_rows, task.spec.limit, hits.append)
+    scan_wall = wall_clock() - scan0
+    return ScanTaskResult(
+        partition=task.ref.partition,
+        scanned=scanned,
+        hits=hits,
+        wall_s=wall_clock() - wall0,
+        cpu_s=max(0.0, cpu_clock() - cpu0),
+        scan_wall_s=scan_wall,
+    )
+
+
+def materialize_outputs(
+    store, result: ScanTaskResult, spec: ScanTaskSpec
+) -> list[tuple[Any, Any]]:
+    """Turn a worker's hit indices into the mapper's output pairs.
+
+    Runs in the parent over its own mmap view of the same file; row
+    synthesis here is exactly what the serial batch loop does via
+    ``ColumnBatch.row``, so output bytes match.
+    """
+    names = spec.columns if spec.columns is not None else store.names
+    columns = store.columns
+    if spec.fixed_key is not None:
+        key = spec.fixed_key
+        return [(key, row_at(names, columns, index)) for index in result.hits]
+    return [(index, row_at(names, columns, index)) for index in result.hits]

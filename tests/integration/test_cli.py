@@ -222,3 +222,77 @@ class TestCacheDir:
         assert code == 0
         assert explicit.is_dir()
         assert not (tmp_path / "ignored").exists()
+
+
+QUERY_SQL = "SELECT ORDERKEY FROM lineitem WHERE l_quantity = 51 LIMIT 5"
+
+
+class TestDatasetCommands:
+    def test_build_then_info(self, tmp_path):
+        path = tmp_path / "lineitem.rcs"
+        code, text = run_cli(
+            ["dataset", "build", "--out", str(path),
+             "--rows", "6000", "--partitions", "4"]
+        )
+        assert code == 0
+        assert "6,000 rows in 4 partitions" in text
+        assert path.stat().st_size > 1_000_000
+
+        code, text = run_cli(["dataset", "info", str(path)])
+        assert code == 0
+        assert "eager bytes on open" in text
+        assert "l_orderkey" in text
+        assert "int64" in text
+        assert "l_quantity=51" in text
+
+    def test_info_rejects_non_rcs_file(self, tmp_path):
+        from repro.errors import MmapStoreError
+
+        bad = tmp_path / "bad.rcs"
+        bad.write_bytes(b"definitely not an RCS1 file, long enough to map")
+        with pytest.raises(MmapStoreError, match="bad magic"):
+            run_cli(["dataset", "info", str(bad)])
+
+
+class TestQueryLayouts:
+    def test_unknown_layout_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", QUERY_SQL, "--layout", "parquet"])
+
+    def test_unknown_executor_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", QUERY_SQL, "--map-executor", "gpu"])
+
+    def test_all_layouts_print_identical_results(self):
+        argv = ["query", QUERY_SQL, "--rows", "6000"]
+        outputs = {}
+        for layout in ("row", "columnar", "mmap"):
+            code, text = run_cli(argv + ["--layout", layout])
+            assert code == 0
+            outputs[layout] = text
+        assert outputs["row"] == outputs["columnar"] == outputs["mmap"]
+
+    def test_process_executor_prints_identical_results(self):
+        argv = ["query", QUERY_SQL, "--rows", "6000", "--layout", "mmap"]
+        code, serial = run_cli(argv)
+        assert code == 0
+        code, parallel = run_cli(
+            argv + ["--map-executor", "process", "--map-workers", "2"]
+        )
+        assert code == 0
+        assert parallel == serial
+
+    def test_query_existing_dataset_file(self, tmp_path):
+        path = tmp_path / "lineitem.rcs"
+        code, _ = run_cli(
+            ["dataset", "build", "--out", str(path),
+             "--rows", "6000", "--partitions", "4"]
+        )
+        assert code == 0
+        code, text = run_cli(
+            ["query", QUERY_SQL, "--data", str(path),
+             "--map-executor", "process", "--map-workers", "2"]
+        )
+        assert code == 0
+        assert "l_orderkey" in text
+        assert "4/4 partitions" in text

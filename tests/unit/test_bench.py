@@ -41,7 +41,7 @@ class TestSuites:
         assert suites.metric_direction("e2e.sim_response_s") == "lower"
 
     def test_registry_contents(self):
-        assert set(suites.SUITES) == {"kernel", "scan", "e2e", "sweep"}
+        assert set(suites.SUITES) == {"kernel", "scan", "scan_mp", "e2e", "sweep"}
 
     def test_resolve_suites_default_and_validation(self):
         assert [s.name for s in suites.resolve_suites(None)] == list(suites.SUITES)
@@ -85,7 +85,7 @@ class TestRunner:
     def test_run_record_shape(self, fake_suite):
         record = runner.run_suites(["fake"], repeats=3, quick=True, label="t")
         assert record["schema"] == history.HISTORY_SCHEMA_VERSION
-        assert record["pr"] == 5
+        assert record["pr"] == 6
         assert len(record["run_id"]) == 12
         assert record["label"] == "t"
         assert record["options"]["suites"] == ["fake"]
@@ -138,6 +138,18 @@ class TestHistory:
         assert history.machine_key() == history.machine_key()
         assert history.machine_key({"a": 1}) != history.machine_key({"a": 2})
         assert len(history.machine_key()) == 12
+
+    def test_machine_info_records_effective_cpus(self):
+        info = history.machine_info()
+        assert info["effective_cpus"] == history.effective_cpu_count()
+        assert 1 <= info["effective_cpus"] <= (info["cpu_count"] or 1)
+
+    def test_scan_mp_suite_runs_quick_and_agrees(self):
+        metrics = suites.SUITES["scan_mp"].runner(True)
+        assert metrics["scan_mp.single.rows_per_sec"] > 0
+        assert metrics["scan_mp.process.rows_per_sec"] > 0
+        assert metrics["scan_mp.process_speedup"] > 0
+        assert metrics["scan_mp.workers"] == history.effective_cpu_count()
 
     def test_append_and_load_roundtrip(self, tmp_path):
         record = {"run_id": "abc123", "machine": history.machine_info(), "n": 1}

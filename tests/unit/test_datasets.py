@@ -132,3 +132,60 @@ class TestMaterializedDataset:
         a = build_materialized_dataset(spec, {pred: 0.0}, seed=9, selectivity=0.01)
         b = build_materialized_dataset(spec, {pred: 0.0}, seed=9, selectivity=0.01)
         assert a.partitions[0].rows == b.partitions[0].rows
+
+
+class TestDatasetLayouts:
+    def test_unknown_layout_lists_known_values(self):
+        from repro.data.datasets import DATASET_LAYOUTS
+
+        pred = predicate_for_skew(0)
+        spec = dataset_spec_for_scale(0.0005, num_partitions=4)
+        with pytest.raises(DataGenerationError) as err:
+            build_materialized_dataset(
+                spec, {pred: 0.0}, selectivity=0.01, layout="parquet"
+            )
+        for layout in DATASET_LAYOUTS:
+            assert layout in str(err.value)
+
+    def test_mmap_layout_requires_a_path(self):
+        pred = predicate_for_skew(0)
+        spec = dataset_spec_for_scale(0.0005, num_partitions=4)
+        with pytest.raises(DataGenerationError, match="mmap_path"):
+            build_materialized_dataset(
+                spec, {pred: 0.0}, selectivity=0.01, layout="mmap"
+            )
+
+    def test_all_layouts_yield_identical_rows(self, tmp_path):
+        pred = predicate_for_skew(0)
+        spec = dataset_spec_for_scale(0.0005, num_partitions=4)
+        kwargs = dict(seed=3, selectivity=0.01)
+        row = build_materialized_dataset(spec, {pred: 0.0}, **kwargs)
+        columnar = build_materialized_dataset(
+            spec, {pred: 0.0}, layout="columnar", **kwargs
+        )
+        mmapped = build_materialized_dataset(
+            spec, {pred: 0.0}, layout="mmap",
+            mmap_path=str(tmp_path / "t.rcs"), **kwargs
+        )
+        assert (
+            list(row.iter_rows())
+            == list(columnar.iter_rows())
+            == list(mmapped.iter_rows())
+        )
+
+    def test_mmap_layout_reads_straight_from_the_file(self, tmp_path):
+        """The ColumnStore over an mmap partition is the reader's own view
+        object — no per-partition copy is made on the read path."""
+        from repro.scan.mmapstore import open_mmap_dataset
+
+        pred = predicate_for_skew(0)
+        spec = dataset_spec_for_scale(0.0005, num_partitions=4)
+        path = tmp_path / "t.rcs"
+        dataset = build_materialized_dataset(
+            spec, {pred: 0.0}, seed=0, selectivity=0.01,
+            layout="mmap", mmap_path=str(path),
+        )
+        reader = open_mmap_dataset(path)
+        for index, partition in enumerate(dataset.partitions):
+            assert partition.rows is None
+            assert partition.column_store() is reader.partition_store(index)
