@@ -128,7 +128,7 @@ def run_suites(
 
     record = {
         "schema": HISTORY_SCHEMA_VERSION,
-        "pr": 6,
+        "pr": 7,
         "timestamp": time.time(),
         "label": label,
         "machine": machine_info(),

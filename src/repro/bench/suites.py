@@ -253,6 +253,102 @@ def _bench_scan_mp(quick: bool) -> dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# scan_prune: split-statistics pruning vs the stats-off baseline
+# ---------------------------------------------------------------------------
+_PRUNE_PARTITIONS = 16
+_PRUNE_SELECTIVITIES = ((0.0005, "s0005"), (0.005, "s0050"), (0.05, "s0500"))
+_prune_cache: dict[tuple[int, float], tuple] = {}
+
+
+def _prune_fixture(rows: int, selectivity: float):
+    """(predicate, splits) over a stats-enabled mmap dataset, cached.
+
+    Matches are placed with heavy (z=6) Zipf skew so they concentrate
+    in a few partitions — the zone-map-friendly shape where pruning
+    pays: the marker value never appears in the unstamped partitions,
+    so their zone maps (and blooms) refute the predicate outright.
+    """
+    cached = _prune_cache.get((rows, selectivity))
+    if cached is not None:
+        return cached[0], cached[1]
+    import atexit
+    import tempfile
+
+    from repro.cluster import paper_topology
+    from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
+    from repro.data.predicates import predicate_for_skew
+    from repro.dfs import DistributedFileSystem
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro_bench_prune_")
+    atexit.register(tmp.cleanup)
+    spec = dataset_spec_for_scale(
+        rows / 6_000_000, name="bench_prune_lineitem", num_partitions=_PRUNE_PARTITIONS
+    )
+    predicate = predicate_for_skew(2)
+    dataset = build_materialized_dataset(
+        spec,
+        {predicate: 6.0},
+        seed=0,
+        selectivity=selectivity,
+        layout="mmap",
+        mmap_path=os.path.join(tmp.name, "lineitem.rcs"),
+        stats=True,
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/bench/lineitem_prune", dataset)
+    splits = dfs.open_splits("/bench/lineitem_prune")
+    _prune_cache[(rows, selectivity)] = (predicate, splits, tmp)
+    return predicate, splits
+
+
+def _bench_scan_prune(quick: bool) -> dict[str, float]:
+    from repro.core.sampling_job import make_sampling_conf
+    from repro.engine.runtime import LocalRunner
+
+    rows = 12_000 if quick else 120_000
+    metrics: dict[str, float] = {}
+    for selectivity, label in _PRUNE_SELECTIVITIES:
+        predicate, splits = _prune_fixture(rows, selectivity)
+        # k beyond the total match count forces both modes to exhaust
+        # the input, so splits_scanned measures exactly the work the
+        # statistics saved (and both modes surface every match, making
+        # the outputs comparable independent of grab order).
+        k = rows
+        outputs: dict[str, list] = {}
+        for mode in ("off", "prune"):
+            conf = make_sampling_conf(
+                name=f"bench_prune_{label}_{mode}",
+                input_path="/bench/lineitem_prune",
+                predicate=predicate,
+                sample_size=k,
+                policy_name="LA",
+                stats_mode=mode,
+            )
+            with LocalRunner() as runner:
+                start = wall_clock()
+                result = runner.run(conf, splits)
+                elapsed = wall_clock() - start
+            outputs[mode] = sorted(map(repr, result.sample))
+            metrics[f"scan_prune.{label}.{mode}.splits_scanned"] = float(
+                result.splits_processed
+            )
+            metrics[f"scan_prune.{label}.{mode}.rows_per_sec"] = (
+                result.records_processed / elapsed if elapsed > 0 else 0.0
+            )
+        # Pruning is sound: both modes must surface the same matches.
+        if outputs["off"] != outputs["prune"]:
+            raise BenchError(
+                f"scan_prune: prune mode changed the result set at {label}"
+            )
+        scanned_off = metrics[f"scan_prune.{label}.off.splits_scanned"]
+        scanned_prune = metrics[f"scan_prune.{label}.prune.splits_scanned"]
+        metrics[f"scan_prune.{label}.prune_reduction_speedup"] = (
+            scanned_off / scanned_prune if scanned_prune > 0 else 0.0
+        )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
 # e2e: one Figure 5 policy cell on the simulated cluster
 # ---------------------------------------------------------------------------
 def _bench_e2e(quick: bool) -> dict[str, float]:
@@ -296,6 +392,11 @@ SUITES: dict[str, Suite] = {
             "scan_mp",
             "serial vs process-parallel scan over an mmap dataset",
             _bench_scan_mp,
+        ),
+        Suite(
+            "scan_prune",
+            "split-statistics pruning vs the stats-off sampling baseline",
+            _bench_scan_prune,
         ),
         Suite("e2e", "one Figure 5 policy cell end to end (sim substrate)", _bench_e2e),
         Suite("sweep", "sweep engine over a small Figure 5 grid", _bench_sweep),

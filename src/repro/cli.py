@@ -68,6 +68,7 @@ from repro.experiments.single_user import (
 from repro.experiments.skew_figure import figure4_series
 from repro.experiments.sweep import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
 from repro.data.datasets import DATASET_LAYOUTS
+from repro.engine.jobconf import STATS_MODES
 from repro.engine.runtime import MAP_EXECUTORS
 from repro.obs import TraceRecorder, load_trace
 from repro.obs.render import render_metrics, render_timeline
@@ -342,6 +343,16 @@ def build_parser() -> argparse.ArgumentParser:
             "overrides --rows/--seed/--layout"
         ),
     )
+    query.add_argument(
+        "--stats-mode", default=None, choices=STATS_MODES,
+        help=(
+            "use split statistics for LIMIT queries: 'prune' skips "
+            "provably-empty partitions (sample stays uniform), 'rank' "
+            "additionally grabs the most promising partitions first, "
+            "'stratified' prunes lazily without reordering the grab "
+            "stream (default: off)"
+        ),
+    )
     _add_trace_arg(query)
     _add_profile_args(query)
 
@@ -371,6 +382,21 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_build.add_argument(
         "--selectivity", type=float, default=0.01,
         help="controlled match fraction per marker predicate (default: 0.01)",
+    )
+    dataset_build.add_argument(
+        "--stats", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "embed per-partition split statistics (zone maps + bloom "
+            "filters) in the file footer; --no-stats writes the "
+            "stats-free version-1 format (default: --stats)"
+        ),
+    )
+    dataset_build.add_argument(
+        "--bloom-bits", type=int, default=None, metavar="BITS",
+        help=(
+            "bloom filter size in bits per low-cardinality column "
+            "(multiple of 8; default: 2048)"
+        ),
     )
 
     dataset_info = dataset_sub.add_parser(
@@ -740,6 +766,8 @@ def cmd_query(args, out) -> int:
             # keeps the mapping alive for exactly this query's lifetime.
             scratch = tempfile.TemporaryDirectory(prefix="repro-query-")
             build_kwargs["mmap_path"] = str(Path(scratch.name) / "lineitem.rcs")
+            if args.stats_mode not in (None, "off"):
+                build_kwargs["stats"] = True
         dataset = build_materialized_dataset(
             spec, predicates, seed=args.seed, selectivity=0.01,
             layout=args.layout, **build_kwargs,
@@ -761,6 +789,8 @@ def cmd_query(args, out) -> int:
                 session.register_table(
                     "lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA
                 )
+                if args.stats_mode is not None:
+                    session.set_param("sampling.stats.mode", args.stats_mode)
                 result = session.execute(args.sql)
             _finish_profile(args, profiler, trace)
     finally:
@@ -773,10 +803,12 @@ def cmd_query(args, out) -> int:
     if remaining > 0:
         print(f"... {remaining} more rows", file=out)
     if result.job is not None:
+        pruned = getattr(result.job, "splits_pruned", 0)
         print(
             f"-- {result.num_rows} rows; scanned "
             f"{result.job.records_processed:,} records in "
-            f"{result.job.splits_processed}/{result.job.splits_total} partitions",
+            f"{result.job.splits_processed}/{result.job.splits_total} partitions"
+            + (f" ({pruned} pruned via split statistics)" if pruned else ""),
             file=out,
         )
     return 0
@@ -848,11 +880,13 @@ def cmd_dataset_build(args, out) -> int:
     build_materialized_dataset(
         spec, predicates, seed=args.seed, selectivity=args.selectivity,
         layout="mmap", mmap_path=args.out,
+        stats=args.stats, bloom_bits=args.bloom_bits,
     )
     size = Path(args.out).stat().st_size
     print(
         f"wrote {args.out}: {spec.num_rows:,} rows in {spec.num_partitions} "
-        f"partitions, {size:,} bytes",
+        f"partitions, {size:,} bytes"
+        f"{' (with split statistics)' if args.stats else ''}",
         file=out,
     )
     return 0
@@ -886,6 +920,76 @@ def cmd_dataset_info(args, out) -> int:
         ),
         file=out,
     )
+    print(file=out)
+    if reader.stats is None:
+        print(
+            "split statistics: none (version "
+            f"{reader.version} file; rebuild with --stats to embed zone "
+            "maps and bloom filters)",
+            file=out,
+        )
+        return 0
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    stat_rows = []
+    for col_index, name in enumerate(reader.names):
+        per_part = [
+            reader.stats[p][col_index] for p in range(reader.num_partitions)
+        ]
+        mins = [s.min_value for s in per_part if s.has_minmax]
+        maxs = [s.max_value for s in per_part if s.has_minmax]
+        blooms = sum(1 for s in per_part if s.bloom is not None)
+        nulls = sum(s.null_count for s in per_part)
+        stat_rows.append(
+            [
+                name,
+                fmt(min(mins)) if mins else "-",
+                fmt(max(maxs)) if maxs else "-",
+                f"{len(mins)}/{len(per_part)}",
+                f"{blooms}/{len(per_part)}",
+                f"{nulls:,}",
+            ]
+        )
+    print(
+        render_table(
+            ("Column", "Min", "Max", "Zone maps", "Blooms", "Nulls"),
+            stat_rows,
+            title=(
+                "Split statistics "
+                f"(bloom: {reader.bloom_bits} bits x "
+                f"{reader.bloom_hashes} hashes)"
+            ),
+        ),
+        file=out,
+    )
+    if meta and meta.get("predicates"):
+        from repro.data.predicates import MarkerEquals
+        from repro.scan.prune import may_match
+
+        prune_rows = []
+        for entry in meta["predicates"]:
+            predicate = MarkerEquals(entry["column"], entry["marker"])
+            prunable = sum(
+                1
+                for p in range(reader.num_partitions)
+                if not may_match(predicate, reader.partition_stats(p))
+            )
+            prune_rows.append(
+                [entry["name"], f"{prunable}/{reader.num_partitions}"]
+            )
+        print(file=out)
+        print(
+            render_table(
+                ("Predicate", "Prunable partitions"),
+                prune_rows,
+                title="Prune-ability of the controlled marker predicates",
+            ),
+            file=out,
+        )
     return 0
 
 

@@ -236,15 +236,18 @@ def default_providers() -> ProviderRegistry:
     """Registry with the built-in providers.
 
     ``sampling`` and ``static`` implement the paper; ``adaptive``
-    implements its §VII future-work direction (runtime policy switching).
+    implements its §VII future-work direction (runtime policy switching);
+    ``stats`` adds zone-map/bloom split pruning on top of ``sampling``.
     """
     # Imported here to avoid a circular import at module load.
     from repro.core.adaptive import AdaptiveSamplingProvider
     from repro.core.sampling_provider import SamplingInputProvider
     from repro.core.static_provider import StaticInputProvider
+    from repro.core.stats_provider import StatsAwareProvider
 
     registry = ProviderRegistry()
     registry.register("sampling", SamplingInputProvider)
     registry.register("static", StaticInputProvider)
     registry.register("adaptive", AdaptiveSamplingProvider)
+    registry.register("stats", StatsAwareProvider)
     return registry

@@ -27,6 +27,8 @@ from repro.engine.jobconf import (
     DYNAMIC_JOB_POLICY,
     SAMPLE_SIZE,
     SAMPLING_PREDICATE,
+    STATS_MODE,
+    STATS_MODES,
     JobConf,
 )
 from repro.engine.mapreduce import MapContext, Mapper, ReduceContext, Reducer
@@ -234,6 +236,7 @@ def make_sampling_conf(
     user: str = "default",
     reservoir: bool = False,
     reservoir_seed: int = 0,
+    stats_mode: str | None = None,
 ) -> JobConf:
     """A predicate-based sampling job.
 
@@ -244,9 +247,19 @@ def make_sampling_conf(
 
     ``reservoir=True`` swaps Algorithm 2's first-k reduce for the
     paper-footnote reservoir variant (uniform over all candidates).
+
+    ``stats_mode`` (off/prune/rank/stratified) enables split-statistics
+    use; any mode other than ``off`` routes the job to the ``stats``
+    provider unless ``provider_name`` was set explicitly.
     """
     if sample_size <= 0:
         raise JobConfError(f"sample size must be positive, got {sample_size}")
+    if stats_mode is not None and stats_mode not in STATS_MODES:
+        raise JobConfError(
+            f"invalid stats_mode={stats_mode!r}; one of {STATS_MODES}"
+        )
+    if stats_mode not in (None, "off") and provider_name == "sampling":
+        provider_name = "stats"
     conf = JobConf(
         name=name,
         input_path=input_path,
@@ -259,9 +272,12 @@ def make_sampling_conf(
         num_reduce_tasks=1,
         profile_outputs=_sampling_profile(predicate, sample_size),
         user=user,
+        predicate=predicate,
     )
     conf.set(SAMPLE_SIZE, sample_size)
     conf.set(SAMPLING_PREDICATE, predicate.name)
+    if stats_mode is not None:
+        conf.set(STATS_MODE, stats_mode)
     if policy_name is not None:
         conf.set(DYNAMIC_JOB, "true")
         conf.set(DYNAMIC_JOB_POLICY, policy_name)
@@ -291,6 +307,7 @@ def make_scan_conf(
         num_reduce_tasks=0,
         profile_outputs=_scan_profile(predicate, fallback_selectivity),
         user=user,
+        predicate=predicate,
     )
 
 

@@ -1,0 +1,171 @@
+"""A statistics-aware sampling Input Provider (HAIL-style split pruning).
+
+Extends :class:`~repro.core.sampling_provider.SamplingInputProvider`
+with the split statistics written into mmap dataset footers (zone maps +
+bloom filters, :mod:`repro.scan.mmapstore`): splits the static analyzer
+(:mod:`repro.scan.prune`) proves empty for the job's predicate are
+retired *without dispatch* — counted as processed-with-zero-matches via
+the ``splits_pruned`` counter that the trace/audit layer folds into the
+splits-accounting invariant.
+
+The ``sampling.stats.mode`` JobConf parameter selects how far the
+provider leans on statistics:
+
+``off``
+    Exact baseline behavior. No stats are read, no extra RNG draws are
+    made; results are byte-identical to the plain sampling provider.
+``prune``
+    Provably-empty splits are removed from the pool up front; grabs stay
+    uniformly random over the remainder. Because pruning is sound (a
+    pruned split contains no matching row), the produced sample's
+    distribution over matching records is unchanged.
+``rank``
+    Pruning as above, plus grabs are ordered by the zone-map estimate of
+    matching rows per split (descending), and the estimate seeds the
+    selectivity estimator's prior so the very first evaluations can
+    bound their need. Fastest time-to-k; grab order is no longer
+    uniform, so use it when sampling-order neutrality is not required.
+``stratified``
+    Prune only, never reorder: the pool and the RNG stream are exactly
+    those of ``off`` — grabs are drawn uniformly from *all* unprocessed
+    splits, and any grabbed split that is provably empty is retired on
+    the spot (re-grabbing within the same evaluation so an all-pruned
+    draw cannot starve the scheduler). Sampling stays provably uniform
+    while empty splits still skip the scan.
+
+Splits without statistics (non-mmap layouts, version-1 files, sim
+substrate profiles) are never pruned — every mode degrades gracefully
+to the baseline behavior on them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.sampling_provider import SamplingInputProvider
+from repro.core.selectivity import SelectivityEstimator
+from repro.dfs.split import InputSplit
+
+
+class StatsAwareProvider(SamplingInputProvider):
+    """Sampling provider that prunes and ranks splits via split statistics."""
+
+    def on_initialize(self) -> None:
+        super().on_initialize()
+        self.splits_pruned = 0
+        self._mode = self.conf.stats_mode
+        self._lazy_prunable: set = set()
+        self._estimates: dict = {}
+        if self._mode == "off":
+            return
+        predicate = self.conf.predicate
+        if predicate is None:
+            return
+
+        from repro.scan import prune
+
+        prunable: list[InputSplit] = []
+        surveyed_rows = 0
+        surveyed_matches = 0.0
+        surveyed = 0
+        for split in self._remaining:
+            stats = prune.split_stats(split)
+            if stats is None:
+                continue
+            if not prune.may_match(predicate, stats):
+                prunable.append(split)
+                continue
+            if self._mode == "rank":
+                estimate = prune.estimate_matches(predicate, stats)
+                self._estimates[split.split_id] = estimate
+                surveyed += 1
+                surveyed_rows += prune.partition_rows(stats)
+                surveyed_matches += estimate
+
+        if self._mode == "stratified":
+            # Lazy: pruning happens at grab time so the grab stream over
+            # the untouched pool is identical to off mode.
+            self._lazy_prunable = {split.split_id for split in prunable}
+            return
+        pruned_ids = {split.split_id for split in prunable}
+        self._remaining = [
+            split for split in self._remaining if split.split_id not in pruned_ids
+        ]
+        self.splits_pruned = len(prunable)
+        if self._mode == "rank" and surveyed_rows > 0:
+            # Seed the selectivity estimator with one average split's
+            # worth of zone-map evidence: enough for the first
+            # evaluations to bound their need, weak enough for observed
+            # scan results to dominate quickly.
+            average_rows = surveyed_rows / surveyed
+            self._estimator = SelectivityEstimator(
+                prior_matches=(surveyed_matches / surveyed_rows) * average_rows,
+                prior_records=average_rows,
+            )
+
+    @property
+    def stats_mode(self) -> str:
+        return self._mode
+
+    # ------------------------------------------------------------------
+    # Grab overrides
+    # ------------------------------------------------------------------
+    def take_random(self, count: float) -> list[InputSplit]:
+        if self._mode == "stratified" and self._lazy_prunable:
+            while True:
+                taken = super().take_random(count)
+                if not taken:
+                    return []
+                kept = self._retire_pruned(taken)
+                if kept:
+                    return kept
+                # The whole draw was provably empty: retire it and draw
+                # again inside the same evaluation (each round shrinks
+                # the pool, so this terminates) instead of answering
+                # NO_INPUT and tripping the runner's livelock guard.
+        if self._mode == "rank" and self._estimates:
+            return self._take_ranked(count)
+        return super().take_random(count)
+
+    def take_all(self) -> list[InputSplit]:
+        taken = super().take_all()
+        if self._mode == "stratified" and self._lazy_prunable:
+            return self._retire_pruned(taken)
+        if self._mode == "rank" and self._estimates:
+            taken.sort(key=self._estimate_for, reverse=True)
+        return taken
+
+    # ------------------------------------------------------------------
+    def _retire_pruned(self, taken: list[InputSplit]) -> list[InputSplit]:
+        kept = []
+        for split in taken:
+            if split.split_id in self._lazy_prunable:
+                self._lazy_prunable.discard(split.split_id)
+                self.splits_pruned += 1
+            else:
+                kept.append(split)
+        return kept
+
+    def _estimate_for(self, split: InputSplit) -> float:
+        estimate = self._estimates.get(split.split_id)
+        if estimate is None:
+            # Splits without stats cannot be ranked; give them the mean
+            # estimate so they sort between the rich and the poor ones.
+            known = self._estimates.values()
+            return sum(known) / len(self._estimates) if self._estimates else 0.0
+        return estimate
+
+    def _take_ranked(self, count: float) -> list[InputSplit]:
+        if count <= 0 or not self._remaining:
+            return []
+        if math.isinf(count) or count >= len(self._remaining):
+            return self.take_all()
+        # Stable sort on the (insertion-ordered) pool: deterministic
+        # ranking, best expected yield first.
+        ordered = sorted(self._remaining, key=self._estimate_for, reverse=True)
+        taken = ordered[: int(count)]
+        taken_ids = {split.split_id for split in taken}
+        self._remaining = [
+            split for split in self._remaining if split.split_id not in taken_ids
+        ]
+        return taken

@@ -286,6 +286,8 @@ def build_materialized_dataset(
     max_rows: int = 5_000_000,
     layout: str = "row",
     mmap_path: "str | None" = None,
+    stats: bool = False,
+    bloom_bits: "int | None" = None,
 ) -> PartitionedDataset:
     """Real-row dataset with matching rows stamped per the controlled placement.
 
@@ -300,6 +302,12 @@ def build_materialized_dataset(
     memory stays bounded by one partition no matter the scale — the
     ``max_rows`` guard does not apply. All layouts yield identical rows
     in identical order.
+
+    ``stats=True`` (mmap layout only) makes the writer accumulate the
+    per-partition zone maps and bloom filters for the footer STATS
+    section as each partition streams through; ``bloom_bits`` overrides
+    the default filter width. Stats never change the row data — only
+    the file footer grows.
     """
     if layout not in DATASET_LAYOUTS:
         raise DataGenerationError(
@@ -308,6 +316,11 @@ def build_materialized_dataset(
     if layout == "mmap" and mmap_path is None:
         raise DataGenerationError(
             "layout='mmap' needs mmap_path= naming the dataset file to write"
+        )
+    if stats and layout != "mmap":
+        raise DataGenerationError(
+            "split statistics are stored in the mmap file footer; "
+            "stats=True needs layout='mmap'"
         )
     if layout != "mmap" and spec.num_rows > max_rows:
         raise DataGenerationError(
@@ -329,6 +342,7 @@ def build_materialized_dataset(
     writer = None
     if layout == "mmap":
         from repro.scan.mmapstore import (
+            DEFAULT_BLOOM_BITS,
             MmapDatasetWriter,
             column_types_for_schema,
             dataset_meta,
@@ -339,6 +353,8 @@ def build_materialized_dataset(
             LINEITEM_SCHEMA.field_names,
             column_types_for_schema(LINEITEM_SCHEMA),
             meta=dataset_meta(dataset),
+            stats=stats,
+            bloom_bits=DEFAULT_BLOOM_BITS if bloom_bits is None else bloom_bits,
         )
 
     for partition in dataset.partitions:

@@ -63,6 +63,9 @@ class JobResult:
     metrics_snapshot: dict | None = None
     """``MetricsRegistry.snapshot()`` of the job's registry, when one
     was kept. Deterministic: counts and simulated-time values only."""
+    splits_pruned: int = 0
+    """Splits the provider retired via split statistics without
+    dispatching a map task (provably zero matches)."""
 
     @property
     def response_time(self) -> float:

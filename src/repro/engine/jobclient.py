@@ -143,6 +143,7 @@ class JobClient:
                 cluster=cluster,
                 response_kind="END_OF_INPUT" if complete else "INPUT_AVAILABLE",
                 splits=len(initial),
+                pruned=getattr(provider, "splits_pruned", 0),
             )
         if not complete:
             handle = DynamicJobHandle(job=job, provider=provider, policy=policy)
@@ -196,6 +197,7 @@ class JobClient:
                 cluster=cluster,
                 response_kind=response.kind.name,
                 splits=len(response.splits),
+                pruned=getattr(handle.provider, "splits_pruned", 0),
             )
         if response.kind is ResponseKind.END_OF_INPUT:
             if handle.evaluation_task is not None:

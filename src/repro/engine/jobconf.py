@@ -32,6 +32,14 @@ DYNAMIC_INPUT_PROVIDER = "dynamic.input.provider"
 # Additional parameters used by the sampling implementation.
 SAMPLE_SIZE = "sampling.size"
 SAMPLING_PREDICATE = "sampling.predicate"
+STATS_MODE = "sampling.stats.mode"
+
+#: How the stats-aware provider uses split statistics: ``off`` (exact
+#: baseline behavior), ``prune`` (retire provably-empty splits up
+#: front), ``rank`` (prune + order grabs by estimated matches), or
+#: ``stratified`` (prune lazily at grab time — the grab stream over the
+#: pool is identical to ``off``, so sampling is provably undisturbed).
+STATS_MODES = ("off", "prune", "rank", "stratified")
 
 # Hadoop job priority (§III-B motivates pairing low priority with a
 # conservative policy). Same five levels as Hadoop's JobPriority.
@@ -73,6 +81,10 @@ class JobConf:
         when real rows are available and executed.
     params:
         Hadoop-style string parameters, including the dynamic-job set.
+    predicate:
+        The compiled predicate object behind ``sampling.predicate``
+        (which, string-only, carries just the name). Optional; the
+        stats-aware provider needs the real tree to analyze splits.
     """
 
     name: str
@@ -83,6 +95,7 @@ class JobConf:
     profile_outputs: Callable[[InputSplit], int] | None = None
     params: dict[str, str] = field(default_factory=dict)
     user: str = "default"
+    predicate: object | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -140,6 +153,15 @@ class JobConf:
         return self.get_int(SAMPLE_SIZE)
 
     @property
+    def stats_mode(self) -> str:
+        value = self.get(STATS_MODE, "off") or "off"
+        if value not in STATS_MODES:
+            raise JobConfError(
+                f"invalid {STATS_MODE}={value!r}; one of {STATS_MODES}"
+            )
+        return value
+
+    @property
     def priority(self) -> str:
         value = self.get(JOB_PRIORITY, DEFAULT_PRIORITY)
         if value not in PRIORITY_LEVELS:
@@ -177,6 +199,7 @@ class JobConf:
             profile_outputs=self.profile_outputs,
             params=dict(self.params),
             user=self.user,
+            predicate=self.predicate,
         )
 
 

@@ -139,19 +139,19 @@ class LocalRunner:
                 sample_size=conf.sample_size,
             )
         if conf.is_dynamic:
-            map_results, evaluations, increments = self._run_dynamic(
+            map_results, evaluations, increments, pruned = self._run_dynamic(
                 conf, splits, job_id
             )
         else:
             map_results = self._run_map_batch(conf, splits, job_id=job_id)
-            evaluations, increments = 0, 1
+            evaluations, increments, pruned = 0, 1, 0
 
         output_data = self._run_reduce(conf, map_results)
         records = sum(r.records_processed for r in map_results)
         map_outputs = sum(len(r.outputs) for r in map_results)
         registry = self._job_registry(
             job_id, map_results,
-            evaluations=evaluations, increments=increments,
+            evaluations=evaluations, increments=increments, pruned=pruned,
         )
         if self.trace is not None:
             self.trace.record(0.0, "job_succeeded", job_id)
@@ -173,6 +173,7 @@ class LocalRunner:
             evaluations=evaluations,
             input_increments=increments,
             metrics_snapshot=registry.snapshot(),
+            splits_pruned=pruned,
         )
 
     def _job_registry(
@@ -182,6 +183,7 @@ class LocalRunner:
         *,
         evaluations: int,
         increments: int,
+        pruned: int = 0,
     ) -> MetricsRegistry:
         """Per-run registry mirroring the simulated Job's metric names."""
         registry = MetricsRegistry(scope=f"job:{job_id}")
@@ -196,6 +198,7 @@ class LocalRunner:
         registry.counter("provider_evaluations").inc(evaluations)
         registry.counter("input_increments").inc(increments)
         registry.counter("failed_map_attempts")
+        registry.counter("splits_pruned").inc(pruned)
         return registry
 
     # ------------------------------------------------------------------
@@ -203,7 +206,7 @@ class LocalRunner:
     # ------------------------------------------------------------------
     def _run_dynamic(
         self, conf: JobConf, splits: list[InputSplit], job_id: str
-    ) -> tuple[list[LocalMapResult], int, int]:
+    ) -> tuple[list[LocalMapResult], int, int, int]:
         conf.validate_dynamic()
         policy = self._policies.get(conf.policy_name)  # type: ignore[arg-type]
         provider = self._providers.create(conf.input_provider_name)  # type: ignore[arg-type]
@@ -227,6 +230,7 @@ class LocalRunner:
                 cluster=cluster,
                 response_kind="END_OF_INPUT" if complete else "INPUT_AVAILABLE",
                 splits=len(batch),
+                pruned=getattr(provider, "splits_pruned", 0),
             )
         map_results: list[LocalMapResult] = []
         evaluations = 0
@@ -253,6 +257,7 @@ class LocalRunner:
                     cluster=cluster,
                     response_kind=response.kind.name,
                     splits=len(response.splits),
+                    pruned=getattr(provider, "splits_pruned", 0),
                 )
             if response.kind is ResponseKind.END_OF_INPUT:
                 break
@@ -270,7 +275,12 @@ class LocalRunner:
                     f"job {conf.name!r}: provider waited {idle_evaluations} times "
                     "with no work in flight; the provider is livelocked"
                 )
-        return map_results, evaluations, increments
+        return (
+            map_results,
+            evaluations,
+            increments,
+            getattr(provider, "splits_pruned", 0),
+        )
 
     def _progress(
         self, conf: JobConf, total_splits: int, map_results: list[LocalMapResult]

@@ -24,6 +24,7 @@ PARAM_POLICY = "dynamic.job.policy"
 PARAM_DYNAMIC = "dynamic.job"
 PARAM_PROVIDER = "dynamic.input.provider"
 PARAM_FALLBACK_SELECTIVITY = "hive.scan.fallback.selectivity"
+PARAM_STATS_MODE = "sampling.stats.mode"
 
 DEFAULT_POLICY = "LA"
 DEFAULT_PROVIDER = "sampling"
@@ -93,6 +94,7 @@ class QueryCompiler:
                 provider_name=params.get(PARAM_PROVIDER, DEFAULT_PROVIDER),
                 columns=columns,
                 user=user,
+                stats_mode=params.get(PARAM_STATS_MODE),
             )
         fallback = params.get(PARAM_FALLBACK_SELECTIVITY)
         return make_scan_conf(

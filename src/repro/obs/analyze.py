@@ -76,6 +76,9 @@ class Evaluation:
     cluster: dict | None
     response_kind: str
     response_splits: int
+    response_pruned: int = 0
+    """Cumulative splits the provider retired via split statistics (zone
+    maps / bloom filters) up to this evaluation; 0 for older traces."""
 
 
 @dataclass
@@ -177,6 +180,18 @@ class JobModel:
     @property
     def failed_attempts(self) -> int:
         return sum(1 for a in self.attempts.values() if a.outcome == "failed")
+
+    @property
+    def splits_pruned(self) -> int:
+        """Splits retired via split statistics without dispatch.
+
+        The trace carries the provider's *cumulative* count on each
+        evaluation, so the job-level total is the last one seen.
+        """
+        for evaluation in reversed(self.evaluations):
+            if evaluation.response_pruned:
+                return evaluation.response_pruned
+        return 0
 
     @property
     def end_of_input_time(self) -> float | None:
@@ -404,6 +419,7 @@ def analyze_trace(events: Iterable[dict]) -> RunModel:
                     cluster=event.get("cluster"),
                     response_kind=response["kind"],
                     response_splits=response["splits"],
+                    response_pruned=response.get("pruned", 0),
                 )
             )
             if job.policy is None:

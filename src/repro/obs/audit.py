@@ -16,7 +16,11 @@ the fact*, independently of the engine that produced the run:
   (``splits_pending == 0``; see DESIGN.md §5).
 * ``end_of_input`` — ``END_OF_INPUT`` is only declared once the job has
   ``k`` results (``outputs_produced >= sample_size``) or the input is
-  exhausted (every split added).
+  exhausted (every split either added or retired via split statistics —
+  a stats-aware provider's pruned splits count as processed with zero
+  matches, so ``splits_added + pruned >= total`` is exhaustion).
+* ``pruned_monotonic`` — the cumulative pruned count never decreases and
+  never exceeds the job's total split count.
 * ``no_input_after_end`` — after ``END_OF_INPUT`` the provider is never
   invoked again and no further splits are added.
 * ``splits_added_replay`` — at every evaluation, the progress the
@@ -116,6 +120,7 @@ def _audit_policy_contract(job, report: AuditReport) -> None:
     granted = 0  # splits handed out so far (initial + INPUT_AVAILABLE)
     ended_at: int | None = None  # seq of the END_OF_INPUT response
     prev_completed = 0
+    prev_pruned = 0
     k = job.sample_size
 
     for evaluation in job.evaluations:
@@ -126,6 +131,22 @@ def _audit_policy_contract(job, report: AuditReport) -> None:
         progress = evaluation.progress
         kind = evaluation.response_kind
         splits = evaluation.response_splits
+        pruned = evaluation.response_pruned
+
+        # Pruned is a cumulative counter: never decreasing, never more
+        # than the job's whole input.
+        if pruned < prev_pruned:
+            report.add(
+                "pruned_monotonic", job.job_id, seq,
+                f"cumulative pruned count fell from {prev_pruned} to {pruned}",
+            )
+        if job.total_splits is not None and pruned > job.total_splits:
+            report.add(
+                "pruned_monotonic", job.job_id, seq,
+                f"pruned {pruned} splits but the job only has "
+                f"{job.total_splits}",
+            )
+        prev_pruned = max(prev_pruned, pruned)
 
         if ended_at is not None:
             report.add(
@@ -190,25 +211,30 @@ def _audit_policy_contract(job, report: AuditReport) -> None:
             prev_completed = progress["splits_completed"]
 
             # END_OF_INPUT only at >= k results or input exhaustion.
+            # Splits the provider pruned via statistics were processed
+            # with provably zero matches, so they count toward
+            # exhaustion without ever being added.
             if kind == "END_OF_INPUT":
                 exhausted = (
-                    progress["splits_added"] >= progress["total_splits_known"]
+                    progress["splits_added"] + pruned
+                    >= progress["total_splits_known"]
                 )
                 if k is not None and progress["outputs_produced"] < k and not exhausted:
                     report.add(
                         "end_of_input", job.job_id, seq,
                         f"END_OF_INPUT at {progress['outputs_produced']} outputs "
                         f"(< k={k}) with "
-                        f"{progress['total_splits_known'] - progress['splits_added']} "
-                        "splits never added",
+                        f"{progress['total_splits_known'] - progress['splits_added'] - pruned} "
+                        "splits never added nor pruned",
                     )
         elif evaluation.phase == "initial" and kind == "END_OF_INPUT":
-            # Initial END_OF_INPUT means the whole input was grabbed.
-            if job.total_splits is not None and splits < job.total_splits:
+            # Initial END_OF_INPUT means the whole input was grabbed
+            # (or the remainder was pruned via split statistics).
+            if job.total_splits is not None and splits + pruned < job.total_splits:
                 report.add(
                     "end_of_input", job.job_id, seq,
                     f"initial grab declared END_OF_INPUT with {splits} of "
-                    f"{job.total_splits} splits",
+                    f"{job.total_splits} splits ({pruned} pruned)",
                 )
 
         if kind == "END_OF_INPUT":

@@ -191,12 +191,17 @@ class TraceRecorder(JobHistory):
         cluster,
         response_kind: str,
         splits: int,
+        pruned: int = 0,
     ) -> None:
         """One Input Provider invocation (paper §III-A evaluation loop).
 
         ``phase`` is ``"initial"`` for ``initial_input`` (where the
         provider sees only cluster state, so ``progress`` is None) or
-        ``"evaluate"`` for the periodic loop.
+        ``"evaluate"`` for the periodic loop. ``pruned`` is the
+        provider's *cumulative* count of splits retired via split
+        statistics without dispatch; the audit folds it into the
+        splits-accounting invariant. Older traces (and providers without
+        statistics) simply omit/zero it.
         """
         self.emit(
             "provider_evaluation",
@@ -207,7 +212,7 @@ class TraceRecorder(JobHistory):
             knobs=knobs,
             progress=progress,
             cluster=cluster,
-            response={"kind": response_kind, "splits": splits},
+            response={"kind": response_kind, "splits": splits, "pruned": pruned},
         )
 
     def scan_span(

@@ -40,6 +40,23 @@ little-endian::
                        byte_offset u64, byte_length u64
         meta_length u32, meta JSON UTF-8   (dataset-level metadata)
         total_rows  u64
+        [STATS section, version 2 only]
+            bloom_bits   u32   (bits per bloom filter; multiple of 8)
+            bloom_hashes u8    (probe count per key)
+            per partition, per column in schema order:
+                flags      u8   bit 0 HAS_MINMAX, bit 1 HAS_BLOOM
+                row_count  u64
+                null_count u64
+                [min, max when HAS_MINMAX]
+                    type "i": <q each  · "f": <d each · "b": u8 each
+                    type "s": u32 UTF-8 byte length + bytes, each
+                [bloom_bits / 8 filter bytes when HAS_BLOOM]
+
+Version 2 is a minor revision: the only change is the optional STATS
+section appended past ``total_rows``, so a version-2 reader opens
+version-1 files unchanged (they simply carry no stats). The writer
+emits version 1 when stats are disabled — byte-identical files to the
+original format.
 
 The writer streams one partition at a time (memory stays bounded by a
 single partition no matter how large the dataset grows — the 100M-row
@@ -51,6 +68,7 @@ the mapped file. Nothing is copied until a row is actually read.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import mmap
 import os
@@ -65,7 +83,12 @@ from repro.errors import MmapStoreError
 from repro.scan.columnar import ColumnStore
 
 MAGIC = b"RCS1"
-VERSION = 1
+#: Newest format revision this build writes (and the highest it reads).
+VERSION = 2
+#: Oldest format revision this build still reads.
+MIN_VERSION = 1
+#: Revision that introduced the footer STATS section.
+STATS_VERSION = 2
 
 _HEADER = struct.Struct("<4sBBHQQ")
 
@@ -150,6 +173,250 @@ class MmapSplitRef:
     row_count: int
     byte_offset: int
     byte_length: int
+
+
+# ---------------------------------------------------------------------------
+# Split statistics: zone maps + bloom filters (the footer STATS section)
+# ---------------------------------------------------------------------------
+#: Default bloom filter width; 2048 bits keeps false positives under ~2%
+#: for the low-cardinality columns the filter is meant for.
+DEFAULT_BLOOM_BITS = 2048
+#: Probes per key (fixed; recorded in the file so readers never guess).
+BLOOM_HASHES = 4
+#: Zone-map min/max for strings is dropped past this encoded length; a
+#: truncated bound would be unsound, and long strings rarely prune.
+STATS_MAX_STRING_BYTES = 256
+
+_STATS_HAS_MINMAX = 1
+_STATS_HAS_BLOOM = 2
+
+
+def _bloom_key(value) -> bytes | None:
+    """Canonical hash input for a bloom-eligible value, or None."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            return None
+        return struct.pack("<q", value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return None
+
+
+def _bloom_positions(key: bytes, bits: int, hashes: int) -> Iterator[int]:
+    """Deterministic double-hashing probe sequence (md5-derived, so the
+    filter bytes are identical across processes and Python runs)."""
+    digest = hashlib.md5(key).digest()
+    h1 = int.from_bytes(digest[:8], "little")
+    h2 = int.from_bytes(digest[8:16], "little") | 1
+    for i in range(hashes):
+        yield (h1 + i * h2) % bits
+
+
+@dataclass(frozen=True)
+class BloomFilter:
+    """A fixed-size bitset over a column's non-NULL values.
+
+    ``might_contain`` has no false negatives: False means the value is
+    provably absent from the partition.
+    """
+
+    bits: int
+    hashes: int
+    data: bytes
+
+    def might_contain(self, value) -> bool:
+        key = _bloom_key(value)
+        if key is None:
+            return True  # un-hashable value: never claim absence
+        for position in _bloom_positions(key, self.bits, self.hashes):
+            if not self.data[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Zone map (+ optional bloom) for one column of one partition."""
+
+    row_count: int
+    null_count: int
+    has_minmax: bool
+    min_value: object = None
+    max_value: object = None
+    bloom: BloomFilter | None = None
+
+    @property
+    def non_null_count(self) -> int:
+        return self.row_count - self.null_count
+
+
+def collect_column_stats(
+    code: str,
+    values: Sequence,
+    *,
+    bloom_bits: int = DEFAULT_BLOOM_BITS,
+    bloom_hashes: int = BLOOM_HASHES,
+) -> ColumnStats:
+    """One streaming pass over a partition column's values.
+
+    Zone-map soundness rules: the min/max is dropped entirely when the
+    column is all-NULL, contains a float NaN (unordered against every
+    bound), or its string bounds exceed :data:`STATS_MAX_STRING_BYTES`.
+    The bloom filter only covers int/str columns and is dropped when the
+    observed distinct count exceeds ``bloom_bits / 8`` — past that load
+    factor the false-positive rate makes it dead weight in the footer.
+    """
+    row_count = 0
+    null_count = 0
+    low = high = None
+    minmax_ok = True
+    bloom_data: bytearray | None = None
+    distinct: set | None = None
+    if code in (TYPE_INT, TYPE_STRING) and bloom_bits > 0:
+        bloom_data = bytearray(bloom_bits // 8)
+        distinct = set()
+    distinct_cap = max(8, bloom_bits // 8)
+
+    for value in values:
+        row_count += 1
+        if value is None:
+            null_count += 1
+            continue
+        if isinstance(value, float) and value != value:  # NaN poisons ordering
+            minmax_ok = False
+            continue
+        if minmax_ok:
+            if low is None:
+                low = high = value
+            else:
+                try:
+                    if value < low:
+                        low = value
+                    elif value > high:
+                        high = value
+                except TypeError:
+                    minmax_ok = False
+        if bloom_data is not None:
+            key = _bloom_key(value)
+            if key is None:
+                bloom_data = distinct = None
+                continue
+            if key not in distinct:
+                distinct.add(key)
+                if len(distinct) > distinct_cap:
+                    bloom_data = distinct = None
+                    continue
+                for position in _bloom_positions(key, bloom_bits, bloom_hashes):
+                    bloom_data[position >> 3] |= 1 << (position & 7)
+
+    if low is None:
+        minmax_ok = False
+    if minmax_ok and code == TYPE_STRING:
+        if (
+            len(str(low).encode("utf-8")) > STATS_MAX_STRING_BYTES
+            or len(str(high).encode("utf-8")) > STATS_MAX_STRING_BYTES
+        ):
+            minmax_ok = False
+    bloom = (
+        BloomFilter(bloom_bits, bloom_hashes, bytes(bloom_data))
+        if bloom_data is not None
+        else None
+    )
+    return ColumnStats(
+        row_count=row_count,
+        null_count=null_count,
+        has_minmax=minmax_ok,
+        min_value=low if minmax_ok else None,
+        max_value=high if minmax_ok else None,
+        bloom=bloom,
+    )
+
+
+def _encode_stats_value(code: str, value) -> bytes:
+    if code == TYPE_INT:
+        return struct.pack("<q", value)
+    if code == TYPE_FLOAT:
+        return struct.pack("<d", float(value))
+    if code == TYPE_BOOL:
+        return struct.pack("<B", 1 if value else 0)
+    encoded = str(value).encode("utf-8")
+    return struct.pack("<I", len(encoded)) + encoded
+
+
+def _decode_stats_value(code: str, buf: bytes, position: int):
+    if code == TYPE_INT:
+        return struct.unpack_from("<q", buf, position)[0], position + 8
+    if code == TYPE_FLOAT:
+        return struct.unpack_from("<d", buf, position)[0], position + 8
+    if code == TYPE_BOOL:
+        return bool(buf[position]), position + 1
+    (length,) = struct.unpack_from("<I", buf, position)
+    position += 4
+    return buf[position : position + length].decode("utf-8"), position + length
+
+
+def _encode_stats_section(
+    partition_stats: list[list[ColumnStats]],
+    types: Sequence[str],
+    bloom_bits: int,
+    bloom_hashes: int,
+) -> bytes:
+    pieces = [struct.pack("<IB", bloom_bits, bloom_hashes)]
+    for column_stats in partition_stats:
+        for code, stats in zip(types, column_stats):
+            flags = 0
+            if stats.has_minmax:
+                flags |= _STATS_HAS_MINMAX
+            if stats.bloom is not None:
+                flags |= _STATS_HAS_BLOOM
+            pieces.append(
+                struct.pack("<BQQ", flags, stats.row_count, stats.null_count)
+            )
+            if stats.has_minmax:
+                pieces.append(_encode_stats_value(code, stats.min_value))
+                pieces.append(_encode_stats_value(code, stats.max_value))
+            if stats.bloom is not None:
+                pieces.append(stats.bloom.data)
+    return b"".join(pieces)
+
+
+def _decode_stats_section(
+    buf: bytes, position: int, types: Sequence[str], num_partitions: int
+) -> tuple[int, int, list[list[ColumnStats]]]:
+    bloom_bits, bloom_hashes = struct.unpack_from("<IB", buf, position)
+    position += 5
+    partition_stats: list[list[ColumnStats]] = []
+    for _ in range(num_partitions):
+        column_stats: list[ColumnStats] = []
+        for code in types:
+            flags, row_count, null_count = struct.unpack_from("<BQQ", buf, position)
+            position += 17
+            low = high = None
+            has_minmax = bool(flags & _STATS_HAS_MINMAX)
+            if has_minmax:
+                low, position = _decode_stats_value(code, buf, position)
+                high, position = _decode_stats_value(code, buf, position)
+            bloom = None
+            if flags & _STATS_HAS_BLOOM:
+                data = bytes(buf[position : position + bloom_bits // 8])
+                if len(data) != bloom_bits // 8:
+                    raise struct.error("bloom filter extends past footer end")
+                position += bloom_bits // 8
+                bloom = BloomFilter(bloom_bits, bloom_hashes, data)
+            column_stats.append(
+                ColumnStats(
+                    row_count=row_count,
+                    null_count=null_count,
+                    has_minmax=has_minmax,
+                    min_value=low,
+                    max_value=high,
+                    bloom=bloom,
+                )
+            )
+        partition_stats.append(column_stats)
+    return bloom_bits, bloom_hashes, partition_stats
 
 
 # ---------------------------------------------------------------------------
@@ -382,6 +649,8 @@ class MmapDatasetWriter:
         types: Sequence[str],
         *,
         meta: dict | None = None,
+        stats: bool = False,
+        bloom_bits: int = DEFAULT_BLOOM_BITS,
     ) -> None:
         if not names:
             raise MmapStoreError("an mmap dataset needs at least one column")
@@ -397,15 +666,24 @@ class MmapDatasetWriter:
                     f"column {name!r}: unknown type code {code!r}; "
                     f"one of {COLUMN_TYPES}"
                 )
+        if stats and (bloom_bits < 0 or bloom_bits % 8 != 0):
+            raise MmapStoreError(
+                f"bloom_bits must be a non-negative multiple of 8, got {bloom_bits}"
+            )
         self.path = str(path)
         self.names = tuple(names)
         self.types = tuple(types)
         self.meta = dict(meta or {})
+        # Stats-free files keep the original version-1 byte layout; the
+        # minor-version bump only buys the appended STATS section.
+        self.version = STATS_VERSION if stats else MIN_VERSION
+        self.bloom_bits = bloom_bits if stats else 0
+        self._stats: list[list[ColumnStats]] | None = [] if stats else None
         self._entries: list[tuple[int, int, int, int]] = []
         self._row_start = 0
         self._closed = False
         self._file = open(self.path, "wb")
-        self._file.write(_HEADER.pack(MAGIC, VERSION, 0, 0, 0, 0))
+        self._file.write(_HEADER.pack(MAGIC, self.version, 0, 0, 0, 0))
         self._offset = _HEADER.size
 
     def write_partition(self, columns: dict, row_count: int) -> MmapSplitRef:
@@ -418,6 +696,15 @@ class MmapDatasetWriter:
                 f"partition {len(self._entries)} is missing columns {missing}"
             )
         region = encode_partition(self.names, self.types, columns, row_count)
+        if self._stats is not None:
+            self._stats.append(
+                [
+                    collect_column_stats(
+                        code, columns[name], bloom_bits=self.bloom_bits
+                    )
+                    for name, code in zip(self.names, self.types)
+                ]
+            )
         entry = (self._row_start, row_count, self._offset, len(region))
         self._file.write(region)
         self._entries.append(entry)
@@ -444,7 +731,7 @@ class MmapDatasetWriter:
         self._file.write(footer)
         self._file.seek(0)
         self._file.write(
-            _HEADER.pack(MAGIC, VERSION, 0, 0, self._offset, len(footer))
+            _HEADER.pack(MAGIC, self.version, 0, 0, self._offset, len(footer))
         )
         self._file.close()
         self._closed = True
@@ -467,6 +754,12 @@ class MmapDatasetWriter:
         pieces.append(struct.pack("<I", len(meta)))
         pieces.append(meta)
         pieces.append(struct.pack("<Q", self._row_start))
+        if self._stats is not None:
+            pieces.append(
+                _encode_stats_section(
+                    self._stats, self.types, self.bloom_bits, BLOOM_HASHES
+                )
+            )
         return b"".join(pieces)
 
     def __enter__(self) -> "MmapDatasetWriter":
@@ -529,11 +822,12 @@ class MmapDataset:
             raise MmapStoreError(
                 f"{where}: bad magic {magic!r}; not an RCS1 mmap dataset"
             )
-        if version != VERSION:
+        if not MIN_VERSION <= version <= VERSION:
             raise MmapStoreError(
                 f"{where}: unsupported RCS version {version}; this build "
-                f"reads version {VERSION}"
+                f"reads versions {MIN_VERSION} through {VERSION}"
             )
+        self.version = version
         if footer_offset == 0 or footer_offset + footer_length > len(self._buf):
             raise MmapStoreError(
                 f"{where}: footer pointer out of bounds (offset {footer_offset}, "
@@ -566,6 +860,7 @@ class MmapDataset:
         meta_blob = footer[position : position + meta_length]
         position += meta_length
         (total_rows,) = struct.unpack_from("<Q", footer, position)
+        position += 8
 
         for code in types:
             if code not in COLUMN_TYPES:
@@ -573,6 +868,20 @@ class MmapDataset:
                     f"{where}: unknown column type code {code!r}; "
                     f"one of {COLUMN_TYPES}"
                 )
+
+        self.bloom_bits = 0
+        self.bloom_hashes = 0
+        self.stats: list[list[ColumnStats]] | None = None
+        if version >= STATS_VERSION:
+            try:
+                self.bloom_bits, self.bloom_hashes, self.stats = (
+                    _decode_stats_section(footer, position, types, num_partitions)
+                )
+            except struct.error as exc:
+                raise MmapStoreError(
+                    f"{where}: truncated STATS section in version {version} "
+                    f"footer: {exc}"
+                ) from None
         self.names = tuple(names)
         self.types = tuple(types)
         self.entries = entries
@@ -592,6 +901,17 @@ class MmapDataset:
             MmapSplitRef(self.path, index, *entry)
             for index, entry in enumerate(self.entries)
         ]
+
+    def partition_stats(self, index: int) -> dict[str, ColumnStats] | None:
+        """Column-name -> stats for one partition, or None without stats."""
+        if self.stats is None:
+            return None
+        if index < 0 or index >= self.num_partitions:
+            raise MmapStoreError(
+                f"partition {index} out of range; dataset has "
+                f"{self.num_partitions} partitions"
+            )
+        return dict(zip(self.names, self.stats[index]))
 
     def partition_store(self, index: int) -> ColumnStore:
         """The partition's :class:`ColumnStore` of lazy mmap-backed columns."""
@@ -710,7 +1030,13 @@ def attach_mmap_refs(dataset, refs: list[MmapSplitRef]) -> None:
         partition.columns = None
 
 
-def write_mmap_dataset(dataset, path: str | Path) -> list[MmapSplitRef]:
+def write_mmap_dataset(
+    dataset,
+    path: str | Path,
+    *,
+    stats: bool = False,
+    bloom_bits: int = DEFAULT_BLOOM_BITS,
+) -> list[MmapSplitRef]:
     """Write an already-materialized PartitionedDataset to ``path`` and
     switch its partitions over to the mmap layout."""
     from repro.data.tpch import LINEITEM_SCHEMA
@@ -724,7 +1050,14 @@ def write_mmap_dataset(dataset, path: str | Path) -> list[MmapSplitRef]:
         types = infer_column_types(names, first.columns)
     else:
         raise MmapStoreError("cannot write an empty dataset")
-    with MmapDatasetWriter(path, names, types, meta=dataset_meta(dataset)) as writer:
+    with MmapDatasetWriter(
+        path,
+        names,
+        types,
+        meta=dataset_meta(dataset),
+        stats=stats,
+        bloom_bits=bloom_bits,
+    ) as writer:
         for partition in dataset.partitions:
             store = partition.column_store()
             writer.write_partition(store.columns, store.num_rows)

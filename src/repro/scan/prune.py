@@ -1,0 +1,371 @@
+"""Static predicate analysis against split statistics (zone maps/blooms).
+
+Answers one question per split without touching row data: *can this
+split possibly contain a matching row?* The analyzer walks the same two
+predicate shapes the scan engine executes — core
+:mod:`repro.data.predicates` trees and, through
+:class:`~repro.hive.expressions.ExpressionPredicate`, Hive WHERE ASTs —
+mirroring the dispatch structure of :mod:`repro.scan.codegen`, and
+evaluates each comparison against the footer STATS section of an mmap
+dataset (:mod:`repro.scan.mmapstore`).
+
+Every verdict is conservative in one direction only: :func:`may_match`
+returning ``False`` is a *proof* that no row in the split satisfies the
+predicate (so the split can be retired unscanned), while ``True`` just
+means "maybe" — unsupported expressions, missing stats, and type
+surprises all fall back to maybe. Internally each node is analyzed into
+a ``(may_match, matches_all)`` pair so ``NOT`` stays sound:
+``NOT p`` can only be refuted by proving ``p`` holds for *every* row.
+
+NULL handling follows the engine's collapsed three-valued logic: a
+comparison against NULL (either side) is never true, so an all-NULL
+column refutes any comparison over it, and ``matches_all`` for a
+comparison additionally requires a NULL-free column.
+
+:func:`estimate_matches` is the companion ranking heuristic: a crude
+zone-map selectivity guess used only to order grabs (and seed the
+selectivity estimator) — it carries no soundness obligation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.data.predicates import (
+    And,
+    ColumnCompare,
+    MarkerEquals,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.errors import MmapStoreError
+from repro.scan.mmapstore import ColumnStats, open_mmap_dataset
+
+# The hive layer is imported lazily inside the AST walkers: the package
+# __init__ pulls in the compiler stack (which reaches back into core/),
+# so a module-level import here would be an import cycle waiting for an
+# unlucky entry point. By the time an AST is analyzed, hive is loaded.
+
+#: Fallback equality selectivity when the zone map gives no usable width.
+_EQ_SELECTIVITY = 0.05
+#: Fallback selectivity for comparisons the estimator cannot size.
+_DEFAULT_SELECTIVITY = 0.3
+
+_MAYBE = (True, False)
+"""The conservative verdict: might match, not provably all-matching."""
+
+
+def split_stats(split) -> Mapping[str, ColumnStats] | None:
+    """Column stats for a split's partition, or None when unavailable.
+
+    Only mmap-backed splits whose dataset file carries a STATS section
+    have stats; everything else (row/columnar layouts, profile-only sim
+    splits, unreadable files) yields None and is never pruned.
+    """
+    ref = getattr(split, "mmap_ref", None)
+    if ref is None:
+        return None
+    try:
+        return open_mmap_dataset(ref.path).partition_stats(ref.partition)
+    except (OSError, MmapStoreError):
+        return None
+
+
+def may_match(predicate: Predicate, stats: Mapping[str, ColumnStats]) -> bool:
+    """False only when provably no row in the split satisfies the predicate."""
+    return _analyze(predicate, stats)[0]
+
+
+def matches_all(predicate: Predicate, stats: Mapping[str, ColumnStats]) -> bool:
+    """True only when provably every row in the split satisfies it."""
+    return _analyze(predicate, stats)[1]
+
+
+# ---------------------------------------------------------------------------
+# Comparison kernels over one column's zone map + bloom
+# ---------------------------------------------------------------------------
+def partition_rows(stats: Mapping[str, ColumnStats]) -> int:
+    """Row count of the partition the stats describe."""
+    for column_stats in stats.values():
+        return column_stats.row_count
+    return 0
+
+
+def _compare(stats: ColumnStats, op: str, value) -> tuple[bool, bool]:
+    """(may, all) for ``column <op> literal`` under SQL NULL semantics."""
+    if stats.row_count == 0:
+        return False, True  # vacuous: no rows to match, and all of them do
+    if value is None:
+        return False, False  # comparison against a NULL literal is never true
+    if stats.non_null_count <= 0:
+        return False, False  # all-NULL column: every comparison is false
+    null_free = stats.null_count == 0
+
+    if op == "=" and stats.bloom is not None and not stats.bloom.might_contain(value):
+        return False, False
+    if op == "!=" and stats.bloom is not None and not stats.bloom.might_contain(value):
+        return True, null_free  # value provably absent: every non-NULL row differs
+
+    if not stats.has_minmax:
+        return _MAYBE
+    low, high = stats.min_value, stats.max_value
+    try:
+        if op == "=":
+            return (
+                low <= value <= high,
+                null_free and low == value and high == value,
+            )
+        if op == "!=":
+            return (
+                not (low == value and high == value),
+                null_free and (value < low or value > high),
+            )
+        if op == "<":
+            return low < value, null_free and high < value
+        if op == "<=":
+            return low <= value, null_free and high <= value
+        if op == ">":
+            return high > value, null_free and low > value
+        if op == ">=":
+            return high >= value, null_free and low >= value
+    except TypeError:
+        # Incomparable types (str bound vs int literal, ...): the scan
+        # itself decides; never prune on a comparison we cannot perform.
+        return _MAYBE
+    return _MAYBE
+
+
+def _column_compare(
+    stats: Mapping[str, ColumnStats], column: str, op: str, value
+) -> tuple[bool, bool]:
+    column_stats = stats.get(column)
+    if column_stats is None:
+        return _MAYBE
+    return _compare(column_stats, op, value)
+
+
+# ---------------------------------------------------------------------------
+# Core predicate trees
+# ---------------------------------------------------------------------------
+def _analyze(predicate: Predicate, stats: Mapping[str, ColumnStats]) -> tuple[bool, bool]:
+    if isinstance(predicate, TruePredicate):
+        return True, True
+    if isinstance(predicate, MarkerEquals):
+        return _column_compare(stats, predicate.column, "=", predicate.marker)
+    if isinstance(predicate, ColumnCompare):
+        return _column_compare(stats, predicate.column, predicate.op, predicate.value)
+    if isinstance(predicate, And):
+        verdicts = [_analyze(child, stats) for child in predicate.children]
+        return all(v[0] for v in verdicts), all(v[1] for v in verdicts)
+    if isinstance(predicate, Or):
+        verdicts = [_analyze(child, stats) for child in predicate.children]
+        return any(v[0] for v in verdicts), any(v[1] for v in verdicts)
+    if isinstance(predicate, Not):
+        may, all_ = _analyze(predicate.child, stats)
+        return not all_, not may
+    # ExpressionPredicate (duck-typed to avoid importing the hive layer's
+    # concrete class here): carries the original WHERE AST + schema.
+    expression = getattr(predicate, "expression", None)
+    if expression is not None:
+        return _analyze_expr(expression, stats, getattr(predicate, "schema", None))
+    # FunctionPredicate and anything else opaque: never prune.
+    return _MAYBE
+
+
+# ---------------------------------------------------------------------------
+# Hive WHERE ASTs (the same dispatch shape as scan/codegen.py)
+# ---------------------------------------------------------------------------
+def _resolve(name: str, stats: Mapping[str, ColumnStats], schema) -> str | None:
+    from repro.errors import HiveAnalysisError
+    from repro.hive.expressions import resolve_column
+
+    try:
+        resolved = resolve_column(name, schema)
+    except HiveAnalysisError:
+        return None
+    return resolved if resolved in stats else None
+
+
+def _simple_comparison(expr, schema):
+    """(column_name, op, literal) with the literal on the right, or None."""
+    from repro.hive import ast
+
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+    if isinstance(expr.left, ast.Column) and isinstance(expr.right, ast.Literal):
+        return expr.left.name, expr.op, expr.right.value
+    if isinstance(expr.left, ast.Literal) and isinstance(expr.right, ast.Column):
+        return expr.right.name, flip[expr.op], expr.left.value
+    return None
+
+
+def _analyze_expr(expr, stats: Mapping[str, ColumnStats], schema) -> tuple[bool, bool]:
+    from repro.hive import ast
+
+    if isinstance(expr, ast.Literal):
+        # A constant WHERE clause: NULL and false prune everything.
+        truthy = bool(expr.value) and expr.value is not None
+        return truthy, truthy
+    if isinstance(expr, ast.Comparison):
+        simple = _simple_comparison(expr, schema)
+        if simple is None:
+            if isinstance(expr.left, ast.Literal) and isinstance(
+                expr.right, ast.Literal
+            ):
+                a, b = expr.left.value, expr.right.value
+                if a is None or b is None:
+                    return False, False
+                try:
+                    from repro.hive.expressions import _COMPARE
+
+                    verdict = _COMPARE[expr.op](a, b)
+                    return verdict, verdict
+                except TypeError:
+                    return _MAYBE
+            return _MAYBE  # column-column / arithmetic comparisons
+        name, op, value = simple
+        column = _resolve(name, stats, schema)
+        if column is None:
+            return _MAYBE
+        return _column_compare(stats, column, op, value)
+    if isinstance(expr, ast.LogicalAnd):
+        left = _analyze_expr(expr.left, stats, schema)
+        right = _analyze_expr(expr.right, stats, schema)
+        return left[0] and right[0], left[1] and right[1]
+    if isinstance(expr, ast.LogicalOr):
+        left = _analyze_expr(expr.left, stats, schema)
+        right = _analyze_expr(expr.right, stats, schema)
+        return left[0] or right[0], left[1] or right[1]
+    if isinstance(expr, ast.LogicalNot):
+        may, all_ = _analyze_expr(expr.operand, stats, schema)
+        return not all_, not may
+    if isinstance(expr, ast.Between):
+        if not (
+            isinstance(expr.operand, ast.Column)
+            and isinstance(expr.low, ast.Literal)
+            and isinstance(expr.high, ast.Literal)
+        ):
+            return _MAYBE
+        desugared = ast.LogicalAnd(
+            ast.Comparison(">=", expr.operand, expr.low),
+            ast.Comparison("<=", expr.operand, expr.high),
+        )
+        verdict = _analyze_expr(desugared, stats, schema)
+        return (not verdict[1], not verdict[0]) if expr.negated else verdict
+    if isinstance(expr, ast.InList):
+        if not isinstance(expr.operand, ast.Column) or not all(
+            isinstance(option, ast.Literal) for option in expr.options
+        ):
+            return _MAYBE
+        verdicts = [
+            _analyze_expr(ast.Comparison("=", expr.operand, option), stats, schema)
+            for option in expr.options
+        ]
+        may = any(v[0] for v in verdicts)
+        all_ = any(v[1] for v in verdicts)
+        return (not all_, not may) if expr.negated else (may, all_)
+    if isinstance(expr, ast.IsNull):
+        if not isinstance(expr.operand, ast.Column):
+            return _MAYBE
+        column = _resolve(expr.operand.name, stats, schema)
+        if column is None:
+            return _MAYBE
+        column_stats = stats[column]
+        if column_stats.row_count == 0:
+            return False, True
+        is_null = (
+            column_stats.null_count > 0,
+            column_stats.null_count == column_stats.row_count,
+        )
+        if expr.negated:
+            return not is_null[1], not is_null[0]
+        return is_null
+    # Like, Arithmetic, bare Column, and future node types: never prune.
+    return _MAYBE
+
+
+# ---------------------------------------------------------------------------
+# Ranking heuristic (no soundness obligation)
+# ---------------------------------------------------------------------------
+def estimate_matches(
+    predicate: Predicate, stats: Mapping[str, ColumnStats]
+) -> float:
+    """Crude expected matching-row count for ranking grabs.
+
+    Zero only when :func:`may_match` proves the split empty; otherwise a
+    zone-map width heuristic. Used to order splits and seed the
+    selectivity estimator's prior — never to skip work.
+    """
+    rows = partition_rows(stats)
+    if rows == 0:
+        return 0.0
+    return _selectivity(predicate, stats) * rows
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+def _compare_selectivity(stats: Mapping[str, ColumnStats], column, op, value) -> float:
+    may, all_ = _column_compare(stats, column, op, value)
+    if not may:
+        return 0.0
+    if all_:
+        return 1.0
+    column_stats = stats.get(column)
+    if column_stats is None or not column_stats.has_minmax:
+        return _EQ_SELECTIVITY if op == "=" else _DEFAULT_SELECTIVITY
+    low, high = column_stats.min_value, column_stats.max_value
+    try:
+        width = float(high) - float(low)
+    except (TypeError, ValueError):
+        return _EQ_SELECTIVITY if op == "=" else _DEFAULT_SELECTIVITY
+    if op == "=":
+        if isinstance(low, bool) or not isinstance(low, (int, float)):
+            return _EQ_SELECTIVITY
+        if isinstance(low, int) and isinstance(high, int):
+            return 1.0 / max(1.0, width + 1.0)
+        return _EQ_SELECTIVITY
+    if width <= 0:
+        return 1.0
+    try:
+        position = (float(value) - float(low)) / width
+    except (TypeError, ValueError):
+        return _DEFAULT_SELECTIVITY
+    if op in ("<", "<="):
+        return _clamp(position)
+    if op in (">", ">="):
+        return _clamp(1.0 - position)
+    if op == "!=":
+        return 1.0 - _compare_selectivity(stats, column, "=", value)
+    return _DEFAULT_SELECTIVITY
+
+
+def _selectivity(predicate: Predicate, stats: Mapping[str, ColumnStats]) -> float:
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, MarkerEquals):
+        return _compare_selectivity(stats, predicate.column, "=", predicate.marker)
+    if isinstance(predicate, ColumnCompare):
+        return _compare_selectivity(
+            stats, predicate.column, predicate.op, predicate.value
+        )
+    if isinstance(predicate, And):
+        product = 1.0
+        for child in predicate.children:
+            product *= _selectivity(child, stats)
+        return product
+    if isinstance(predicate, Or):
+        misses = 1.0
+        for child in predicate.children:
+            misses *= 1.0 - _selectivity(child, stats)
+        return 1.0 - misses
+    if isinstance(predicate, Not):
+        return 1.0 - _selectivity(predicate.child, stats)
+    may, all_ = _analyze(predicate, stats)
+    if not may:
+        return 0.0
+    if all_:
+        return 1.0
+    return _DEFAULT_SELECTIVITY

@@ -1,0 +1,95 @@
+"""Property tests for split-statistics pruning soundness.
+
+The one invariant everything rests on (ISSUE satellite 3): a split the
+analyzer prunes (``may_match`` False) NEVER contains a matching row, and
+dually a split proven all-matching (``matches_all`` True) contains no
+non-matching row — across random data (with NULLs) and random predicate
+trees over both typed columns.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.predicates import And, ColumnCompare, Not, Or
+from repro.scan.mmapstore import collect_column_stats
+from repro.scan.prune import matches_all, may_match
+
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+int_values = st.lists(
+    st.one_of(st.none(), st.integers(min_value=-50, max_value=50)),
+    min_size=0,
+    max_size=12,
+)
+str_values = st.lists(
+    st.one_of(st.none(), st.sampled_from(["a", "b", "c", "dd", "ee", ""])),
+    min_size=0,
+    max_size=12,
+)
+
+int_literal = st.integers(min_value=-55, max_value=55)
+str_literal = st.sampled_from(["a", "b", "c", "dd", "ee", "", "zz"])
+
+leaf = st.one_of(
+    st.builds(ColumnCompare, st.just("x"), st.sampled_from(OPS), int_literal),
+    st.builds(ColumnCompare, st.just("s"), st.sampled_from(OPS), str_literal),
+)
+
+
+def trees(depth):
+    if depth == 0:
+        return leaf
+    child = trees(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(Not, child),
+        st.builds(lambda a, b: And((a, b)), child, child),
+        st.builds(lambda a, b: Or((a, b)), child, child),
+    )
+
+
+def row_matches(predicate, row):
+    """Engine semantics: a comparison over NULL is false (collapsed 3VL)."""
+    if isinstance(predicate, And):
+        return all(row_matches(c, row) for c in predicate.children)
+    if isinstance(predicate, Or):
+        return any(row_matches(c, row) for c in predicate.children)
+    if isinstance(predicate, Not):
+        return not row_matches(predicate.child, row)
+    return predicate.matches(row)
+
+
+@given(ints=int_values, strs=str_values, predicate=trees(2))
+@settings(max_examples=300, deadline=None)
+def test_pruned_split_never_contains_a_match(ints, strs, predicate):
+    rows = max(len(ints), len(strs))
+    ints = ints + [None] * (rows - len(ints))
+    strs = strs + [None] * (rows - len(strs))
+    stats = {
+        "x": collect_column_stats("i", ints, bloom_bits=256),
+        "s": collect_column_stats("s", strs, bloom_bits=256),
+    }
+    data = [{"x": x, "s": s} for x, s in zip(ints, strs)]
+    matching = [row for row in data if row_matches(predicate, row)]
+    if not may_match(predicate, stats):
+        assert matching == [], (
+            f"pruned split contains matches: {predicate!r} -> {matching}"
+        )
+    if matches_all(predicate, stats):
+        assert len(matching) == len(data), (
+            f"matches_all split contains non-matches: {predicate!r}"
+        )
+
+
+@given(values=int_values, literal=int_literal, op=st.sampled_from(OPS))
+@settings(max_examples=300, deadline=None)
+def test_single_comparison_soundness(values, literal, op):
+    stats = {"x": collect_column_stats("i", values, bloom_bits=128)}
+    predicate = ColumnCompare("x", op, literal)
+    matching = sum(
+        1 for v in values if v is not None and predicate.matches({"x": v})
+    )
+    if not may_match(predicate, stats):
+        assert matching == 0
+    if matches_all(predicate, stats):
+        assert matching == len(values)

@@ -41,7 +41,7 @@ class TestSuites:
         assert suites.metric_direction("e2e.sim_response_s") == "lower"
 
     def test_registry_contents(self):
-        assert set(suites.SUITES) == {"kernel", "scan", "scan_mp", "e2e", "sweep"}
+        assert set(suites.SUITES) == {"kernel", "scan", "scan_mp", "scan_prune", "e2e", "sweep"}
 
     def test_resolve_suites_default_and_validation(self):
         assert [s.name for s in suites.resolve_suites(None)] == list(suites.SUITES)
@@ -85,7 +85,7 @@ class TestRunner:
     def test_run_record_shape(self, fake_suite):
         record = runner.run_suites(["fake"], repeats=3, quick=True, label="t")
         assert record["schema"] == history.HISTORY_SCHEMA_VERSION
-        assert record["pr"] == 6
+        assert record["pr"] == 7
         assert len(record["run_id"]) == 12
         assert record["label"] == "t"
         assert record["options"]["suites"] == ["fake"]

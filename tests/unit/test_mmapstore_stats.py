@@ -1,0 +1,175 @@
+"""Unit tests for the RCS footer STATS section (zone maps + blooms)."""
+
+import struct
+
+import pytest
+
+from repro.errors import MmapStoreError
+from repro.scan.mmapstore import (
+    BLOOM_HASHES,
+    DEFAULT_BLOOM_BITS,
+    MIN_VERSION,
+    STATS_MAX_STRING_BYTES,
+    STATS_VERSION,
+    VERSION,
+    BloomFilter,
+    MmapDataset,
+    MmapDatasetWriter,
+    _bloom_positions,
+    collect_column_stats,
+)
+
+NAMES = ("id", "price", "flag", "label")
+TYPES = ("i", "f", "b", "s")
+COLUMNS = {
+    "id": [1, -2, 3, None],
+    "price": [0.5, None, -1.25, 3.0],
+    "flag": [True, False, None, True],
+    "label": ["a", "", None, "héllo"],
+}
+
+
+def write_sample(path, *, stats, partitions=1, bloom_bits=DEFAULT_BLOOM_BITS):
+    with MmapDatasetWriter(
+        path, NAMES, TYPES, meta={"k": "v"}, stats=stats, bloom_bits=bloom_bits
+    ) as writer:
+        for _ in range(partitions):
+            writer.write_partition(COLUMNS, 4)
+    return writer
+
+
+class TestStatsRoundTrip:
+    def test_zone_maps_round_trip(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        write_sample(path, stats=True, partitions=2)
+        ds = MmapDataset(path)
+        assert ds.version == STATS_VERSION
+        assert ds.bloom_bits == DEFAULT_BLOOM_BITS
+        assert ds.bloom_hashes == BLOOM_HASHES
+        for index in range(2):
+            stats = ds.partition_stats(index)
+            assert set(stats) == set(NAMES)
+            assert stats["id"].row_count == 4
+            assert stats["id"].null_count == 1
+            assert (stats["id"].min_value, stats["id"].max_value) == (-2, 3)
+            assert (stats["price"].min_value, stats["price"].max_value) == (-1.25, 3.0)
+            assert (stats["flag"].min_value, stats["flag"].max_value) == (False, True)
+            assert (stats["label"].min_value, stats["label"].max_value) == ("", "héllo")
+
+    def test_blooms_only_on_int_and_str_columns(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        write_sample(path, stats=True)
+        stats = MmapDataset(path).partition_stats(0)
+        assert stats["id"].bloom is not None
+        assert stats["label"].bloom is not None
+        assert stats["price"].bloom is None
+        assert stats["flag"].bloom is None
+
+    def test_bloom_has_no_false_negatives(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        write_sample(path, stats=True)
+        stats = MmapDataset(path).partition_stats(0)
+        for value in (1, -2, 3):
+            assert stats["id"].bloom.might_contain(value)
+        for value in ("a", "", "héllo"):
+            assert stats["label"].bloom.might_contain(value)
+        # Absent values are (with 2048 bits over 3 keys) reliably refuted.
+        assert not stats["id"].bloom.might_contain(999)
+        assert not stats["label"].bloom.might_contain("missing")
+
+    def test_row_counts_survive_empty_partition(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        with MmapDatasetWriter(path, ("a",), ("i",), stats=True) as writer:
+            writer.write_partition({"a": []}, 0)
+        stats = MmapDataset(path).partition_stats(0)
+        assert stats["a"].row_count == 0
+        assert not stats["a"].has_minmax
+
+    def test_partition_stats_range_checked(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        write_sample(path, stats=True)
+        ds = MmapDataset(path)
+        with pytest.raises(MmapStoreError, match="out of range"):
+            ds.partition_stats(1)
+
+
+class TestVersionNegotiation:
+    def test_stats_off_writes_version_one(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        write_sample(path, stats=False)
+        assert path.read_bytes()[4] == MIN_VERSION
+        ds = MmapDataset(path)
+        assert ds.version == MIN_VERSION
+        assert ds.stats is None
+        assert ds.partition_stats(0) is None
+
+    def test_stats_off_file_is_byte_stable(self, tmp_path):
+        """stats=False must produce the exact pre-stats format."""
+        write_sample(tmp_path / "a.rcs", stats=False)
+        write_sample(tmp_path / "b.rcs", stats=False)
+        blob = (tmp_path / "a.rcs").read_bytes()
+        assert blob == (tmp_path / "b.rcs").read_bytes()
+        assert bytes([STATS_VERSION]) != blob[4:5]
+
+    def test_unknown_version_error_names_both_sides(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        write_sample(path, stats=False)
+        blob = bytearray(path.read_bytes())
+        blob[4] = VERSION + 5
+        path.write_bytes(bytes(blob))
+        with pytest.raises(MmapStoreError) as err:
+            MmapDataset(path)
+        message = str(err.value)
+        assert f"unsupported RCS version {VERSION + 5}" in message
+        assert f"reads versions {MIN_VERSION} through {VERSION}" in message
+
+    def test_truncated_stats_section_rejected(self, tmp_path):
+        path = tmp_path / "t.rcs"
+        write_sample(path, stats=True)
+        blob = bytearray(path.read_bytes())
+        # Footer offset/length live at bytes 8..24; chop the stats tail.
+        offset, length = struct.unpack_from("<QQ", blob, 8)
+        struct.pack_into("<QQ", blob, 8, offset, length - 10)
+        path.write_bytes(bytes(blob[: offset + length - 10]))
+        with pytest.raises(MmapStoreError, match="STATS"):
+            MmapDataset(path)
+
+    def test_bloom_bits_validation(self, tmp_path):
+        with pytest.raises(MmapStoreError, match="bloom"):
+            MmapDatasetWriter(tmp_path / "t.rcs", ("a",), ("i",), stats=True, bloom_bits=12)
+        with pytest.raises(MmapStoreError, match="bloom"):
+            MmapDatasetWriter(tmp_path / "t.rcs", ("a",), ("i",), stats=True, bloom_bits=-8)
+
+
+class TestCollectColumnStats:
+    def test_all_null_column_drops_minmax(self):
+        stats = collect_column_stats("i", [None, None])
+        assert stats.row_count == 2
+        assert stats.null_count == 2
+        assert not stats.has_minmax
+
+    def test_nan_drops_minmax(self):
+        stats = collect_column_stats("f", [1.0, float("nan"), 2.0])
+        assert not stats.has_minmax
+
+    def test_long_strings_drop_minmax(self):
+        stats = collect_column_stats("s", ["x" * (STATS_MAX_STRING_BYTES + 1)])
+        assert not stats.has_minmax
+
+    def test_high_cardinality_drops_bloom(self):
+        values = list(range(10_000))
+        stats = collect_column_stats("i", values, bloom_bits=64)
+        assert stats.bloom is None
+        assert (stats.min_value, stats.max_value) == (0, 9_999)
+
+    def test_bloom_positions_are_deterministic(self):
+        first = list(_bloom_positions(b"key", 2048, 4))
+        second = list(_bloom_positions(b"key", 2048, 4))
+        assert first == second
+        assert len(first) == 4
+        assert all(0 <= p < 2048 for p in first)
+
+    def test_bloom_unhashable_value_is_maybe(self):
+        bloom = BloomFilter(bits=64, hashes=2, data=bytes(8))
+        assert bloom.might_contain([1, 2])  # un-keyable: conservative yes
+        assert not bloom.might_contain(7)

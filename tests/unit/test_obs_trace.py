@@ -105,7 +105,11 @@ class TestTypedEvents:
         assert event["knobs"]["grab_limit"] == policy.grab_limit.source
         assert event["progress"]["records_processed"] == 10_000
         assert event["cluster"]["available_map_slots"] == 32
-        assert event["response"] == {"kind": "INPUT_AVAILABLE", "splits": 3}
+        assert event["response"] == {
+            "kind": "INPUT_AVAILABLE",
+            "splits": 3,
+            "pruned": 0,
+        }
 
     def test_initial_phase_allows_null_progress(self):
         recorder = TraceRecorder()
