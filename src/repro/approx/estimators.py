@@ -1,0 +1,369 @@
+"""Error-bounded aggregate estimation over sampled splits.
+
+The accuracy-aware workload (ROADMAP item 2, EARL-style) answers
+COUNT/SUM/AVG — optionally per GROUP BY group — from the splits a
+dynamic job has scanned so far, together with a confidence interval that
+shrinks as more splits arrive. The statistical unit is the *split*, not
+the row: the Input Provider grabs whole splits uniformly at random, so
+the sample is a cluster sample of ``m`` out of ``N`` splits and the
+classical survey estimators apply:
+
+* ``COUNT``: ``T = N * mean(c_i)`` where ``c_i`` is the number of
+  matching rows in observed split ``i``;
+* ``SUM``: the same with per-split value sums ``s_i``;
+* ``AVG``: the ratio estimator ``R = sum(s_i) / sum(c_i)`` with the
+  linearized (Taylor) variance.
+
+Every variance carries the finite-population correction ``(1 - m/N)``,
+so a full scan reports an exact answer with zero width. Intervals use
+Student-t critical values (normal quantiles via the Acklam inverse-CDF
+approximation, with the standard small-sample series correction) — the
+CLT path. Groups observed in too few splits fall back to a
+deterministic, seeded bootstrap over the per-split totals (percentile
+interval), which does not lean on asymptotics.
+
+All math is pure Python and deterministic: the same observations always
+produce the same estimates and widths, which is what lets the audit
+layer replay stopping decisions from a trace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import JobConfError
+
+AGGREGATE_FUNCS = ("count", "sum", "avg")
+
+#: Groups observed in fewer splits than this use the bootstrap interval;
+#: at or above it the CLT (t-interval) path applies.
+BOOTSTRAP_MIN_SPLITS = 8
+
+#: Bootstrap resamples. Enough for a stable 95% percentile interval over
+#: per-split totals; deterministic via a per-(group, m) seeded RNG.
+BOOTSTRAP_RESAMPLES = 200
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate expression: ``count(*)``, ``sum(col)`` or ``avg(col)``."""
+
+    func: str
+    column: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise JobConfError(
+                f"unknown aggregate {self.func!r}; one of {AGGREGATE_FUNCS}"
+            )
+        if self.func == "count" and self.column is not None:
+            raise JobConfError("count takes no column (COUNT(*) only)")
+        if self.func != "count" and not self.column:
+            raise JobConfError(f"{self.func} needs a column")
+
+    @property
+    def needs_values(self) -> bool:
+        """Whether the estimator must see row values (SUM/AVG) or only
+        per-split match counts (COUNT)."""
+        return self.func != "count"
+
+    def serialize(self) -> str:
+        """Wire form for the JobConf parameter bag."""
+        return self.func if self.column is None else f"{self.func}:{self.column}"
+
+    @staticmethod
+    def parse(text: str) -> "AggregateSpec":
+        func, _, column = text.partition(":")
+        return AggregateSpec(func=func.strip(), column=column.strip() or None)
+
+    def __str__(self) -> str:
+        return f"{self.func.upper()}({self.column or '*'})"
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """The current answer for one group (or the single implicit group)."""
+
+    group: object
+    estimate: float | None
+    half_width: float | None  # None until computable (m < 2 or no data)
+    n_splits: int
+    sample_count: int
+    sample_sum: float
+    method: str  # "clt" | "bootstrap" | "exact" | "none"
+
+    def meets(self, target_pct: float) -> bool:
+        """Whether the CI half-width is within ``target_pct`` percent of
+        the estimate. A zero estimate can only be certified by a full
+        scan (method "exact") — a zero-variance sample does not prove a
+        zero total, and the relative target is undefined at zero."""
+        if self.estimate is None or self.half_width is None:
+            return False
+        if self.method == "exact":
+            return True
+        if self.estimate == 0.0:
+            return False
+        return self.half_width <= abs(self.estimate) * (target_pct / 100.0)
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Accurate to ~1e-9 over (0, 1); plenty for critical values.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability must be in (0, 1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def t_quantile(p: float, df: int) -> float:
+    """Student-t quantile via the Cornish-Fisher expansion around z.
+
+    Two correction terms — within ~1% of the exact value for df >= 3,
+    converging to the normal quantile as df grows. Small-sample CIs over
+    few splits need the fatter tails or they under-cover badly.
+    """
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {df}")
+    z = normal_quantile(p)
+    g1 = (z**3 + z) / 4.0
+    g2 = (5.0 * z**5 + 16.0 * z**3 + 3.0 * z) / 96.0
+    return z + g1 / df + g2 / df**2
+
+
+def critical_value(confidence_pct: float, df: int) -> float:
+    """Two-sided critical value at ``confidence_pct`` with ``df`` dof."""
+    if not 50.0 < confidence_pct < 100.0:
+        raise JobConfError(
+            f"confidence must be in (50, 100) percent, got {confidence_pct}"
+        )
+    return t_quantile(0.5 + confidence_pct / 200.0, df)
+
+
+@dataclass
+class _GroupTotals:
+    """Per-split (count, sum) contributions for one group."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    sums: dict[str, float] = field(default_factory=dict)
+
+    def add(self, split_id: str, count: int, total: float) -> None:
+        self.counts[split_id] = self.counts.get(split_id, 0) + count
+        self.sums[split_id] = self.sums.get(split_id, 0.0) + total
+
+
+class AggregateEstimator:
+    """Running error-bounded estimate of one aggregate over grabbed splits.
+
+    Feed it one :meth:`observe_split` call per *completed* split (with
+    that split's per-group matching counts and value sums); read back
+    :meth:`estimates` / :meth:`worst` at any point. ``total_splits`` is
+    the population size N fixed at job initialization.
+    """
+
+    def __init__(
+        self,
+        spec: AggregateSpec,
+        *,
+        total_splits: int,
+        confidence_pct: float = 95.0,
+        bootstrap_min_splits: int = BOOTSTRAP_MIN_SPLITS,
+    ) -> None:
+        if total_splits <= 0:
+            raise JobConfError(
+                f"total_splits must be positive, got {total_splits}"
+            )
+        # Validate eagerly so a bad confidence fails at job setup.
+        critical_value(confidence_pct, df=1)
+        self.spec = spec
+        self.total_splits = total_splits
+        self.confidence_pct = confidence_pct
+        self._bootstrap_min = bootstrap_min_splits
+        self._split_ids: list[str] = []
+        self._seen: set[str] = set()
+        self._groups: dict[object, _GroupTotals] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def observed_splits(self) -> int:
+        return len(self._split_ids)
+
+    def observe_split(
+        self, split_id: str, group_stats: dict[object, tuple[int, float]]
+    ) -> None:
+        """Record one completed split's per-group (count, value-sum)."""
+        if split_id in self._seen:
+            raise JobConfError(f"split {split_id} observed twice")
+        if len(self._split_ids) >= self.total_splits:
+            raise JobConfError(
+                f"observed more splits than the population ({self.total_splits})"
+            )
+        self._seen.add(split_id)
+        self._split_ids.append(split_id)
+        for group, (count, total) in group_stats.items():
+            totals = self._groups.get(group)
+            if totals is None:
+                totals = self._groups[group] = _GroupTotals()
+            totals.add(split_id, count, float(total))
+
+    # ------------------------------------------------------------------
+    # Point estimates + intervals
+    # ------------------------------------------------------------------
+    def estimates(self) -> list[GroupEstimate]:
+        """Per-group estimates, deterministic group order (by str form)."""
+        if not self._groups and self._split_ids:
+            # Splits scanned, nothing matched anywhere: the implicit
+            # (group-less) aggregate still has an answer for COUNT/SUM.
+            return [self._estimate_for(None, _GroupTotals())]
+        return [
+            self._estimate_for(group, totals)
+            for group, totals in sorted(
+                self._groups.items(), key=lambda item: str(item[0])
+            )
+        ]
+
+    def worst(self, target_pct: float) -> GroupEstimate | None:
+        """The group furthest from meeting ``target_pct`` (None if no data)."""
+        candidates = self.estimates() if self._split_ids else []
+        if not candidates:
+            return None
+        worst = None
+        worst_ratio = -1.0
+        for est in candidates:
+            ratio = self._target_ratio(est, target_pct)
+            if ratio > worst_ratio:
+                worst, worst_ratio = est, ratio
+        return worst
+
+    def all_met(self, target_pct: float) -> bool:
+        if not self._split_ids:
+            return False
+        return all(est.meets(target_pct) for est in self.estimates())
+
+    @staticmethod
+    def _target_ratio(est: GroupEstimate, target_pct: float) -> float:
+        """half_width / target, with inf standing in for "unknowable"."""
+        if est.method == "exact":
+            return 0.0
+        if est.estimate is None or est.half_width is None:
+            return math.inf
+        target = abs(est.estimate) * (target_pct / 100.0)
+        return math.inf if target <= 0 else est.half_width / target
+
+    # ------------------------------------------------------------------
+    def _series(self, totals: _GroupTotals) -> tuple[list[float], list[float]]:
+        counts = [float(totals.counts.get(sid, 0)) for sid in self._split_ids]
+        sums = [totals.sums.get(sid, 0.0) for sid in self._split_ids]
+        return counts, sums
+
+    def _estimate_for(self, group: object, totals: _GroupTotals) -> GroupEstimate:
+        counts, sums = self._series(totals)
+        m = len(self._split_ids)
+        sample_count = int(sum(counts))
+        sample_sum = sum(sums)
+        if m == 0:
+            return GroupEstimate(group, None, None, 0, 0, 0.0, "none")
+
+        point = self._point(counts, sums)
+        if point is None:
+            return GroupEstimate(group, None, None, m, sample_count, sample_sum, "none")
+
+        if m >= self.total_splits:
+            # Full population: the answer is exact by construction.
+            return GroupEstimate(group, point, 0.0, m, sample_count, sample_sum, "exact")
+        if m < 2:
+            return GroupEstimate(group, point, None, m, sample_count, sample_sum, "none")
+        if m < self._bootstrap_min:
+            half = self._bootstrap_half_width(group, counts, sums, point)
+            return GroupEstimate(
+                group, point, half, m, sample_count, sample_sum, "bootstrap"
+            )
+        half = self._clt_half_width(counts, sums, point)
+        return GroupEstimate(group, point, half, m, sample_count, sample_sum, "clt")
+
+    def _point(self, counts: list[float], sums: list[float]) -> float | None:
+        m = len(counts)
+        if self.spec.func == "count":
+            return self.total_splits * (sum(counts) / m)
+        if self.spec.func == "sum":
+            return self.total_splits * (sum(sums) / m)
+        matched = sum(counts)
+        if matched <= 0:
+            return None  # AVG over zero matching rows is undefined.
+        return sum(sums) / matched
+
+    def _clt_half_width(
+        self, counts: list[float], sums: list[float], point: float
+    ) -> float:
+        m = len(counts)
+        fpc = max(0.0, 1.0 - m / self.total_splits)
+        t = critical_value(self.confidence_pct, df=m - 1)
+        if self.spec.func in ("count", "sum"):
+            series = counts if self.spec.func == "count" else sums
+            mean = sum(series) / m
+            var = sum((x - mean) ** 2 for x in series) / (m - 1)
+            se = self.total_splits * math.sqrt(fpc * var / m)
+            return t * se
+        # AVG: ratio estimator, linearized residuals d_i = s_i - R*c_i.
+        c_bar = sum(counts) / m
+        residuals = [s - point * c for c, s in zip(counts, sums)]
+        var_d = sum(d * d for d in residuals) / (m - 1)
+        se = math.sqrt(fpc * var_d / m) / c_bar
+        return t * se
+
+    def _bootstrap_half_width(
+        self, group: object, counts: list[float], sums: list[float], point: float
+    ) -> float | None:
+        """Percentile-interval half-width from seeded split resampling.
+
+        The RNG seed is derived from the group and the number of
+        observations, so re-evaluating the same state (or replaying a
+        trace) reproduces the exact same width.
+        """
+        m = len(counts)
+        rng = random.Random(f"approx-bootstrap:{m}:{group!r}")
+        stats: list[float] = []
+        for _ in range(BOOTSTRAP_RESAMPLES):
+            picked = [rng.randrange(m) for _ in range(m)]
+            re_counts = [counts[i] for i in picked]
+            re_sums = [sums[i] for i in picked]
+            value = self._point(re_counts, re_sums)
+            if value is not None:
+                stats.append(value)
+        if len(stats) < BOOTSTRAP_RESAMPLES // 2:
+            return None  # Resamples mostly degenerate (e.g. AVG with no matches).
+        stats.sort()
+        alpha = (100.0 - self.confidence_pct) / 200.0
+        lo = stats[max(0, int(math.floor(alpha * len(stats))))]
+        hi = stats[min(len(stats) - 1, int(math.ceil((1.0 - alpha) * len(stats))) - 1)]
+        # FPC: a bootstrap over an SRSWOR cluster sample overstates the
+        # spread by 1/sqrt(1 - m/N); shrink accordingly so exhausting the
+        # input still converges to zero width.
+        fpc = math.sqrt(max(0.0, 1.0 - m / self.total_splits))
+        return (hi - lo) / 2.0 * fpc

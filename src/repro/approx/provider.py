@@ -1,0 +1,254 @@
+"""The accuracy-aware Input Provider (ROADMAP item 2, EARL-style).
+
+A sibling of :class:`~repro.core.sampling_provider.SamplingInputProvider`
+whose stopping rule is statistical instead of cardinal: the job ends not
+when *k* matching rows exist but when every aggregate group's confidence
+interval is tight enough — half-width within ``sampling.error.pct``
+percent of the estimate at ``sampling.error.confidence`` percent
+confidence. Everything else reuses the paper's machinery unchanged:
+policy GrabLimit caps every grab, the WorkThreshold gates evaluations,
+and splits are drawn uniformly at random so the scanned prefix stays a
+valid cluster sample.
+
+Decision procedure at each evaluation point:
+
+1. If every group meets the error target (with at least a minimum number
+   of observed splits, so a lucky two-split agreement cannot stop the
+   job), END_OF_INPUT.
+2. If no unprocessed splits remain, END_OF_INPUT — the answer becomes
+   exact once the in-flight work lands.
+3. If work is still pending, NO_INPUT_AVAILABLE — per-split totals from
+   those maps are exactly the information the next decision needs.
+4. Otherwise project how many more splits shrink the worst group's
+   half-width to the target (SE scales ~ 1/sqrt(m)) and grab that many,
+   capped by the policy GrabLimit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.approx.estimators import (
+    BOOTSTRAP_MIN_SPLITS,
+    AggregateEstimator,
+    AggregateSpec,
+    GroupEstimate,
+)
+from repro.core.input_provider import InputProvider, ProviderResponse
+from repro.core.protocol import ClusterStatus, JobProgress
+from repro.engine.jobconf import APPROX_AGGREGATE, APPROX_GROUP_BY
+from repro.errors import InputProviderError
+
+#: Never declare the target met before observing this many splits (or
+#: the whole input, if smaller). Below it the interval estimates are too
+#: fragile to certify anything.
+MIN_SPLITS_TO_STOP = BOOTSTRAP_MIN_SPLITS
+
+
+class AccuracyProvider(InputProvider):
+    """Input Provider that stops on CI half-width <= error target."""
+
+    def on_initialize(self) -> None:
+        error_pct = self.conf.error_pct
+        if error_pct is None:
+            raise InputProviderError(
+                f"accuracy job {self.conf.name!r} must set a positive "
+                "sampling.error.pct parameter"
+            )
+        aggregate = self.conf.get(APPROX_AGGREGATE)
+        if not aggregate:
+            raise InputProviderError(
+                f"accuracy job {self.conf.name!r} must set {APPROX_AGGREGATE}"
+            )
+        self._spec = AggregateSpec.parse(aggregate)
+        self._group_by = self.conf.get(APPROX_GROUP_BY) or None
+        self._target_pct = error_pct
+        # The complete input is the population; captured before any grab.
+        total = self.remaining_splits
+        if total <= 0:
+            raise InputProviderError(
+                f"accuracy job {self.conf.name!r} has no input splits"
+            )
+        self._estimator = AggregateEstimator(
+            self._spec,
+            total_splits=total,
+            confidence_pct=self.conf.error_confidence,
+        )
+        self._min_splits = min(total, MIN_SPLITS_TO_STOP)
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> AggregateSpec:
+        return self._spec
+
+    @property
+    def estimator(self) -> AggregateEstimator:
+        return self._estimator
+
+    @property
+    def target_pct(self) -> float:
+        return self._target_pct
+
+    # ------------------------------------------------------------------
+    # Observation: per-split aggregate totals
+    # ------------------------------------------------------------------
+    def observe_split(
+        self,
+        split_id: str,
+        *,
+        records: int,
+        outputs: int,
+        rows: list | None = None,
+    ) -> None:
+        """Fold one finished map task's output into the estimator.
+
+        ``rows`` are the task's map outputs — ``(group_key, value)``
+        pairs emitted by the approx mapper for each matching record.
+        Counter-only substrates (the simulator in profile mode) pass
+        ``None``; that suffices for ungrouped COUNT, where the match
+        count is the whole observation.
+        """
+        if rows is None:
+            if self._spec.needs_values or self._group_by is not None:
+                raise InputProviderError(
+                    f"{self._spec} with group_by={self._group_by!r} needs "
+                    "materialized map outputs; this substrate only reports "
+                    "counters (ungrouped COUNT(*) is the supported shape)"
+                )
+            self._estimator.observe_split(split_id, {None: (outputs, 0.0)})
+            return
+        stats: dict[object, tuple[int, float]] = {}
+        for group, value in rows:
+            count, total = stats.get(group, (0, 0.0))
+            stats[group] = (count + 1, total + float(value))
+        self._estimator.observe_split(split_id, stats)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, progress: JobProgress, cluster: ClusterStatus
+    ) -> ProviderResponse:
+        # (1) Statistical stop: every group inside the error target.
+        if self.target_met:
+            return ProviderResponse.end_of_input()
+
+        # (2) Exhaustion: nothing left to grab; in-flight maps complete
+        # the full scan and the answer becomes exact.
+        if self.remaining_splits == 0:
+            return ProviderResponse.end_of_input()
+
+        # (3) In-flight work carries the very observations that will
+        # tighten the interval; decide again once it lands.
+        if progress.splits_pending > 0:
+            return ProviderResponse.no_input()
+
+        # (4) Project the shortfall in observed splits and grab.
+        limit = self.grab_limit(cluster)
+        if limit <= 0:
+            return ProviderResponse.no_input()
+        take = min(self._needed_splits(), limit)
+        chosen = self.take_all() if math.isinf(take) else self.take_random(take)
+        if not chosen:
+            return ProviderResponse.no_input()
+        return ProviderResponse.input_available(chosen)
+
+    @property
+    def target_met(self) -> bool:
+        """Whether the stopping rule is satisfied right now."""
+        if self._estimator.observed_splits < self._min_splits:
+            return False
+        return self._estimator.all_met(self._target_pct)
+
+    def _needed_splits(self) -> float:
+        """Estimated additional splits to close the worst group's gap.
+
+        Standard error scales ~ sqrt((1/m - 1/N)); inverting that model
+        for the target half-width gives the projected total
+        ``m' = 1 / ((target/h)^2 * (1/m - 1/N) + 1/N)``. Keeping the
+        finite-population correction in the inversion matters: near
+        exhaustion the FPC shrinks the interval quickly, and the
+        FPC-free projection ``m * (h/target)^2`` would routinely demand
+        the whole input when a modest prefix suffices. Unknowable gaps
+        (no interval yet) leave the need unbounded, so the GrabLimit
+        alone governs growth — exactly the uninformed mode of the
+        sampling provider.
+        """
+        m = self._estimator.observed_splits
+        if m < self._min_splits:
+            # Not allowed to stop yet: at minimum reach the floor.
+            return float(self._min_splits - m)
+        worst = self._estimator.worst(self._target_pct)
+        if worst is None or worst.estimate is None or worst.half_width is None:
+            return math.inf
+        if worst.estimate == 0.0:
+            return math.inf
+        target = abs(worst.estimate) * (self._target_pct / 100.0)
+        if target <= 0 or worst.half_width <= 0:
+            return math.inf
+        n = self._estimator.total_splits
+        inv_ratio = target / worst.half_width  # < 1 while unmet
+        coeff = inv_ratio * inv_ratio * max(0.0, 1.0 / m - 1.0 / n)
+        if coeff <= 0:
+            return math.inf
+        needed_total = min(n, math.ceil(1.0 / (coeff + 1.0 / n)))
+        return float(max(1, needed_total - m))
+
+    # ------------------------------------------------------------------
+    # Reporting: trace CI state and final summary
+    # ------------------------------------------------------------------
+    @property
+    def ci_state(self) -> dict:
+        """JSON-safe snapshot of the interval driving the stopping rule.
+
+        Attached to every ``provider_evaluation`` trace event; the audit
+        layer replays the stopping invariant from exactly these fields.
+        Reports the *worst* group — the one the stopping rule waits on.
+        """
+        worst = self._estimator.worst(self._target_pct)
+        state = {
+            "aggregate": self._spec.serialize(),
+            "n": self._estimator.observed_splits,
+            "target_pct": self._target_pct,
+            "confidence_pct": self._estimator.confidence_pct,
+            "met": self.target_met,
+            "estimate": None,
+            "half_width": None,
+        }
+        if worst is not None:
+            state["estimate"] = _json_safe(worst.estimate)
+            state["half_width"] = _json_safe(worst.half_width)
+            if self._group_by is not None:
+                state["group"] = str(worst.group)
+        return state
+
+    def approx_summary(self) -> dict:
+        """Final per-group answer attached to the JobResult."""
+        return {
+            "aggregate": self._spec.serialize(),
+            "group_by": self._group_by,
+            "error_pct": self._target_pct,
+            "confidence_pct": self._estimator.confidence_pct,
+            "observed_splits": self._estimator.observed_splits,
+            "total_splits": self._estimator.total_splits,
+            "target_met": self.target_met,
+            "groups": [_group_dict(est) for est in self._estimator.estimates()],
+        }
+
+
+def _json_safe(value: float | None) -> float | None:
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def _group_dict(est: GroupEstimate) -> dict:
+    return {
+        "group": est.group,
+        "estimate": _json_safe(est.estimate),
+        "half_width": _json_safe(est.half_width),
+        "n_splits": est.n_splits,
+        "sample_count": est.sample_count,
+        "sample_sum": est.sample_sum,
+        "method": est.method,
+    }

@@ -349,6 +349,113 @@ def _bench_scan_prune(quick: bool) -> dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# approx: error-bounded COUNT vs the full-scan baseline
+# ---------------------------------------------------------------------------
+_APPROX_PARTITIONS = 32
+_APPROX_SELECTIVITY = 0.2
+_approx_cache: dict[int, tuple] = {}
+
+
+def _approx_fixture(rows: int):
+    """(predicate, splits, truth) for the approx suite, cached per size.
+
+    A moderately selective predicate (20%) under uniform placement keeps
+    per-split match counts varying by sampling noise alone, so the CLT
+    interval is honest and the stopping point is a real statistical
+    quantity rather than an artifact of planted skew.
+    """
+    cached = _approx_cache.get(rows)
+    if cached is not None:
+        return cached
+    from repro.cluster import paper_topology
+    from repro.data.datasets import build_materialized_dataset, dataset_spec_for_scale
+    from repro.data.predicates import predicate_for_skew
+    from repro.dfs import DistributedFileSystem
+
+    spec = dataset_spec_for_scale(
+        rows / 6_000_000,
+        name="bench_approx_lineitem",
+        num_partitions=_APPROX_PARTITIONS,
+    )
+    predicate = predicate_for_skew(0)
+    dataset = build_materialized_dataset(
+        spec, {predicate: 0.0}, seed=0, selectivity=_APPROX_SELECTIVITY
+    )
+    dfs = DistributedFileSystem(paper_topology().storage_locations())
+    dfs.write_dataset("/bench/lineitem_approx", dataset)
+    splits = dfs.open_splits("/bench/lineitem_approx")
+    truth = dataset.total_matches(predicate.name)
+    _approx_cache[rows] = (predicate, splits, truth)
+    return predicate, splits, truth
+
+
+def _bench_approx(quick: bool) -> dict[str, float]:
+    from repro.approx.estimators import AggregateSpec
+    from repro.approx.job import make_approx_conf
+    from repro.core.sampling_job import make_scan_conf
+    from repro.engine.runtime import LocalRunner
+
+    # Even the quick size keeps enough rows per split that the 1% target
+    # is reachable before input exhaustion — the reduction metric would
+    # otherwise degenerate to 1.0x and the gate would watch a constant.
+    rows = 60_000 if quick else 120_000
+    error_pct = 1.0
+    predicate, splits, truth = _approx_fixture(rows)
+    metrics: dict[str, float] = {}
+
+    scan_conf = make_scan_conf(
+        name="bench_approx_full",
+        input_path="/bench/lineitem_approx",
+        predicate=predicate,
+    )
+    with LocalRunner() as runner:
+        start = wall_clock()
+        full = runner.run(scan_conf, splits)
+        elapsed = wall_clock() - start
+    metrics["approx.full.rows_scanned"] = float(full.records_processed)
+    metrics["approx.full.rows_per_sec"] = (
+        full.records_processed / elapsed if elapsed > 0 else 0.0
+    )
+
+    conf = make_approx_conf(
+        name="bench_approx_count",
+        input_path="/bench/lineitem_approx",
+        predicate=predicate,
+        aggregate=AggregateSpec("count", None),
+        error_pct=error_pct,
+        policy_name="LA",
+    )
+    with LocalRunner() as runner:
+        start = wall_clock()
+        result = runner.run(conf, splits)
+        elapsed = wall_clock() - start
+    if result.approx is None or not result.approx["groups"]:
+        raise BenchError("approx bench produced no aggregate summary")
+    group = result.approx["groups"][0]
+    estimate, half = group["estimate"], group["half_width"]
+    if estimate is None or half is None:
+        raise BenchError("approx bench produced no interval")
+    # Soundness canary: the true count must sit within a generous 3x the
+    # reported half-width (the run is seeded, so this is deterministic).
+    if abs(estimate - truth) > max(3.0 * half, 1e-9):
+        raise BenchError(
+            f"approx estimate {estimate:.0f} +/- {half:.0f} is inconsistent "
+            f"with the true count {truth}"
+        )
+    metrics["approx.count_1pct.rows_scanned"] = float(result.records_processed)
+    metrics["approx.count_1pct.rows_per_sec"] = (
+        result.records_processed / elapsed if elapsed > 0 else 0.0
+    )
+    metrics["approx.count_1pct.splits_scanned"] = float(result.splits_processed)
+    metrics["approx.count_1pct.rows_scanned_reduction_speedup"] = (
+        full.records_processed / result.records_processed
+        if result.records_processed
+        else 0.0
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
 # e2e: one Figure 5 policy cell on the simulated cluster
 # ---------------------------------------------------------------------------
 def _bench_e2e(quick: bool) -> dict[str, float]:
@@ -397,6 +504,11 @@ SUITES: dict[str, Suite] = {
             "scan_prune",
             "split-statistics pruning vs the stats-off sampling baseline",
             _bench_scan_prune,
+        ),
+        Suite(
+            "approx",
+            "error-bounded COUNT (accuracy provider) vs a full scan",
+            _bench_approx,
         ),
         Suite("e2e", "one Figure 5 policy cell end to end (sim substrate)", _bench_e2e),
         Suite("sweep", "sweep engine over a small Figure 5 grid", _bench_sweep),

@@ -296,6 +296,18 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--policy", default="LA")
     sample.add_argument("--k", type=int, default=10_000)
     sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--error", type=float, default=None, metavar="PCT",
+        help=(
+            "run an error-bounded COUNT instead of a k-sample: stop once "
+            "the confidence interval's half-width is within PCT%% of the "
+            "estimate (ignores --k)"
+        ),
+    )
+    sample.add_argument(
+        "--confidence", type=float, default=95.0, metavar="PCT",
+        help="confidence level for --error (default: 95)",
+    )
     _add_trace_arg(sample)
     _add_profile_args(sample)
 
@@ -351,6 +363,21 @@ def build_parser() -> argparse.ArgumentParser:
             "additionally grabs the most promising partitions first, "
             "'stratified' prunes lazily without reordering the grab "
             "stream (default: off)"
+        ),
+    )
+    query.add_argument(
+        "--error", type=float, default=None, metavar="PCT",
+        help=(
+            "default error target for aggregate queries (sets the "
+            "sampling.error.pct session parameter; a WITHIN clause in "
+            "the statement wins)"
+        ),
+    )
+    query.add_argument(
+        "--confidence", type=float, default=None, metavar="PCT",
+        help=(
+            "default confidence level for aggregate queries (sets "
+            "sampling.error.confidence; an AT ... CONFIDENCE clause wins)"
         ),
     )
     _add_trace_arg(query)
@@ -714,25 +741,54 @@ def cmd_sample(args, out) -> int:
     with _trace_recorder(args) as trace, _profiler(args) as profiler:
         cluster = single_user_cluster(seed=args.seed, trace=trace)
         cluster.load_dataset("/d", dataset_for(args.scale, args.skew, args.seed))
-        conf = make_sampling_conf(
-            name="cli-sample", input_path="/d", predicate=predicate,
-            sample_size=args.k, policy_name=args.policy,
-        )
+        if args.error is not None:
+            from repro.approx.estimators import AggregateSpec
+            from repro.approx.job import make_approx_conf
+
+            conf = make_approx_conf(
+                name="cli-sample", input_path="/d", predicate=predicate,
+                aggregate=AggregateSpec("count", None),
+                error_pct=args.error, confidence_pct=args.confidence,
+                policy_name=args.policy,
+            )
+        else:
+            conf = make_sampling_conf(
+                name="cli-sample", input_path="/d", predicate=predicate,
+                sample_size=args.k, policy_name=args.policy,
+            )
         result = cluster.run_job(conf)
         _finish_profile(args, profiler, trace)
+    rows = [
+        ["policy", args.policy],
+        ["dataset", f"{args.scale:g}x (z={args.skew})"],
+    ]
+    if result.approx is not None:
+        group = result.approx["groups"][0] if result.approx["groups"] else None
+        estimate = group["estimate"] if group else None
+        half = group["half_width"] if group else None
+        rows += [
+            ["aggregate", f"COUNT(*) WITHIN {args.error:g}% ERROR"],
+            [
+                "estimate",
+                "-" if estimate is None else f"{estimate:,.0f}"
+                + ("" if half is None else f" +/- {half:,.0f}"),
+            ],
+            ["confidence", f"{result.approx['confidence_pct']:g}%"],
+            ["target met", "yes" if result.approx["target_met"] else "no"],
+        ]
+    else:
+        rows.append(["sample size", result.outputs_produced])
+    rows += [
+        ["response time (s)", result.response_time],
+        ["partitions processed", f"{result.splits_processed}/{result.splits_total}"],
+        ["records scanned", f"{result.records_processed:,}"],
+        ["input increments", result.input_increments],
+        ["provider evaluations", result.evaluations],
+    ]
     print(
         render_table(
             ("Metric", "Value"),
-            [
-                ["policy", args.policy],
-                ["dataset", f"{args.scale:g}x (z={args.skew})"],
-                ["sample size", result.outputs_produced],
-                ["response time (s)", result.response_time],
-                ["partitions processed", f"{result.splits_processed}/{result.splits_total}"],
-                ["records scanned", f"{result.records_processed:,}"],
-                ["input increments", result.input_increments],
-                ["provider evaluations", result.evaluations],
-            ],
+            rows,
             title="Sampling job result",
         ),
         file=out,
@@ -791,6 +847,12 @@ def cmd_query(args, out) -> int:
                 )
                 if args.stats_mode is not None:
                     session.set_param("sampling.stats.mode", args.stats_mode)
+                if args.error is not None:
+                    session.set_param("sampling.error.pct", str(args.error))
+                if args.confidence is not None:
+                    session.set_param(
+                        "sampling.error.confidence", str(args.confidence)
+                    )
                 result = session.execute(args.sql)
             _finish_profile(args, profiler, trace)
     finally:

@@ -115,6 +115,24 @@ class InputProvider:
     ) -> ProviderResponse:
         raise NotImplementedError
 
+    def observe_split(
+        self,
+        split_id: str,
+        *,
+        records: int,
+        outputs: int,
+        rows: list | None = None,
+    ) -> None:
+        """Per-completed-split observation hook (no-op by default).
+
+        The execution substrate calls this once per finished map task,
+        before the next :meth:`evaluate`. ``rows`` carries the task's
+        materialized map outputs when the substrate has them (LocalRunner)
+        and ``None`` when only counters exist (simulated profile mode).
+        Providers that estimate from per-split statistics — the accuracy
+        provider's split-level aggregates — override this.
+        """
+
     # ------------------------------------------------------------------
     # Helpers for subclasses
     # ------------------------------------------------------------------
@@ -237,9 +255,11 @@ def default_providers() -> ProviderRegistry:
 
     ``sampling`` and ``static`` implement the paper; ``adaptive``
     implements its §VII future-work direction (runtime policy switching);
-    ``stats`` adds zone-map/bloom split pruning on top of ``sampling``.
+    ``stats`` adds zone-map/bloom split pruning on top of ``sampling``;
+    ``accuracy`` stops on confidence-interval width instead of k matches.
     """
     # Imported here to avoid a circular import at module load.
+    from repro.approx.provider import AccuracyProvider
     from repro.core.adaptive import AdaptiveSamplingProvider
     from repro.core.sampling_provider import SamplingInputProvider
     from repro.core.static_provider import StaticInputProvider
@@ -250,4 +270,5 @@ def default_providers() -> ProviderRegistry:
     registry.register("static", StaticInputProvider)
     registry.register("adaptive", AdaptiveSamplingProvider)
     registry.register("stats", StatsAwareProvider)
+    registry.register("accuracy", AccuracyProvider)
     return registry

@@ -15,6 +15,7 @@ splits in the simulated substrate.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Any
 
@@ -336,7 +337,11 @@ def _split_matches(
     if predicate.name in counts:
         return counts[predicate.name]
     if fallback_selectivity is not None:
-        return round(split.num_records * fallback_selectivity)
+        # Explicit half-up rounding: built-in round() rounds half to even
+        # (banker's rounding), which at exact .5 boundaries rounds half
+        # the cases *down* and systematically undercounts expected
+        # matches across a sweep of profile-only splits.
+        return math.floor(split.num_records * fallback_selectivity + 0.5)
     raise JobConfError(
         f"split {split.split_id} carries no match profile for predicate "
         f"{predicate.name!r} and no fallback selectivity was given; "

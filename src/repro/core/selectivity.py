@@ -25,10 +25,25 @@ class SelectivityEstimator:
         prior_matches: float = 0.0,
         prior_records: float = 0.0,
     ) -> None:
+        if not (math.isfinite(prior_matches) and math.isfinite(prior_records)):
+            raise InputProviderError(
+                f"priors must be finite, got matches={prior_matches!r} "
+                f"records={prior_records!r}"
+            )
         if prior_matches < 0 or prior_records < 0:
             raise InputProviderError("priors must be non-negative")
         if prior_matches > 0 and prior_records <= 0:
             raise InputProviderError("a match prior requires a record prior")
+        if prior_records > 0 and prior_matches <= 0:
+            # A zero match prior over a positive record prior is not "no
+            # information" — it asserts certainty of zero selectivity,
+            # pinning the early estimate at 0.0 and starving grab sizing
+            # (records_needed -> inf) until real matches accumulate.
+            # Callers with zero observed evidence must pass no prior.
+            raise InputProviderError(
+                "a record prior requires a positive match prior (a zero "
+                "match prior would pin the estimate at 0.0)"
+            )
         self._prior_matches = prior_matches
         self._prior_records = prior_records
         self._records = 0

@@ -92,11 +92,20 @@ class StatsAwareProvider(SamplingInputProvider):
             split for split in self._remaining if split.split_id not in pruned_ids
         ]
         self.splits_pruned = len(prunable)
-        if self._mode == "rank" and surveyed_rows > 0:
+        if (
+            self._mode == "rank"
+            and surveyed_rows > 0
+            and surveyed_matches > 0
+            and math.isfinite(surveyed_matches)
+        ):
             # Seed the selectivity estimator with one average split's
             # worth of zone-map evidence: enough for the first
             # evaluations to bound their need, weak enough for observed
-            # scan results to dominate quickly.
+            # scan results to dominate quickly. Zero (or non-finite)
+            # zone-map evidence is *not* seeded: a zero match prior
+            # would pin the estimate at 0.0 — claiming certainty that
+            # nothing matches — instead of leaving the estimator
+            # honestly uninformed (estimate None) until scans report.
             average_rows = surveyed_rows / surveyed
             self._estimator = SelectivityEstimator(
                 prior_matches=(surveyed_matches / surveyed_rows) * average_rows,

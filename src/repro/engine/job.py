@@ -66,6 +66,10 @@ class JobResult:
     splits_pruned: int = 0
     """Splits the provider retired via split statistics without
     dispatching a map task (provably zero matches)."""
+    approx: dict | None = None
+    """Error-bounded aggregation summary (``AccuracyProvider
+    .approx_summary()``): per-group estimates with CI half-widths.
+    None for every other provider / job shape."""
 
     @property
     def response_time(self) -> float:
@@ -121,6 +125,10 @@ class Job:
         # Fair-scheduler bookkeeping: when this job last received a local
         # assignment opportunity (delay scheduling).
         self.locality_wait_start: float | None = None
+
+        # Error-bounded aggregation summary, set by the JobClient's
+        # completion listener when the job ran an accuracy provider.
+        self.approx: dict | None = None
 
     # ------------------------------------------------------------------
     # Input growth
@@ -289,6 +297,7 @@ class Job:
             input_increments=self.input_increments,
             failed_map_attempts=self.failed_map_attempts,
             metrics_snapshot=self.metrics.snapshot(),
+            approx=self.approx,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -54,6 +54,9 @@ class DynamicJobHandle:
     policy: Policy
     evaluation_task: PeriodicTask | None = None
     splits_completed_at_last_eval: int = 0
+    observed_maps: int = 0
+    """How many completed map tasks have been fed to the provider's
+    ``observe_split`` hook (an index into ``job.completed_maps``)."""
 
 
 class JobClient:
@@ -144,27 +147,55 @@ class JobClient:
                 response_kind="END_OF_INPUT" if complete else "INPUT_AVAILABLE",
                 splits=len(initial),
                 pruned=getattr(provider, "splits_pruned", 0),
+                ci=getattr(provider, "ci_state", None),
             )
+        # The handle is kept even when the initial grab already completed
+        # the input: the completion listener still needs the provider to
+        # feed it the finished maps and collect its final summary.
+        handle = DynamicJobHandle(job=job, provider=provider, policy=policy)
         if not complete:
-            handle = DynamicJobHandle(job=job, provider=provider, policy=policy)
             handle.evaluation_task = PeriodicTask(
                 self._sim,
                 policy.evaluation_interval,
                 lambda: self._evaluate(handle),
                 label=f"evaluate:{job.job_id}",
             )
-            self._handles[job.job_id] = handle
+        self._handles[job.job_id] = handle
         return job
 
     def _completion_listener(self, on_complete: CompletionCallback | None):
         def listener(job: Job) -> None:
             handle = self._handles.pop(job.job_id, None)
-            if handle is not None and handle.evaluation_task is not None:
-                handle.evaluation_task.cancel()
+            if handle is not None:
+                if handle.evaluation_task is not None:
+                    handle.evaluation_task.cancel()
+                # Maps that landed after the last evaluation (in-flight
+                # work at END_OF_INPUT) still belong in the estimate.
+                self._feed_completed(handle)
+                summary = getattr(handle.provider, "approx_summary", None)
+                if summary is not None:
+                    job.approx = summary()
             if on_complete is not None:
                 on_complete(job.to_result())
 
         return listener
+
+    def _feed_completed(self, handle: DynamicJobHandle) -> None:
+        """Feed newly completed map tasks to the provider's observe hook.
+
+        ``output_data`` is the task's materialized map outputs when rows
+        were really executed, or None in profile-only simulation — the
+        provider decides what it can estimate from which.
+        """
+        completed = handle.job.completed_maps
+        for task in completed[handle.observed_maps:]:
+            handle.provider.observe_split(
+                task.split.split_id,
+                records=task.records_processed,
+                outputs=task.outputs_produced,
+                rows=task.output_data,
+            )
+        handle.observed_maps = len(completed)
 
     # ------------------------------------------------------------------
     # The evaluation loop
@@ -181,6 +212,7 @@ class JobClient:
 
         job.record_evaluation()
         handle.splits_completed_at_last_eval = job.splits_completed
+        self._feed_completed(handle)
         progress = job.progress()
         cluster = self._jobtracker.cluster_status()
         with _profile.profiled_span(_profile.PHASE_EVALUATE):
@@ -198,6 +230,7 @@ class JobClient:
                 response_kind=response.kind.name,
                 splits=len(response.splits),
                 pruned=getattr(handle.provider, "splits_pruned", 0),
+                ci=getattr(handle.provider, "ci_state", None),
             )
         if response.kind is ResponseKind.END_OF_INPUT:
             if handle.evaluation_task is not None:

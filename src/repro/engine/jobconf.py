@@ -34,6 +34,14 @@ SAMPLE_SIZE = "sampling.size"
 SAMPLING_PREDICATE = "sampling.predicate"
 STATS_MODE = "sampling.stats.mode"
 
+# Error-bounded aggregation (ROADMAP item 2): the accuracy provider
+# stops when every group's CI half-width is within ERROR_PCT percent of
+# its estimate at ERROR_CONFIDENCE percent confidence.
+ERROR_PCT = "sampling.error.pct"
+ERROR_CONFIDENCE = "sampling.error.confidence"
+APPROX_AGGREGATE = "approx.aggregate"
+APPROX_GROUP_BY = "approx.group.by"
+
 #: How the stats-aware provider uses split statistics: ``off`` (exact
 #: baseline behavior), ``prune`` (retire provably-empty splits up
 #: front), ``rank`` (prune + order grabs by estimated matches), or
@@ -133,6 +141,18 @@ class JobConf:
         except ValueError:
             raise JobConfError(f"parameter {key}={raw!r} is not an integer") from None
 
+    def get_float(self, key: str, default: float | None = None) -> float | None:
+        raw = self.params.get(key)
+        if raw is None:
+            return default
+        try:
+            value = float(raw)
+        except ValueError:
+            raise JobConfError(f"parameter {key}={raw!r} is not a number") from None
+        if value != value or value in (float("inf"), float("-inf")):
+            raise JobConfError(f"parameter {key}={raw!r} must be finite")
+        return value
+
     # ------------------------------------------------------------------
     # Dynamic-job parameters (the paper's JobConf extension)
     # ------------------------------------------------------------------
@@ -151,6 +171,25 @@ class JobConf:
     @property
     def sample_size(self) -> int | None:
         return self.get_int(SAMPLE_SIZE)
+
+    @property
+    def error_pct(self) -> float | None:
+        """Relative error target in percent, e.g. 5.0 for WITHIN 5% ERROR."""
+        value = self.get_float(ERROR_PCT)
+        if value is not None and value <= 0:
+            raise JobConfError(f"{ERROR_PCT} must be positive, got {value}")
+        return value
+
+    @property
+    def error_confidence(self) -> float:
+        """Confidence level in percent for the error target (default 95)."""
+        value = self.get_float(ERROR_CONFIDENCE, 95.0)
+        assert value is not None
+        if not 50.0 < value < 100.0:
+            raise JobConfError(
+                f"{ERROR_CONFIDENCE} must be in (50, 100), got {value}"
+            )
+        return value
 
     @property
     def stats_mode(self) -> str:

@@ -138,10 +138,14 @@ class LocalRunner:
                 total_splits=len(splits),
                 sample_size=conf.sample_size,
             )
+        approx = None
         if conf.is_dynamic:
-            map_results, evaluations, increments, pruned = self._run_dynamic(
-                conf, splits, job_id
+            map_results, evaluations, increments, pruned, provider = (
+                self._run_dynamic(conf, splits, job_id)
             )
+            summary = getattr(provider, "approx_summary", None)
+            if summary is not None:
+                approx = summary()
         else:
             map_results = self._run_map_batch(conf, splits, job_id=job_id)
             evaluations, increments, pruned = 0, 1, 0
@@ -174,6 +178,7 @@ class LocalRunner:
             input_increments=increments,
             metrics_snapshot=registry.snapshot(),
             splits_pruned=pruned,
+            approx=approx,
         )
 
     def _job_registry(
@@ -206,7 +211,7 @@ class LocalRunner:
     # ------------------------------------------------------------------
     def _run_dynamic(
         self, conf: JobConf, splits: list[InputSplit], job_id: str
-    ) -> tuple[list[LocalMapResult], int, int, int]:
+    ) -> tuple[list[LocalMapResult], int, int, int, object]:
         conf.validate_dynamic()
         policy = self._policies.get(conf.policy_name)  # type: ignore[arg-type]
         provider = self._providers.create(conf.input_provider_name)  # type: ignore[arg-type]
@@ -231,6 +236,7 @@ class LocalRunner:
                 response_kind="END_OF_INPUT" if complete else "INPUT_AVAILABLE",
                 splits=len(batch),
                 pruned=getattr(provider, "splits_pruned", 0),
+                ci=getattr(provider, "ci_state", None),
             )
         map_results: list[LocalMapResult] = []
         evaluations = 0
@@ -238,7 +244,15 @@ class LocalRunner:
         idle_evaluations = 0
 
         while True:
-            map_results.extend(self._run_map_batch(conf, batch, job_id=job_id))
+            batch_results = self._run_map_batch(conf, batch, job_id=job_id)
+            map_results.extend(batch_results)
+            for result in batch_results:
+                provider.observe_split(
+                    result.split.split_id,
+                    records=result.records_processed,
+                    outputs=len(result.outputs),
+                    rows=result.outputs,
+                )
             if complete:
                 break
             evaluations += 1
@@ -258,6 +272,7 @@ class LocalRunner:
                     response_kind=response.kind.name,
                     splits=len(response.splits),
                     pruned=getattr(provider, "splits_pruned", 0),
+                    ci=getattr(provider, "ci_state", None),
                 )
             if response.kind is ResponseKind.END_OF_INPUT:
                 break
@@ -280,6 +295,7 @@ class LocalRunner:
             evaluations,
             increments,
             getattr(provider, "splits_pruned", 0),
+            provider,
         )
 
     def _progress(

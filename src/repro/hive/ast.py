@@ -131,10 +131,24 @@ Expression = Union[
 # Statements
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
-class SelectStatement:
-    """``SELECT cols FROM table [WHERE expr] [LIMIT k]``.
+class Aggregate:
+    """``COUNT(*)``, ``SUM(col)`` or ``AVG(col)`` in the select list."""
 
-    ``columns`` is None for ``SELECT *``.
+    func: str  # "count" | "sum" | "avg"
+    column: str | None  # None for COUNT(*)
+
+    def __str__(self) -> str:
+        return f"{self.func.upper()}({self.column or '*'})"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """``SELECT cols FROM table [WHERE expr] [LIMIT k]`` — or the
+    error-bounded aggregate form ``SELECT agg(...) FROM table [WHERE expr]
+    [GROUP BY col] WITHIN p% ERROR [AT c% CONFIDENCE]``.
+
+    ``columns`` is None for ``SELECT *`` (and for aggregate queries,
+    where ``aggregate`` carries the select list instead).
     """
 
     columns: tuple[str, ...] | None
@@ -142,12 +156,25 @@ class SelectStatement:
     where: Expression | None
     limit: int | None
     explain: bool = False
+    aggregate: Aggregate | None = None
+    group_by: str | None = None
+    error_pct: float | None = None
+    confidence_pct: float | None = None
 
     def __str__(self) -> str:
-        cols = "*" if self.columns is None else ", ".join(self.columns)
+        if self.aggregate is not None:
+            cols = str(self.aggregate)
+        else:
+            cols = "*" if self.columns is None else ", ".join(self.columns)
         text = f"SELECT {cols} FROM {self.table}"
         if self.where is not None:
             text += f" WHERE {self.where}"
+        if self.group_by is not None:
+            text += f" GROUP BY {self.group_by}"
+        if self.error_pct is not None:
+            text += f" WITHIN {self.error_pct}% ERROR"
+            if self.confidence_pct is not None:
+                text += f" AT {self.confidence_pct}% CONFIDENCE"
         if self.limit is not None:
             text += f" LIMIT {self.limit}"
         return text

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.approx.estimators import AggregateSpec
+from repro.approx.job import make_approx_conf
 from repro.core.sampling_job import make_sampling_conf, make_scan_conf
 from repro.data.predicates import TruePredicate
 from repro.data.schema import Schema
@@ -25,9 +27,12 @@ PARAM_DYNAMIC = "dynamic.job"
 PARAM_PROVIDER = "dynamic.input.provider"
 PARAM_FALLBACK_SELECTIVITY = "hive.scan.fallback.selectivity"
 PARAM_STATS_MODE = "sampling.stats.mode"
+PARAM_ERROR_PCT = "sampling.error.pct"
+PARAM_ERROR_CONFIDENCE = "sampling.error.confidence"
 
 DEFAULT_POLICY = "LA"
 DEFAULT_PROVIDER = "sampling"
+DEFAULT_ACCURACY_PROVIDER = "accuracy"
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,8 @@ class QueryCompiler:
         self._query_counter += 1
         name = f"hive-q{self._query_counter}-{user}"
 
+        if statement.aggregate is not None:
+            return self._compile_aggregate(statement, table, params, name, user)
         if statement.limit is not None:
             dynamic = params.get(PARAM_DYNAMIC, "true").lower() != "false"
             policy = params.get(PARAM_POLICY, DEFAULT_POLICY) if dynamic else None
@@ -102,6 +109,71 @@ class QueryCompiler:
             input_path=table.path,
             predicate=predicate,
             columns=columns,
+            fallback_selectivity=float(fallback) if fallback is not None else None,
+            user=user,
+        )
+
+    def _compile_aggregate(
+        self,
+        statement: SelectStatement,
+        table: Table,
+        params: dict[str, str],
+        name: str,
+        user: str,
+    ) -> JobConf:
+        """An error-bounded aggregation job over the accuracy provider.
+
+        The error target comes from the statement's ``WITHIN p% ERROR``
+        clause, falling back to the session's ``sampling.error.pct``
+        parameter; without either there is no stopping rule to run, so
+        the query is rejected at analysis time rather than scanning
+        everything silently.
+        """
+        predicate = (
+            compile_predicate(statement.where, table.schema)
+            if statement.where is not None
+            else TruePredicate()
+        )
+        error_pct = statement.error_pct
+        if error_pct is None:
+            raw = params.get(PARAM_ERROR_PCT)
+            if raw is None:
+                raise HiveAnalysisError(
+                    f"aggregate query {statement.aggregate} needs an error "
+                    f"target: add WITHIN <p>% ERROR or SET {PARAM_ERROR_PCT}"
+                )
+            error_pct = float(raw)
+        confidence_pct = statement.confidence_pct
+        if confidence_pct is None:
+            confidence_pct = float(params.get(PARAM_ERROR_CONFIDENCE, "95"))
+        assert statement.aggregate is not None
+        spec = AggregateSpec(
+            func=statement.aggregate.func,
+            column=(
+                resolve_column(statement.aggregate.column, table.schema)
+                if statement.aggregate.column is not None
+                else None
+            ),
+        )
+        group_by = (
+            resolve_column(statement.group_by, table.schema)
+            if statement.group_by is not None
+            else None
+        )
+        fallback = params.get(PARAM_FALLBACK_SELECTIVITY)
+        return make_approx_conf(
+            name=name,
+            input_path=table.path,
+            predicate=predicate,
+            aggregate=spec,
+            error_pct=error_pct,
+            confidence_pct=confidence_pct,
+            group_by=group_by,
+            policy_name=params.get(PARAM_POLICY, DEFAULT_POLICY),
+            # Always the accuracy provider: a session-level provider
+            # override targets sampling queries (e.g. "stats"), whose
+            # providers cannot run a CI stopping rule.
+            provider_name=DEFAULT_ACCURACY_PROVIDER,
             fallback_selectivity=float(fallback) if fallback is not None else None,
             user=user,
         )

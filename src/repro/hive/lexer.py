@@ -12,6 +12,10 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "LIMIT", "AND", "OR", "NOT",
     "BETWEEN", "IN", "LIKE", "IS", "NULL", "TRUE", "FALSE",
     "SET", "EXPLAIN",
+    # Error-bounded aggregation: GROUP BY and WITHIN p% ERROR
+    # [AT c% CONFIDENCE]. COUNT/SUM/AVG stay identifiers, recognized
+    # contextually by the parser, so they remain usable as column names.
+    "GROUP", "BY", "WITHIN", "ERROR", "AT", "CONFIDENCE",
 }
 
 

@@ -4,8 +4,11 @@ Grammar (lowest to highest precedence within expressions)::
 
     statement  := select | set
     set        := SET key '=' value
-    select     := [EXPLAIN] SELECT cols FROM ident [WHERE expr] [LIMIT num] [';']
-    cols       := '*' | ident (',' ident)*
+    select     := [EXPLAIN] SELECT cols FROM ident [WHERE expr]
+                  [GROUP BY ident] [WITHIN num '%' ERROR [AT num '%' CONFIDENCE]]
+                  [LIMIT num] [';']
+    cols       := '*' | aggregate | ident (',' ident)*
+    aggregate  := COUNT '(' '*' ')' | (SUM | AVG) '(' ident ')'
     expr       := or
     or         := and (OR and)*
     and        := not (AND not)*
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 from repro.errors import HiveSyntaxError
 from repro.hive.ast import (
+    Aggregate,
     Arithmetic,
     Between,
     Column,
@@ -141,14 +145,47 @@ class _Parser:
     def _parse_select(self) -> SelectStatement:
         explain = self._accept_keyword("EXPLAIN")
         self._expect_keyword("SELECT")
-        columns = self._parse_columns()
+        aggregate = self._parse_aggregate()
+        columns = self._parse_columns() if aggregate is None else None
         self._expect_keyword("FROM")
         table = self._expect_identifier()
         where = None
         if self._accept_keyword("WHERE"):
             where = self._parse_expression()
+        group_by = None
+        if self._peek().is_keyword("GROUP"):
+            group_token = self._next()
+            self._expect_keyword("BY")
+            if aggregate is None:
+                raise HiveSyntaxError(
+                    "GROUP BY requires an aggregate select list "
+                    "(COUNT(*)/SUM(col)/AVG(col))",
+                    position=group_token.position,
+                )
+            group_by = self._expect_identifier()
+        error_pct = None
+        confidence_pct = None
+        if self._peek().is_keyword("WITHIN"):
+            within_token = self._next()
+            if aggregate is None:
+                raise HiveSyntaxError(
+                    "WITHIN ... ERROR requires an aggregate select list",
+                    position=within_token.position,
+                )
+            error_pct = self._parse_percent("WITHIN")
+            self._expect_keyword("ERROR")
+            if self._accept_keyword("AT"):
+                confidence_pct = self._parse_percent("AT")
+                self._expect_keyword("CONFIDENCE")
         limit = None
-        if self._accept_keyword("LIMIT"):
+        if self._peek().is_keyword("LIMIT"):
+            limit_keyword = self._next()
+            if aggregate is not None:
+                raise HiveSyntaxError(
+                    "an aggregate query cannot take LIMIT; "
+                    "bound it with WITHIN ... ERROR instead",
+                    position=limit_keyword.position,
+                )
             limit_token = self._next()
             if limit_token.kind is not TokenKind.NUMBER or "." in limit_token.text:
                 raise HiveSyntaxError(
@@ -162,8 +199,52 @@ class _Parser:
                     position=limit_token.position,
                 )
         return SelectStatement(
-            columns=columns, table=table, where=where, limit=limit, explain=explain
+            columns=columns, table=table, where=where, limit=limit, explain=explain,
+            aggregate=aggregate, group_by=group_by,
+            error_pct=error_pct, confidence_pct=confidence_pct,
         )
+
+    def _parse_aggregate(self) -> Aggregate | None:
+        """COUNT/SUM/AVG are contextual: aggregate only as ``name (``."""
+        token = self._peek()
+        if token.kind is not TokenKind.IDENTIFIER:
+            return None
+        func = token.text.upper()
+        if func not in ("COUNT", "SUM", "AVG"):
+            return None
+        opener = self._peek(1)
+        if opener.kind is not TokenKind.PUNCT or opener.text != "(":
+            return None
+        self._next()  # function name
+        self._next()  # "("
+        if func == "COUNT":
+            if not self._accept_punct("*"):
+                bad = self._peek()
+                raise HiveSyntaxError(
+                    f"COUNT supports only COUNT(*), found {bad}",
+                    position=bad.position,
+                )
+            column = None
+        else:
+            column = self._expect_identifier()
+        self._expect_punct(")")
+        return Aggregate(func=func.lower(), column=column)
+
+    def _parse_percent(self, context: str) -> float:
+        """A ``<number> %`` pair, as in ``WITHIN 5% ERROR``."""
+        token = self._next()
+        if token.kind is not TokenKind.NUMBER:
+            raise HiveSyntaxError(
+                f"{context} needs a number, found {token}", position=token.position
+            )
+        value = float(token.text)
+        if value <= 0:
+            raise HiveSyntaxError(
+                f"{context} percentage must be positive, got {token.text}",
+                position=token.position,
+            )
+        self._expect_punct("%")
+        return value
 
     def _parse_columns(self) -> tuple[str, ...] | None:
         if self._accept_punct("*"):

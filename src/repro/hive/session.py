@@ -92,7 +92,12 @@ class HiveSession:
             )
         conf = self.compile(statement)
         result = self._run(conf)
-        rows = [value for _key, value in (result.output_data or [])]
+        if result.approx is not None:
+            from repro.approx.job import finalize_rows
+
+            rows = finalize_rows(result.output_data, result.approx)
+        else:
+            rows = [value for _key, value in (result.output_data or [])]
         return QueryResult(statement=str(statement), rows=rows, job=result)
 
     def compile(self, statement: SelectStatement) -> JobConf:
@@ -108,7 +113,7 @@ class HiveSession:
 
 def _explain(conf: JobConf) -> dict:
     """The execution-plan summary EXPLAIN returns."""
-    return {
+    plan = {
         "job": conf.name,
         "input": conf.input_path,
         "dynamic": conf.is_dynamic,
@@ -117,3 +122,11 @@ def _explain(conf: JobConf) -> dict:
         "sample_size": conf.sample_size,
         "reduce_tasks": conf.num_reduce_tasks,
     }
+    if conf.error_pct is not None:
+        from repro.engine.jobconf import APPROX_AGGREGATE, APPROX_GROUP_BY
+
+        plan["aggregate"] = conf.get(APPROX_AGGREGATE)
+        plan["group_by"] = conf.get(APPROX_GROUP_BY)
+        plan["error_pct"] = conf.error_pct
+        plan["confidence_pct"] = conf.error_confidence
+    return plan

@@ -79,6 +79,10 @@ class Evaluation:
     response_pruned: int = 0
     """Cumulative splits the provider retired via split statistics (zone
     maps / bloom filters) up to this evaluation; 0 for older traces."""
+    response_ci: dict | None = None
+    """Confidence-interval state an accuracy provider attached to this
+    evaluation (estimate, half_width, met, …); None for other providers
+    and for older traces."""
 
 
 @dataclass
@@ -308,6 +312,7 @@ class PolicySummary:
     splits_added: float
     splits_total: float | None
     records_processed: float
+    splits_pruned: float  # mean splits retired via split statistics
     evaluations: float
     increments: float
     failed_attempts: float
@@ -420,6 +425,7 @@ def analyze_trace(events: Iterable[dict]) -> RunModel:
                     response_kind=response["kind"],
                     response_splits=response["splits"],
                     response_pruned=response.get("pruned", 0),
+                    response_ci=response.get("ci"),
                 )
             )
             if job.policy is None:
@@ -514,6 +520,7 @@ def policy_summaries(model: RunModel) -> dict[str, PolicySummary]:
             splits_added=_mean([float(j.splits_added) for j in jobs]),
             splits_total=_mean(totals) if totals else None,
             records_processed=_mean([float(j.records_processed) for j in jobs]),
+            splits_pruned=_mean([float(j.splits_pruned) for j in jobs]),
             # Periodic evaluations only, matching JobResult.evaluations.
             evaluations=_mean(
                 [

@@ -23,6 +23,10 @@ the fact*, independently of the engine that produced the run:
   never exceeds the job's total split count.
 * ``no_input_after_end`` — after ``END_OF_INPUT`` the provider is never
   invoked again and no further splits are added.
+* ``accuracy_stopping`` — for accuracy (error-bounded aggregation) jobs,
+  whose evaluations carry a ``ci`` state: once the CI target is met the
+  provider never grants more input, and ``END_OF_INPUT`` is declared
+  only with the target met or the input exhausted.
 * ``splits_added_replay`` — at every evaluation, the progress the
   provider saw satisfies ``splits_added == sum of all prior grants``
   (client/tracker split accounting agrees with the provider's own
@@ -237,6 +241,38 @@ def _audit_policy_contract(job, report: AuditReport) -> None:
                     f"{job.total_splits} splits ({pruned} pruned)",
                 )
 
+        # Accuracy stopping contract: accuracy-provider evaluations carry
+        # a CI snapshot, which is exactly enough to replay the stopping
+        # rule after the fact.
+        ci = evaluation.response_ci
+        if ci is not None:
+            if ci.get("met") and kind == "INPUT_AVAILABLE":
+                report.add(
+                    "accuracy_stopping", job.job_id, seq,
+                    f"granted {splits} splits although the CI target is "
+                    f"already met (estimate={ci.get('estimate')} "
+                    f"+/- {ci.get('half_width')} at {ci.get('target_pct')}% "
+                    "target)",
+                )
+            if kind == "END_OF_INPUT" and not ci.get("met"):
+                if evaluation.phase == "evaluate" and progress is not None:
+                    exhausted = (
+                        progress["splits_added"] + splits + pruned
+                        >= progress["total_splits_known"]
+                    )
+                elif job.total_splits is not None:
+                    exhausted = splits + pruned >= job.total_splits
+                else:
+                    exhausted = True  # total unknown; cannot dispute
+                if not exhausted:
+                    report.add(
+                        "accuracy_stopping", job.job_id, seq,
+                        "END_OF_INPUT with the CI target unmet and input "
+                        f"not exhausted (n={ci.get('n')} splits observed, "
+                        f"estimate={ci.get('estimate')} "
+                        f"+/- {ci.get('half_width')})",
+                    )
+
         if kind == "END_OF_INPUT":
             ended_at = seq
         if splits > 0 and kind in ("INPUT_AVAILABLE", "END_OF_INPUT"):
@@ -351,7 +387,13 @@ def audit_events(events: Iterable[dict]) -> AuditReport:
         report.jobs_checked += 1
         _audit_policy_contract(job, report)
         _audit_task_accounting(job, report)
-        if job.sample_size is None and job.evaluations:
+        if (
+            job.sample_size is None
+            and job.evaluations
+            # Accuracy jobs stop on CI width, not k; their evaluations
+            # carry a ci state and the accuracy_stopping check applies.
+            and not any(e.response_ci for e in job.evaluations)
+        ):
             report.notes.append(
                 f"{job.job_id}: no sample_size recorded; END_OF_INPUT k-check "
                 "limited to input exhaustion"

@@ -162,6 +162,7 @@ _DIFF_METRICS = (
     ("splits consumed", "splits_consumed"),
     ("splits added", "splits_added"),
     ("records", "records_processed"),
+    ("splits pruned", "splits_pruned"),
     ("evals", "evaluations"),
     ("waves", "increments"),
     ("failed maps", "failed_attempts"),

@@ -192,6 +192,7 @@ class TraceRecorder(JobHistory):
         response_kind: str,
         splits: int,
         pruned: int = 0,
+        ci: dict | None = None,
     ) -> None:
         """One Input Provider invocation (paper §III-A evaluation loop).
 
@@ -201,8 +202,18 @@ class TraceRecorder(JobHistory):
         provider's *cumulative* count of splits retired via split
         statistics without dispatch; the audit folds it into the
         splits-accounting invariant. Older traces (and providers without
-        statistics) simply omit/zero it.
+        statistics) simply omit/zero it. ``ci`` is the accuracy
+        provider's interval snapshot (estimate, half_width, n, met);
+        attached only when the provider exposes one, so traces from
+        other providers are byte-identical to before.
         """
+        response: dict[str, Any] = {
+            "kind": response_kind,
+            "splits": splits,
+            "pruned": pruned,
+        }
+        if ci is not None:
+            response["ci"] = ci
         self.emit(
             "provider_evaluation",
             time,
@@ -212,7 +223,7 @@ class TraceRecorder(JobHistory):
             knobs=knobs,
             progress=progress,
             cluster=cluster,
-            response={"kind": response_kind, "splits": splits, "pruned": pruned},
+            response=response,
         )
 
     def scan_span(

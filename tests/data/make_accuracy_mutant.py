@@ -1,0 +1,86 @@
+"""Write a deliberately-broken accuracy (error-bounded) trace for CI.
+
+CI runs ``repro audit`` twice on accuracy traces: on a freshly recorded
+error-bounded COUNT run (must pass) and on the mutant this script writes
+(must fail). The mutation seeds a *premature stop*: the first
+evaluate-phase ``INPUT_AVAILABLE`` response whose attached CI state is
+still unmet is flipped to ``END_OF_INPUT`` — the provider claims the job
+is done while its own interval is wider than the target and most of the
+input was never scanned, so the auditor's ``accuracy_stopping`` check
+must fire. Generating the trace live (instead of checking one in) means
+the mutant can never drift out of sync with the trace schema.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/make_accuracy_mutant.py [OUT] [CLEAN]
+
+``OUT`` defaults to ``tests/data/accuracy_mutant.jsonl``; pass ``CLEAN``
+to also keep the unmutated trace (for the must-pass audit).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def record_accuracy_trace(path: Path) -> list[dict]:
+    """One multi-wave error-bounded COUNT on the simulated cluster."""
+    from repro.cli import main as repro_main
+
+    code = repro_main(
+        [
+            "sample", "--scale", "5", "--error", "1", "--seed", "0",
+            "--trace-out", str(path),
+        ],
+        out=io.StringIO(),
+    )
+    if code != 0:
+        raise SystemExit(f"accuracy sample run failed with exit code {code}")
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line
+    ]
+
+
+def mutate(events: list[dict]) -> list[dict]:
+    for event in events:
+        if (
+            event["type"] == "provider_evaluation"
+            and event["phase"] == "evaluate"
+            and event["response"]["kind"] == "INPUT_AVAILABLE"
+            and not (event["response"].get("ci") or {}).get("met")
+        ):
+            event["response"] = {
+                "kind": "END_OF_INPUT",
+                "splits": 0,
+                "ci": event["response"].get("ci"),
+            }
+            return events
+    raise SystemExit(
+        "trace has no unmet evaluate-phase INPUT_AVAILABLE response to mutate"
+    )
+
+
+def main() -> None:
+    here = Path(__file__).parent
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else here / "accuracy_mutant.jsonl"
+    clean = Path(sys.argv[2]) if len(sys.argv) > 2 else None
+    with tempfile.TemporaryDirectory(prefix="repro_accuracy_mutant_") as tmp:
+        scratch = clean if clean is not None else Path(tmp) / "clean.jsonl"
+        events = record_accuracy_trace(scratch)
+    mutate(events)
+    with out.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    print(f"wrote {out} (premature accuracy END_OF_INPUT seeded)")
+    if clean is not None:
+        print(f"kept clean trace at {clean}")
+
+
+if __name__ == "__main__":
+    main()

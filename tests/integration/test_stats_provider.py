@@ -115,6 +115,45 @@ class TestRankAndStratified:
         result = run_mode(splits, pred, "stratified", k=5)
         assert result.outputs_produced == 5
 
+    def make_rank_provider(self, pred, splits):
+        import random
+
+        from repro import make_sampling_conf
+        from repro.core import default_providers, paper_policies
+
+        conf = make_sampling_conf(
+            name="q", input_path="/t", predicate=pred, sample_size=10,
+            policy_name="LA", stats_mode="rank",
+        )
+        provider = default_providers().create("stats")
+        provider.initialize(
+            list(splits), conf, paper_policies().get("LA"), random.Random(0)
+        )
+        return provider
+
+    def test_rank_seeds_prior_from_zone_maps(self, stats_splits):
+        pred, _data, splits = stats_splits
+        provider = self.make_rank_provider(pred, splits)
+        assert provider.estimator.estimate is not None
+        assert provider.estimator.estimate > 0
+
+    def test_rank_zero_zone_map_evidence_stays_uninformed(
+        self, stats_splits, monkeypatch
+    ):
+        # Regression: zero surveyed matches used to seed a (0, records)
+        # prior, pinning the estimate at 0.0 — claiming certainty that
+        # nothing matches. It must leave the estimator uninformed.
+        from repro.scan import prune
+
+        pred, _data, splits = stats_splits
+        monkeypatch.setattr(
+            prune, "estimate_matches", lambda predicate, stats: 0.0
+        )
+        provider = self.make_rank_provider(pred, splits)
+        assert provider.estimator.estimate is None
+        result = run_mode(splits, pred, "rank", k=10)
+        assert result.outputs_produced == 10
+
 
 class TestOffModeIdentity:
     def test_off_mode_is_byte_identical_to_sampling_provider(self, stats_splits):
@@ -163,3 +202,38 @@ class TestTraceAndAudit:
         evaluations[-1]["response"]["pruned"] = -1
         report = audit_events(events)
         assert any(v.check == "pruned_monotonic" for v in report.violations)
+
+    def test_report_diff_carries_splits_pruned(self, stats_splits, tmp_path):
+        # A prune-mode trace against an off-mode trace: the per-policy
+        # diff must surface the pruned-split counts, and the rendered
+        # markdown must be byte-deterministic across rebuilds.
+        from repro.obs import load_trace
+        from repro.obs.report import build_report, render_markdown
+
+        pred, _data, splits = stats_splits
+        off_path = tmp_path / "off.jsonl"
+        prune_path = tmp_path / "prune.jsonl"
+        with TraceRecorder(off_path) as trace:
+            run_mode(splits, pred, "off", k=ROWS, trace=trace)
+        with TraceRecorder(prune_path) as trace:
+            pruned = run_mode(splits, pred, "prune", k=ROWS, trace=trace)
+        assert pruned.splits_pruned > 0
+
+        def render():
+            traces = [
+                ("off", load_trace(off_path)),
+                ("prune", load_trace(prune_path)),
+            ]
+            return render_markdown(build_report(traces, diff=True))
+
+        text = render()
+        assert text == render()
+        row = next(
+            line for line in text.splitlines() if "splits pruned" in line
+        )
+        # Cells: metric | off | prune | delta — off pruned nothing.
+        cells = [cell.strip() for cell in row.strip("|").split("|")]
+        assert cells == [
+            "splits pruned", "0", f"{pruned.splits_pruned:,}",
+            f"{pruned.splits_pruned:,}",
+        ]

@@ -1,0 +1,295 @@
+"""Unit tests for the error-bounded aggregate estimators."""
+
+import math
+import random
+
+import pytest
+
+from repro.approx.estimators import (
+    AggregateEstimator,
+    AggregateSpec,
+    critical_value,
+    normal_quantile,
+    t_quantile,
+)
+from repro.errors import JobConfError
+
+
+class TestAggregateSpec:
+    def test_round_trip_serialization(self):
+        for spec in (
+            AggregateSpec("count", None),
+            AggregateSpec("sum", "l_quantity"),
+            AggregateSpec("avg", "l_extendedprice"),
+        ):
+            assert AggregateSpec.parse(spec.serialize()) == spec
+
+    def test_needs_values(self):
+        assert not AggregateSpec("count", None).needs_values
+        assert AggregateSpec("sum", "c").needs_values
+        assert AggregateSpec("avg", "c").needs_values
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(JobConfError):
+            AggregateSpec("median", "c")
+
+    def test_count_takes_no_column(self):
+        with pytest.raises(JobConfError):
+            AggregateSpec("count", "c")
+
+    def test_sum_and_avg_need_a_column(self):
+        for func in ("sum", "avg"):
+            with pytest.raises(JobConfError):
+                AggregateSpec(func, None)
+
+    def test_str_form(self):
+        assert str(AggregateSpec("count", None)) == "COUNT(*)"
+        assert str(AggregateSpec("avg", "x")) == "AVG(x)"
+
+
+class TestQuantiles:
+    def test_normal_quantile_reference_values(self):
+        # Classical two-sided critical points.
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_quantile(0.995) == pytest.approx(2.575829, abs=1e-5)
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_normal_quantile_symmetry(self):
+        for p in (0.6, 0.9, 0.99, 0.999):
+            assert normal_quantile(p) == pytest.approx(-normal_quantile(1 - p))
+
+    def test_normal_quantile_domain(self):
+        for p in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                normal_quantile(p)
+
+    def test_t_quantile_fat_tails_converge_to_normal(self):
+        # Reference t(0.975) values: df=5 -> 2.5706, df=30 -> 2.0423.
+        assert t_quantile(0.975, 5) == pytest.approx(2.5706, rel=0.01)
+        assert t_quantile(0.975, 30) == pytest.approx(2.0423, rel=0.005)
+        assert t_quantile(0.975, 10_000) == pytest.approx(
+            normal_quantile(0.975), rel=1e-3
+        )
+        # Monotone in df: fewer observations, fatter tails.
+        assert t_quantile(0.975, 3) > t_quantile(0.975, 10) > t_quantile(0.975, 100)
+
+    def test_t_quantile_rejects_nonpositive_df(self):
+        with pytest.raises(ValueError):
+            t_quantile(0.975, 0)
+
+    def test_critical_value_validates_confidence(self):
+        for bad in (50.0, 100.0, 0.0, -5.0, 101.0):
+            with pytest.raises(JobConfError):
+                critical_value(bad, df=5)
+        assert critical_value(95.0, df=5) == pytest.approx(
+            t_quantile(0.975, 5)
+        )
+
+
+def feed(estimator, per_split, prefix="s"):
+    """Observe one split per entry of ``per_split`` (list of group dicts)."""
+    for i, stats in enumerate(per_split):
+        estimator.observe_split(f"{prefix}{i}", stats)
+
+
+class TestCountEstimator:
+    def test_point_estimate_scales_mean_by_population(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=10)
+        feed(est, [{None: (3, 0.0)}, {None: (5, 0.0)}])
+        [g] = est.estimates()
+        assert g.estimate == pytest.approx(10 * 4.0)
+        assert g.sample_count == 8
+        assert g.n_splits == 2
+
+    def test_full_scan_is_exact(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=3)
+        feed(est, [{None: (1, 0.0)}, {None: (2, 0.0)}, {None: (3, 0.0)}])
+        [g] = est.estimates()
+        assert g.method == "exact"
+        assert g.estimate == 6.0
+        assert g.half_width == 0.0
+        assert g.meets(0.001)  # any target, exact answers always meet
+
+    def test_clt_interval_covers_truth_on_uniform_counts(self):
+        rng = random.Random(7)
+        counts = [rng.randint(80, 120) for _ in range(40)]
+        truth = sum(counts)
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=40)
+        feed(est, [{None: (c, 0.0)} for c in counts[:20]])
+        [g] = est.estimates()
+        assert g.method == "clt"
+        assert abs(g.estimate - truth) <= 2 * g.half_width
+
+    def test_single_split_has_no_interval(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=10)
+        feed(est, [{None: (4, 0.0)}])
+        [g] = est.estimates()
+        assert g.estimate == 40.0
+        assert g.half_width is None
+        assert g.method == "none"
+        assert not g.meets(50.0)
+
+    def test_zero_estimate_never_meets_short_of_exact(self):
+        # 5 of 10 splits scanned, zero matches everywhere: zero variance,
+        # but a zero estimate must not be certified by a partial scan.
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=10)
+        feed(est, [{} for _ in range(5)])
+        [g] = est.estimates()
+        assert g.estimate == 0.0
+        assert not g.meets(5.0)
+        assert not est.all_met(5.0)
+
+    def test_zero_estimate_exact_after_full_scan(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=3)
+        feed(est, [{} for _ in range(3)])
+        [g] = est.estimates()
+        assert g.estimate == 0.0
+        assert g.method == "exact"
+        assert g.meets(5.0)
+
+    def test_duplicate_split_rejected(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=10)
+        est.observe_split("s0", {None: (1, 0.0)})
+        with pytest.raises(JobConfError):
+            est.observe_split("s0", {None: (1, 0.0)})
+
+    def test_overflowing_the_population_rejected(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=1)
+        est.observe_split("s0", {None: (1, 0.0)})
+        with pytest.raises(JobConfError):
+            est.observe_split("s1", {None: (1, 0.0)})
+
+    def test_total_splits_must_be_positive(self):
+        with pytest.raises(JobConfError):
+            AggregateEstimator(AggregateSpec("count"), total_splits=0)
+
+
+class TestSumAndAvgEstimators:
+    def test_sum_point_estimate(self):
+        est = AggregateEstimator(AggregateSpec("sum", "q"), total_splits=4)
+        feed(est, [{None: (2, 10.0)}, {None: (3, 20.0)}])
+        [g] = est.estimates()
+        assert g.estimate == pytest.approx(4 * 15.0)
+        assert g.sample_sum == pytest.approx(30.0)
+
+    def test_avg_is_ratio_of_totals(self):
+        est = AggregateEstimator(AggregateSpec("avg", "q"), total_splits=4)
+        feed(est, [{None: (2, 10.0)}, {None: (3, 20.0)}])
+        [g] = est.estimates()
+        assert g.estimate == pytest.approx(30.0 / 5.0)
+
+    def test_avg_with_no_matches_is_undefined(self):
+        est = AggregateEstimator(AggregateSpec("avg", "q"), total_splits=4)
+        feed(est, [{}, {}])
+        [g] = est.estimates()
+        assert g.estimate is None
+        assert not g.meets(50.0)
+
+    def test_avg_interval_tightens_with_more_splits(self):
+        rng = random.Random(3)
+        stats = []
+        for _ in range(30):
+            c = rng.randint(50, 70)
+            stats.append({None: (c, c * rng.uniform(9.0, 11.0))})
+        widths = []
+        est = AggregateEstimator(AggregateSpec("avg", "q"), total_splits=100)
+        for i, s in enumerate(stats):
+            est.observe_split(f"s{i}", s)
+            if i + 1 in (10, 30):
+                widths.append(est.estimates()[0].half_width)
+        assert widths[1] < widths[0]
+
+
+class TestBootstrap:
+    def test_small_samples_use_bootstrap(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=100)
+        feed(est, [{None: (c, 0.0)} for c in (10, 12, 9, 11)])
+        [g] = est.estimates()
+        assert g.method == "bootstrap"
+        assert g.half_width is not None and g.half_width > 0
+
+    def test_bootstrap_is_deterministic(self):
+        def build():
+            est = AggregateEstimator(AggregateSpec("count"), total_splits=100)
+            feed(est, [{None: (c, 0.0)} for c in (10, 12, 9, 11, 14)])
+            return est.estimates()[0].half_width
+
+        assert build() == build()
+
+    def test_clt_takes_over_at_the_threshold(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=100)
+        feed(est, [{None: (10 + i % 3, 0.0)} for i in range(8)])
+        [g] = est.estimates()
+        assert g.method == "clt"
+
+
+class TestGroups:
+    def test_groups_sorted_and_independent(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=10)
+        feed(
+            est,
+            [
+                {"R": (5, 0.0), "A": (1, 0.0)},
+                {"A": (2, 0.0), "N": (4, 0.0)},
+            ],
+        )
+        groups = est.estimates()
+        assert [g.group for g in groups] == ["A", "N", "R"]
+        by_group = {g.group: g for g in groups}
+        # A group absent from an observed split contributes a zero there.
+        assert by_group["N"].estimate == pytest.approx(10 * 2.0)
+        assert by_group["R"].estimate == pytest.approx(10 * 2.5)
+
+    def test_worst_is_the_widest_relative_interval(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=100)
+        # "steady" has tiny relative spread; "noisy" dominates the stop.
+        for i in range(10):
+            est.observe_split(
+                f"s{i}", {"steady": (1000, 0.0), "noisy": (5 + 10 * (i % 2), 0.0)}
+            )
+        worst = est.worst(5.0)
+        assert worst.group == "noisy"
+        assert not est.all_met(5.0)
+
+    def test_all_met_requires_every_group(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=10)
+        assert not est.all_met(5.0)  # no data at all
+        feed(est, [{"a": (10, 0.0)} for _ in range(10)])
+        assert est.all_met(5.0)  # exact: the whole population observed
+
+    def test_no_matches_anywhere_yields_implicit_zero_group(self):
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=10)
+        feed(est, [{} for _ in range(4)])
+        [g] = est.estimates()
+        assert g.group is None
+        assert g.estimate == 0.0
+
+
+class TestFinitePopulationCorrection:
+    def test_width_shrinks_to_zero_at_exhaustion(self):
+        rng = random.Random(11)
+        counts = [rng.randint(90, 110) for _ in range(20)]
+        est = AggregateEstimator(AggregateSpec("count"), total_splits=20)
+        widths = []
+        for i, c in enumerate(counts):
+            est.observe_split(f"s{i}", {None: (c, 0.0)})
+            g = est.estimates()[0]
+            if g.half_width is not None:
+                widths.append(g.half_width)
+        assert widths[-1] == 0.0  # full scan: exact
+        # FPC pulls the width down monotonically near exhaustion.
+        assert widths[-2] < widths[len(widths) // 2]
+
+    def test_bootstrap_width_also_carries_fpc(self):
+        counts = (10, 12, 9, 11)
+
+        def relative_width(total):
+            est = AggregateEstimator(AggregateSpec("count"), total_splits=total)
+            feed(est, [{None: (c, 0.0)} for c in counts])
+            [g] = est.estimates()
+            return g.half_width / g.estimate
+
+        # Same observations; with most of the population already seen the
+        # FPC shrinks the relative width (absolute widths scale with N,
+        # so only the relative form isolates the correction).
+        assert relative_width(5) < relative_width(1000)

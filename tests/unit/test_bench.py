@@ -41,7 +41,9 @@ class TestSuites:
         assert suites.metric_direction("e2e.sim_response_s") == "lower"
 
     def test_registry_contents(self):
-        assert set(suites.SUITES) == {"kernel", "scan", "scan_mp", "scan_prune", "e2e", "sweep"}
+        assert set(suites.SUITES) == {
+            "kernel", "scan", "scan_mp", "scan_prune", "approx", "e2e", "sweep"
+        }
 
     def test_resolve_suites_default_and_validation(self):
         assert [s.name for s in suites.resolve_suites(None)] == list(suites.SUITES)

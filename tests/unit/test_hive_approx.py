@@ -1,0 +1,176 @@
+"""Unit tests for the WITHIN ... ERROR query surface (lexer to compiler)."""
+
+import pytest
+
+from repro.data import LINEITEM_SCHEMA
+from repro.engine.jobconf import (
+    APPROX_AGGREGATE,
+    APPROX_GROUP_BY,
+    ERROR_CONFIDENCE,
+    ERROR_PCT,
+)
+from repro.errors import HiveAnalysisError, HiveSyntaxError
+from repro.hive.ast import Aggregate
+from repro.hive.compiler import (
+    DEFAULT_ACCURACY_PROVIDER,
+    PARAM_ERROR_CONFIDENCE,
+    PARAM_ERROR_PCT,
+    PARAM_PROVIDER,
+    QueryCompiler,
+    TableCatalog,
+)
+from repro.hive.parser import parse_statement
+
+
+@pytest.fixture()
+def compiler():
+    catalog = TableCatalog()
+    catalog.register("lineitem", "/warehouse/lineitem", LINEITEM_SCHEMA)
+    return QueryCompiler(catalog)
+
+
+def compile_sql(compiler, sql, params=None):
+    return compiler.compile(parse_statement(sql), params or {}, user="alice")
+
+
+class TestParsing:
+    def test_count_star_within_error(self):
+        stmt = parse_statement(
+            "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10 WITHIN 5% ERROR"
+        )
+        assert stmt.aggregate == Aggregate("count", None)
+        assert stmt.error_pct == 5.0
+        assert stmt.confidence_pct is None
+        assert stmt.group_by is None
+        assert stmt.columns is None and stmt.limit is None
+
+    def test_sum_with_group_by_and_confidence(self):
+        stmt = parse_statement(
+            "SELECT SUM(l_quantity) FROM lineitem GROUP BY l_returnflag "
+            "WITHIN 2.5% ERROR AT 90% CONFIDENCE"
+        )
+        assert stmt.aggregate == Aggregate("sum", "l_quantity")
+        assert stmt.group_by == "l_returnflag"
+        assert stmt.error_pct == 2.5
+        assert stmt.confidence_pct == 90.0
+
+    def test_aggregate_without_within_parses(self):
+        # The error target may come from the session instead.
+        stmt = parse_statement("SELECT AVG(l_tax) FROM lineitem")
+        assert stmt.aggregate == Aggregate("avg", "l_tax")
+        assert stmt.error_pct is None
+
+    def test_round_trips_through_str(self):
+        for sql in (
+            "SELECT COUNT(*) FROM lineitem WITHIN 5.0% ERROR",
+            "SELECT AVG(l_tax) FROM lineitem GROUP BY l_returnflag "
+            "WITHIN 2.0% ERROR AT 90.0% CONFIDENCE",
+        ):
+            assert str(parse_statement(sql)) == sql
+            assert str(parse_statement(str(parse_statement(sql)))) == sql
+
+    def test_aggregate_names_stay_usable_as_identifiers(self):
+        # COUNT/SUM/AVG are contextual: without "(" they are plain
+        # column names, so pre-existing schemas keep working.
+        stmt = parse_statement("SELECT count FROM lineitem WHERE sum > 3")
+        assert stmt.aggregate is None
+        assert stmt.columns == ("count",)
+
+    def test_group_by_requires_aggregate(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SELECT * FROM lineitem GROUP BY l_returnflag")
+
+    def test_within_requires_aggregate(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SELECT * FROM lineitem WITHIN 5% ERROR")
+
+    def test_aggregate_rejects_limit(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SELECT COUNT(*) FROM lineitem WITHIN 5% ERROR LIMIT 10")
+
+    def test_count_of_column_rejected(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SELECT COUNT(l_tax) FROM lineitem WITHIN 5% ERROR")
+
+    def test_sum_requires_column(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SELECT SUM(*) FROM lineitem WITHIN 5% ERROR")
+
+    def test_percentages_must_be_positive(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SELECT COUNT(*) FROM lineitem WITHIN 0% ERROR")
+
+    def test_percent_sign_required(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("SELECT COUNT(*) FROM lineitem WITHIN 5 ERROR")
+
+
+class TestCompilation:
+    def test_aggregate_compiles_to_accuracy_job(self, compiler):
+        conf = compile_sql(
+            compiler,
+            "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10 WITHIN 5% ERROR",
+        )
+        assert conf.is_dynamic
+        assert conf.input_provider_name == DEFAULT_ACCURACY_PROVIDER
+        assert conf.sample_size is None
+        assert conf.error_pct == 5.0
+        assert conf.error_confidence == 95.0
+        assert conf.get(APPROX_AGGREGATE) == "count"
+        assert conf.get(APPROX_GROUP_BY) is None
+
+    def test_columns_resolved_against_schema(self, compiler):
+        conf = compile_sql(
+            compiler,
+            "SELECT AVG(L_EXTENDEDPRICE) FROM lineitem "
+            "GROUP BY L_RETURNFLAG WITHIN 2% ERROR AT 90% CONFIDENCE",
+        )
+        assert conf.get(APPROX_AGGREGATE) == "avg:l_extendedprice"
+        assert conf.get(APPROX_GROUP_BY) == "l_returnflag"
+        assert conf.error_confidence == 90.0
+
+    def test_unknown_aggregate_column_rejected(self, compiler):
+        with pytest.raises(HiveAnalysisError):
+            compile_sql(
+                compiler, "SELECT SUM(ghost_col) FROM lineitem WITHIN 5% ERROR"
+            )
+
+    def test_error_target_falls_back_to_session(self, compiler):
+        conf = compile_sql(
+            compiler,
+            "SELECT COUNT(*) FROM lineitem",
+            params={PARAM_ERROR_PCT: "3", PARAM_ERROR_CONFIDENCE: "99"},
+        )
+        assert conf.error_pct == 3.0
+        assert conf.error_confidence == 99.0
+
+    def test_statement_clause_beats_session(self, compiler):
+        conf = compile_sql(
+            compiler,
+            "SELECT COUNT(*) FROM lineitem WITHIN 1% ERROR",
+            params={PARAM_ERROR_PCT: "7"},
+        )
+        assert conf.error_pct == 1.0
+
+    def test_aggregate_without_any_error_target_rejected(self, compiler):
+        with pytest.raises(HiveAnalysisError):
+            compile_sql(compiler, "SELECT COUNT(*) FROM lineitem")
+
+    def test_session_provider_override_does_not_leak_in(self, compiler):
+        # SET dynamic.input.provider targets sampling queries; an
+        # aggregate query must keep the accuracy provider regardless.
+        conf = compile_sql(
+            compiler,
+            "SELECT COUNT(*) FROM lineitem WITHIN 5% ERROR",
+            params={PARAM_PROVIDER: "stats"},
+        )
+        assert conf.input_provider_name == DEFAULT_ACCURACY_PROVIDER
+
+
+class TestJobConfErrorParams:
+    def test_error_pct_property_round_trip(self, compiler):
+        conf = compile_sql(
+            compiler, "SELECT COUNT(*) FROM lineitem WITHIN 5% ERROR"
+        )
+        assert conf.get(ERROR_PCT) == "5.0"
+        assert conf.get(ERROR_CONFIDENCE) == "95.0"

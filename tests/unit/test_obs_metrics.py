@@ -114,6 +114,46 @@ class TestHistogram:
         assert len(hist.buckets) <= 801
         assert hist.count == 61
 
+    def test_quantile_exact_at_clamp_boundaries(self):
+        # Values at and beyond the 1e+/-20 clamp: single-value histograms
+        # still answer exactly because the midpoint clamps to [min, max].
+        for value in (1e-20, 1e20, 1e-30, 1e30):
+            hist = Histogram("edge")
+            hist.observe(value)
+            assert hist.quantile(0.5) == value
+
+    def test_quantile_with_both_tails_clamped(self):
+        # One value beyond each clamp edge: the median walks the buckets
+        # and must answer from the low clamp bucket's midpoint, not pin
+        # itself to min or max.
+        hist = Histogram("edge")
+        hist.observe(1e-30)
+        hist.observe(1e30)
+        low_clamp_midpoint = 10.0 ** ((-400 + 0.5) / 20)
+        high_clamp_midpoint = 10.0 ** ((400 + 0.5) / 20)
+        assert hist.quantile(0.5) == pytest.approx(low_clamp_midpoint)
+        # Beyond the clamp the bucket midpoint (~1e20), not the raw max,
+        # is the answer: resolution is intentionally bounded at 1e+/-20.
+        assert hist.quantile(1.0) == pytest.approx(high_clamp_midpoint)
+
+    def test_quantile_all_nonpositive(self):
+        hist = Histogram("delta")
+        for value in (-3.0, -1.0, 0.0):
+            hist.observe(value)
+        # Everything lives in the underflow bucket, represented by min.
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == -3.0
+
+    def test_quantile_rank_boundary_between_buckets(self):
+        # Two well-separated values: q up to 0.5 has rank 1 (low value),
+        # anything above has rank 2 (high value) — the rank rule is
+        # ceil(q * count), no interpolation across buckets.
+        hist = Histogram("edge")
+        hist.observe(1.0)
+        hist.observe(1000.0)
+        assert hist.quantile(0.5) == pytest.approx(1.0, rel=0.07)
+        assert hist.quantile(0.51) == pytest.approx(1000.0, rel=0.07)
+
 
 class TestRegistry:
     def test_lazy_creation_returns_same_metric(self):

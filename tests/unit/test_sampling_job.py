@@ -168,6 +168,24 @@ class TestProfileOutputs:
         )
         assert conf.profile_outputs(self.make_split(matches=0, records=1000)) == 10
 
+    def test_scan_fallback_rounds_half_up(self):
+        # Regression: round() rounds half to even, so expected counts
+        # landing on .5 (2.5 -> 2, 0.5 -> 0) systematically undercount
+        # across a sweep of profile-only splits. Half-up keeps them.
+        pred = MarkerEquals("zz", "mark")
+        conf = make_scan_conf(
+            name="s", input_path="/in", predicate=pred,
+            fallback_selectivity=0.01,
+        )
+        assert conf.profile_outputs(self.make_split(matches=0, records=50)) == 1
+        assert conf.profile_outputs(self.make_split(matches=0, records=250)) == 3
+        # 100 such splits must expect 300 matches, not round()'s 200.
+        total = sum(
+            conf.profile_outputs(self.make_split(matches=0, records=250))
+            for _ in range(100)
+        )
+        assert total == 300
+
     def test_scan_conf_shape(self):
         conf = make_scan_conf(name="s", input_path="/in", predicate=PRED,
                               fallback_selectivity=0.0005)

@@ -54,6 +54,23 @@ class TestEstimate:
         with pytest.raises(InputProviderError):
             SelectivityEstimator(prior_matches=1, prior_records=0)
 
+    def test_non_finite_priors_rejected(self):
+        for matches, records in (
+            (math.nan, 1_000.0),
+            (1.0, math.nan),
+            (math.inf, 1_000.0),
+            (1.0, math.inf),
+        ):
+            with pytest.raises(InputProviderError):
+                SelectivityEstimator(prior_matches=matches, prior_records=records)
+
+    def test_zero_match_prior_over_records_rejected(self):
+        # Regression: a (0, records) prior is not "no information" — it
+        # pins the early estimate at 0.0 and drives records_needed to
+        # infinity. Callers with no match evidence must pass no prior.
+        with pytest.raises(InputProviderError):
+            SelectivityEstimator(prior_matches=0.0, prior_records=1_000.0)
+
 
 class TestProjections:
     def test_expected_matches(self):
