@@ -459,7 +459,12 @@ def _bench_approx(quick: bool) -> dict[str, float]:
 # e2e: one Figure 5 policy cell on the simulated cluster
 # ---------------------------------------------------------------------------
 def _bench_e2e(quick: bool) -> dict[str, float]:
+    from repro.core.sampling_job import make_sampling_conf
+    from repro.data.predicates import predicate_for_skew
+    from repro.experiments.setup import dataset_for, single_user_cluster
     from repro.experiments.single_user import run_single_user_cell
+    from repro.obs.hub import TelemetryHub
+    from repro.obs.trace import TraceRecorder
 
     scale = 5 if quick else 20
     seeds = (0,) if quick else (0, 1)
@@ -467,7 +472,34 @@ def _bench_e2e(quick: bool) -> dict[str, float]:
     # Simulated response time is deterministic — zero-MAD by design. It
     # rides along as a semantic canary: a change that moves it altered
     # behavior, not just speed.
-    return {"e2e.sim_response_s": cell.response_time.mean}
+    metrics = {"e2e.sim_response_s": cell.response_time.mean}
+
+    # Hub-sourced latency percentiles: the same cell, re-run under a
+    # trace recorder with the telemetry hub subscribed, reporting the
+    # scheduler's grab-to-grant distribution. Simulated time, so these
+    # are deterministic canaries too — a dispatch-path change moves
+    # them, machine noise cannot.
+    trace = TraceRecorder()
+    with TelemetryHub() as hub:
+        hub.attach(trace)
+        cluster = single_user_cluster(seed=seeds[0], trace=trace)
+        cluster.load_dataset("/bench/e2e", dataset_for(scale, 1, seeds[0]))
+        conf = make_sampling_conf(
+            name="bench_e2e_hub", input_path="/bench/e2e",
+            predicate=predicate_for_skew(1), sample_size=10_000,
+            policy_name="LA",
+        )
+        cluster.run_job(conf)
+        snapshot = hub.snapshot()
+    jobs = list(snapshot["jobs"].values())
+    if not jobs:
+        raise BenchError("e2e: telemetry hub saw no job")
+    grab = jobs[0]["grab_to_grant"]
+    if not grab["count"]:
+        raise BenchError("e2e: telemetry hub recorded no grab-to-grant samples")
+    for key in ("p50", "p95", "p99"):
+        metrics[f"e2e.grab_to_grant.{key}_s"] = grab[key]
+    return metrics
 
 
 # ---------------------------------------------------------------------------

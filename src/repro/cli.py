@@ -132,6 +132,15 @@ def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
             "events arrive (job output is unchanged)"
         ),
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help=(
+            "serve live telemetry over HTTP while the run executes: "
+            "GET /metrics (Prometheus text) and /telemetry.json "
+            "(watch with 'repro top --port PORT'); 0 picks a free port. "
+            "Job output is unchanged"
+        ),
+    )
 
 
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
@@ -205,7 +214,8 @@ def _trace_recorder(args):
     """
     trace_out = getattr(args, "trace_out", None)
     progress = getattr(args, "progress", False)
-    if not trace_out and not progress:
+    metrics_port = getattr(args, "metrics_port", None)
+    if not trace_out and not progress and metrics_port is None:
         return nullcontext(None)
     recorder = TraceRecorder(trace_out) if trace_out else TraceRecorder()
     if progress:
@@ -213,6 +223,34 @@ def _trace_recorder(args):
 
         recorder.add_listener(ProgressReporter())
     return recorder
+
+
+@contextmanager
+def _telemetry(args, trace):
+    """Install a TelemetryHub + HTTP exporter for the command body.
+
+    Active only with ``--metrics-port`` (``_trace_recorder`` guarantees
+    an in-memory recorder exists then, so the hub always has an event
+    stream to subscribe to). Strictly read-side: the endpoint URL goes
+    to stderr and job output is byte-identical hub on or off — the
+    parity suite enforces it.
+    """
+    port = getattr(args, "metrics_port", None)
+    if port is None or trace is None:
+        yield None
+        return
+    from repro.obs.export import TelemetryExporter
+    from repro.obs.hub import TelemetryHub
+
+    with TelemetryHub() as hub:
+        hub.attach(trace)
+        with TelemetryExporter(hub, port=port) as exporter:
+            print(
+                f"telemetry: http://127.0.0.1:{exporter.port}/metrics  "
+                f"(live view: repro top --port {exporter.port})",
+                file=sys.stderr,
+            )
+            yield hub
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -449,8 +487,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("path", help="JSONL trace file written by --trace-out")
     metrics.add_argument(
+        "--format", default="table", choices=("table", "prometheus"), dest="fmt",
+        help=(
+            "output format: human tables (default) or Prometheus text "
+            "exposition (works on any existing trace, one block per "
+            "metrics_snapshot scope)"
+        ),
+    )
+    metrics.add_argument(
         "--no-validate", action="store_true",
         help="skip schema validation while loading",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help=(
+            "live terminal dashboard over a run started with "
+            "--metrics-port (progress bars, rows/s, latency percentiles)"
+        ),
+    )
+    top.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="telemetry port of the running repro process",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--url", default=None, metavar="URL",
+        help="full /telemetry.json URL (overrides --host/--port)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of redrawing in place (for piping)",
     )
 
     audit = commands.add_parser(
@@ -718,7 +793,9 @@ def cmd_sweep(args, out) -> int:
         args.skews = (0, 2) if figure == 6 else (0, 1, 2)
     if args.measurement is None:
         args.measurement = 2400.0 if figure == 6 else 3600.0
-    with _trace_recorder(args) as trace, _profiler(args) as profiler:
+    with _trace_recorder(args) as trace, _telemetry(args, trace), _profiler(
+        args
+    ) as profiler:
         args._trace = trace
         if figure == 4:
             args.seed = args.seeds[0]
@@ -738,7 +815,9 @@ def cmd_sweep(args, out) -> int:
 
 def cmd_sample(args, out) -> int:
     predicate = predicate_for_skew(args.skew)
-    with _trace_recorder(args) as trace, _profiler(args) as profiler:
+    with _trace_recorder(args) as trace, _telemetry(args, trace), _profiler(
+        args
+    ) as profiler:
         cluster = single_user_cluster(seed=args.seed, trace=trace)
         cluster.load_dataset("/d", dataset_for(args.scale, args.skew, args.seed))
         if args.error is not None:
@@ -831,7 +910,9 @@ def cmd_query(args, out) -> int:
     dfs = DistributedFileSystem(paper_topology().storage_locations())
     dfs.write_dataset("/warehouse/lineitem", dataset)
     try:
-        with _trace_recorder(args) as trace, _profiler(args) as profiler:
+        with _trace_recorder(args) as trace, _telemetry(args, trace), _profiler(
+            args
+        ) as profiler:
             with LocalRunner(
                 seed=args.seed,
                 scan_options=ScanOptions(
@@ -893,8 +974,45 @@ def cmd_trace(args, out) -> int:
 
 def cmd_metrics(args, out) -> int:
     events = load_trace(args.path, validate=not args.no_validate)
+    if getattr(args, "fmt", "table") == "prometheus":
+        from repro.obs.export import render_registry_prometheus
+
+        blocks = []
+        for event in events:
+            if event["type"] != "metrics_snapshot":
+                continue
+            labels = {"scope": event["scope"]}
+            if event.get("job_id"):
+                labels["job"] = event["job_id"]
+            blocks.append(
+                render_registry_prometheus(event["metrics"], labels=labels)
+            )
+        print("".join(blocks), file=out, end="")
+        return 0
     print(render_metrics(events), file=out)
     return 0
+
+
+def cmd_top(args, out) -> int:
+    from repro.obs.top import TopError, run_top
+
+    if args.url is None and args.port is None:
+        print("error: repro top needs --port (or --url)", file=sys.stderr)
+        return 2
+    url = args.url or f"http://{args.host}:{args.port}/telemetry.json"
+    try:
+        return run_top(
+            url,
+            interval=args.interval,
+            iterations=args.iterations,
+            out=out,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        return 0
+    except TopError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def cmd_audit(args, out) -> int:
@@ -1196,6 +1314,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "dataset": cmd_dataset,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
+        "top": cmd_top,
         "audit": cmd_audit,
         "report": cmd_report,
         "policies": cmd_policies,

@@ -27,6 +27,7 @@ from repro.engine.scheduler.fifo import FifoScheduler
 from repro.engine.task import MapTask, ReduceTask, TaskState
 from repro.engine.tasktracker import TaskTracker
 from repro.errors import JobError
+from repro.obs import hub as _hub
 from repro.obs import profile as _profile
 from repro.sim.simulator import Simulator
 
@@ -205,6 +206,12 @@ class JobTracker:
     def _dispatch(self) -> None:
         with _profile.profiled_span(_profile.PHASE_DISPATCH):
             self._dispatch_pass()
+        hub = _hub.ACTIVE
+        if hub is not None:
+            # Live slot-utilization sample after every dispatch pass.
+            # Read-side only: cluster_status() is a pure computation and
+            # the hub never feeds anything back into scheduling.
+            hub.observe_cluster(self.cluster_status())
 
     def _dispatch_pass(self) -> None:
         self._dispatch_scheduled = False

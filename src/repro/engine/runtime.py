@@ -33,11 +33,17 @@ from repro.engine.jobconf import JobConf
 from repro.engine.mapreduce import ReduceContext
 from repro.engine.shuffle import group_outputs
 from repro.errors import JobConfError, JobError
+from repro.obs import hub as _hub
 from repro.obs import profile as _profile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import policy_knobs
 from repro.scan.engine import ScanOptions, ScanSpan, run_map_task
-from repro.scan.proc import ScanTask, materialize_outputs, run_scan_task
+from repro.scan.proc import (
+    ScanTask,
+    init_worker_telemetry,
+    materialize_outputs,
+    run_scan_task,
+)
 from repro.sim.random_source import RandomSource
 
 MAP_EXECUTORS = ("thread", "process")
@@ -358,7 +364,7 @@ class LocalRunner:
         """
         results = None
         if self._map_executor == "process" and splits:
-            results = self._run_map_batch_process(conf, splits)
+            results = self._run_map_batch_process(conf, splits, job_id=job_id)
         if results is None:
             results = self._run_map_batch_inline(conf, splits)
         if self.trace is not None:
@@ -394,7 +400,7 @@ class LocalRunner:
             return [future.result() for future in futures]
 
     def _run_map_batch_process(
-        self, conf: JobConf, splits: list[InputSplit]
+        self, conf: JobConf, splits: list[InputSplit], *, job_id: str = "local"
     ) -> list[LocalMapResult] | None:
         """Ship the batch to worker processes; None means "fall back".
 
@@ -406,6 +412,13 @@ class LocalRunner:
         so bytes match serial execution exactly. Worker-measured
         wall/CPU timings feed the ``scan.map_task`` profiler phase —
         one timing per task, same as in-process scans.
+
+        When a telemetry hub is installed, tasks carry the job id and
+        workers flush cumulative progress deltas mid-scan (see
+        ``scan.proc``); the hub also reconciles each finished task's
+        piggybacked checkpoints here, right after the gather. All of it
+        is read-side: counters, indices, and output bytes are identical
+        hub on or off.
         """
         spec = conf.mapper_factory().scan_task_spec()
         if spec is None:
@@ -413,7 +426,9 @@ class LocalRunner:
         refs = [split.mmap_ref for split in splits]
         if any(ref is None for ref in refs):
             return None
-        tasks = [ScanTask(ref=ref, spec=spec) for ref in refs]
+        hub = _hub.ACTIVE
+        telemetry_job = job_id if hub is not None else None
+        tasks = [ScanTask(ref=ref, spec=spec, job_id=telemetry_job) for ref in refs]
         try:
             pickle.dumps(tasks[0])
         except Exception:
@@ -427,6 +442,9 @@ class LocalRunner:
             # is rebuilt lazily, and run this batch in process instead.
             self._process_pool = None
             return None
+        if hub is not None:
+            for outcome in outcomes:
+                hub.record_worker_result(job_id, outcome)
         options = self._scan_options.with_conf(conf)
         profiler = _profile.ACTIVE
         results: list[LocalMapResult] = []
@@ -467,14 +485,35 @@ class LocalRunner:
         Forked where the platform allows it: forked workers inherit the
         imported modules, so per-task cost is mmap-open (cached per
         worker) + one small compile, never interpreter start-up.
+
+        If a telemetry hub is installed when the pool is first built,
+        every worker gets the hub's delta queue through the pool
+        initializer (multiprocessing queues travel safely via
+        ``initargs`` — they ride the process-spawn arguments, where a
+        plain pickle of the queue would fail). A pool created before the
+        hub simply carries no conduit; workers then take the single-call
+        scan path and telemetry degrades to task-completion granularity.
         """
         if self._process_pool is None:
             try:
                 ctx = multiprocessing.get_context("fork")
             except ValueError:  # platform without fork
                 ctx = multiprocessing.get_context()
+            initializer = None
+            initargs: tuple = ()
+            hub = _hub.ACTIVE
+            if hub is not None:
+                queue = hub.worker_channel(ctx)
+                if queue is not None:
+                    initializer = init_worker_telemetry
+                    initargs = (
+                        (queue,)
+                        if hub.worker_chunk_rows is None
+                        else (queue, hub.worker_chunk_rows)
+                    )
             self._process_pool = ProcessPoolExecutor(
-                max_workers=self._map_workers, mp_context=ctx
+                max_workers=self._map_workers, mp_context=ctx,
+                initializer=initializer, initargs=initargs,
             )
         return self._process_pool
 

@@ -27,7 +27,14 @@ On top of the stream sit pure read-side consumers:
 * :mod:`repro.obs.report` — deterministic markdown/HTML comparative
   reports, including a two-trace diff mode;
 * :mod:`repro.obs.progress` — an opt-in live stderr reporter attached
-  as a recorder listener.
+  as a recorder listener;
+* :mod:`repro.obs.hub` + :mod:`repro.obs.timeseries` — the live
+  telemetry hub: windowed ring-buffer series and streaming quantile
+  sketches maintained *while* jobs run, multiplexed across concurrent
+  jobs, fed by trace events and cross-process worker deltas;
+* :mod:`repro.obs.export` — Prometheus text exposition plus the
+  background HTTP exporter (``--metrics-port``);
+* :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard.
 
 Everything here is pure read-side: attaching a registry or recorder
 consumes no randomness and changes no job output bytes.
@@ -61,6 +68,15 @@ _LAZY = {
     "active_profiler": "repro.obs.profile",
     "profiled_span": "repro.obs.profile",
     "render_profile": "repro.obs.profile",
+    "TelemetryHub": "repro.obs.hub",
+    "active_hub": "repro.obs.hub",
+    "TimeSeries": "repro.obs.timeseries",
+    "QuantileSketch": "repro.obs.timeseries",
+    "TelemetryExporter": "repro.obs.export",
+    "render_hub_prometheus": "repro.obs.export",
+    "render_registry_prometheus": "repro.obs.export",
+    "parse_exposition": "repro.obs.export",
+    "render_top": "repro.obs.top",
 }
 
 
@@ -100,4 +116,13 @@ __all__ = [
     "active_profiler",
     "profiled_span",
     "render_profile",
+    "TelemetryHub",
+    "active_hub",
+    "TimeSeries",
+    "QuantileSketch",
+    "TelemetryExporter",
+    "render_hub_prometheus",
+    "render_registry_prometheus",
+    "parse_exposition",
+    "render_top",
 ]

@@ -171,6 +171,28 @@ class Histogram:
                 return min(max(midpoint, self.min), self.max)
         return self.max  # pragma: no cover - rank <= count by construction
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram; returns self.
+
+        Log-bucket histograms are mergeable exactly: bucket counts add,
+        min/max combine, and every quantile answered by the merged
+        histogram is identical to the histogram that would have observed
+        both streams directly (the property tests pin associativity and
+        commutativity). This is what lets worker processes and the
+        telemetry hub keep independent sketches and combine them
+        losslessly.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.underflow += other.underflow
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        return self
+
     def snapshot(self) -> dict:
         if not self.count:
             return {

@@ -117,3 +117,107 @@ def render_metrics(events: Iterable[dict]) -> str:
                 )
         blocks.append("\n".join(lines))
     return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Live-telemetry rendering primitives (repro top, bench tables)
+# ---------------------------------------------------------------------------
+SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[float], *, width: int = 24) -> str:
+    """A unicode sparkline of ``values``, downsampled to ``width`` cells.
+
+    Values may legitimately include 0.0 (an idle second in a rate
+    series), so every presence check here is ``is not None`` / emptiness,
+    never truthiness. A flat series renders at the lowest tick; an empty
+    one renders as spaces.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return " " * width
+    if len(series) > width:
+        # Bucket-average down to width cells, keeping the newest points
+        # rightmost (live series grow at the right edge).
+        buckets: list[float] = []
+        per = len(series) / width
+        for index in range(width):
+            lo = int(index * per)
+            hi = max(lo + 1, int((index + 1) * per))
+            chunk = series[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        series = buckets
+    low = min(series)
+    high = max(series)
+    span = high - low
+    if span <= 0:
+        line = SPARK_TICKS[0] * len(series)
+    else:
+        line = "".join(
+            SPARK_TICKS[
+                min(len(SPARK_TICKS) - 1, int((v - low) / span * len(SPARK_TICKS)))
+            ]
+            for v in series
+        )
+    return line.rjust(width)
+
+
+def progress_bar(done: int | float, total: int | float | None, *, width: int = 20) -> str:
+    """``[#####.....] 50%`` — tolerant of unknown totals (renders ``?``)."""
+    if total is None or total <= 0:
+        return f"[{'?' * width}]   ?%"
+    fraction = min(1.0, max(0.0, done / total))
+    filled = int(round(fraction * width))
+    return f"[{'#' * filled}{'.' * (width - filled)}] {fraction * 100:3.0f}%"
+
+
+def format_duration(seconds: float | None) -> str:
+    """Compact human duration; ``-`` for None, exact 0 included."""
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60:.1f}m"
+
+
+def percentile_row(stats: dict | None) -> str:
+    """``p50/p95/p99`` cell text from a quantile dict (sketch or
+    histogram snapshot). None entries (empty sketch) render as ``-``:
+    a genuine 0.0 quantile must still print as a number."""
+    if not stats or not stats.get("count"):
+        return "-"
+    cells = [
+        format_duration(stats[key]) if stats.get(key) is not None else "-"
+        for key in ("p50", "p95", "p99")
+    ]
+    return "/".join(cells)
+
+
+def percentile_table(rows: dict[str, dict], *, title: str = "latency") -> str:
+    """A small aligned table of name -> quantile stats.
+
+    ``rows`` maps a label to a quantile dict (``count`` plus
+    p50/p95/p99, the sketch snapshot shape). Empty input yields a
+    one-line placeholder so callers can always print the result.
+    """
+    if not rows:
+        return f"{title}: (no samples)"
+    width = max(len(name) for name in rows)
+    lines = [f"{title:<{width}}  {'count':>7}  {'p50':>8}  {'p95':>8}  {'p99':>8}"]
+    for name, stats in rows.items():
+        count = stats.get("count") if stats else None
+        if not count:
+            lines.append(f"{name:<{width}}  {0:>7}  {'-':>8}  {'-':>8}  {'-':>8}")
+            continue
+        cells = [
+            format_duration(stats[key]) if stats.get(key) is not None else "-"
+            for key in ("p50", "p95", "p99")
+        ]
+        lines.append(
+            f"{name:<{width}}  {count:>7}  {cells[0]:>8}  {cells[1]:>8}  {cells[2]:>8}"
+        )
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ annotations.
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import IO, Any, Iterable
@@ -144,17 +145,49 @@ class TraceRecorder(JobHistory):
         self.raw_events.append(event)
         if self._stream is not None:
             self._stream.write(json.dumps(event, sort_keys=False) + "\n")
-        for listener in self._listeners:
-            listener(event)
+        if self._listeners:
+            self._notify(event)
         return event
+
+    def _notify(self, event: dict) -> None:
+        """Fan the event out to listeners, isolating their failures.
+
+        Listeners are read-side observers (progress lines, the telemetry
+        hub); a bug in one must never kill the observed job. A listener
+        that raises is detached after a single stderr notice — letting it
+        keep raising would both spam and keep re-entering broken code on
+        the job's hot path.
+        """
+        broken: list = []
+        for listener in self._listeners:
+            try:
+                listener(event)
+            except Exception as exc:
+                broken.append(listener)
+                print(
+                    f"repro: trace listener {listener!r} raised "
+                    f"{type(exc).__name__}: {exc}; detaching it",
+                    file=sys.stderr,
+                )
+        for listener in broken:
+            self._listeners.remove(listener)
 
     def add_listener(self, listener) -> None:
         """Register a callable invoked with every emitted event dict.
 
         Listeners are strictly read-side consumers (live progress
-        reporting); they must not mutate the event.
+        reporting); they must not mutate the event. A listener that
+        raises is detached (with one stderr notice) instead of
+        propagating into — and killing — the traced job.
         """
         self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Detach a listener added with :meth:`add_listener` (idempotent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # JobHistory contract — lifecycle events from the JobTracker

@@ -70,6 +70,39 @@ class ScanTask:
     ref: MmapSplitRef
     spec: ScanTaskSpec
 
+    job_id: str | None = None
+    """Telemetry routing key. Set only when a
+    :class:`~repro.obs.hub.TelemetryHub` is live in the parent; workers
+    stamp it on every :class:`WorkerDelta` so the hub can multiplex live
+    progress across concurrent jobs. ``None`` (the default, and always
+    the value when no hub is installed) keeps the worker on the exact
+    single-call scan path."""
+
+
+@dataclass(frozen=True)
+class WorkerDelta:
+    """One live progress checkpoint flushed mid-task by a worker.
+
+    ``rows_scanned`` is **cumulative** for this (job, partition) task,
+    never an increment — the telemetry channel is therefore idempotent:
+    a lost, duplicated, or reordered flush can only delay the live view,
+    not corrupt counts (the hub keeps max-so-far per partition)."""
+
+    job_id: str
+    partition: int
+    rows_scanned: int
+    """Rows scanned so far in this task (cumulative)."""
+
+    hits: int
+    """Matches found so far (cumulative)."""
+
+    chunk_rows: int
+    """Rows scanned by the chunk that triggered this flush."""
+
+    wall_s: float
+    """Wall seconds the triggering chunk took (chunk scan rate =
+    ``chunk_rows / wall_s``)."""
+
 
 @dataclass(frozen=True)
 class ScanTaskResult:
@@ -94,15 +127,72 @@ class ScanTaskResult:
     analogue); always <= ``wall_s`` so phase totals keep bounding span
     totals."""
 
+    deltas: tuple[tuple[int, float], ...] = ()
+    """Piggybacked ``(rows_scanned_cumulative, wall_s_since_scan_start)``
+    checkpoints, one per telemetry chunk — the fallback live-progress
+    record when the delta queue could not be created (the hub folds
+    these into its chunk-rate sketch at task completion). Empty when
+    telemetry is off."""
+
+
+#: Default telemetry chunk: large enough that the per-chunk matcher
+#: re-entry cost vanishes, small enough that a long split flushes
+#: progress several times before finishing.
+TELEMETRY_CHUNK_ROWS = 65_536
+
+
+class _WorkerTelemetry:
+    """Per-worker-process telemetry conduit (installed by the pool
+    initializer, read by :func:`run_scan_task`)."""
+
+    __slots__ = ("queue", "chunk_rows")
+
+    def __init__(self, queue, chunk_rows: int) -> None:
+        self.queue = queue
+        self.chunk_rows = max(1, int(chunk_rows))
+
+    def flush(self, delta: WorkerDelta) -> None:
+        """Best-effort: a telemetry flush must never fail the scan."""
+        if self.queue is None:
+            return
+        try:
+            self.queue.put_nowait(delta)
+        except Exception:
+            pass
+
+
+_TELEMETRY: _WorkerTelemetry | None = None
+
+
+def init_worker_telemetry(queue, chunk_rows: int = TELEMETRY_CHUNK_ROWS) -> None:
+    """Install the telemetry conduit in a worker process.
+
+    Passed as the pool's ``initializer`` (with the hub's delta queue in
+    ``initargs`` — multiprocessing queues travel safely that way, via
+    process inheritance, where a normal pickle would fail). Safe to call
+    in the parent too (the inline-fallback path reuses it)."""
+    global _TELEMETRY
+    _TELEMETRY = _WorkerTelemetry(queue, chunk_rows)
+
+
+def reset_worker_telemetry() -> None:
+    """Remove an installed conduit (parent-side cleanup after fallback)."""
+    global _TELEMETRY
+    _TELEMETRY = None
+
 
 def run_scan_task(task: ScanTask) -> ScanTaskResult:
     """Execute one scan task inside a worker process.
 
     Opens the dataset via the per-process mmap cache (so a worker maps
     each file once no matter how many of its partitions it scans),
-    rebuilds the matcher from source, and scans the partition's full row
-    range in a single matcher call.
-    """
+    rebuilds the matcher from source, and scans the partition's row
+    range. Without telemetry (``task.job_id`` unset or no conduit
+    installed) the whole range goes through one matcher call; with
+    telemetry the range is scanned in chunks with a cumulative
+    :class:`WorkerDelta` flushed after each — byte-identical either way,
+    because the generated matcher's LIMIT-k accounting is
+    chunking-independent (the batch-size parity tests pin this)."""
     wall0 = wall_clock()
     cpu0 = cpu_clock()
     store = open_mmap_dataset(task.ref.path).partition_store(task.ref.partition)
@@ -110,8 +200,15 @@ def run_scan_task(task: ScanTask) -> ScanTaskResult:
         task.spec.source, dict(task.spec.namespace)
     )
     hits: list[int] = []
+    telemetry = _TELEMETRY if task.job_id is not None else None
     scan0 = wall_clock()
-    scanned = matcher(store.columns, 0, store.num_rows, task.spec.limit, hits.append)
+    deltas: tuple[tuple[int, float], ...] = ()
+    if telemetry is None:
+        scanned = matcher(
+            store.columns, 0, store.num_rows, task.spec.limit, hits.append
+        )
+    else:
+        scanned, deltas = _chunked_scan(matcher, store, task, hits, telemetry, scan0)
     scan_wall = wall_clock() - scan0
     return ScanTaskResult(
         partition=task.ref.partition,
@@ -120,7 +217,52 @@ def run_scan_task(task: ScanTask) -> ScanTaskResult:
         wall_s=wall_clock() - wall0,
         cpu_s=max(0.0, cpu_clock() - cpu0),
         scan_wall_s=scan_wall,
+        deltas=deltas,
     )
+
+
+def _chunked_scan(
+    matcher, store, task: ScanTask, hits: list[int],
+    telemetry: _WorkerTelemetry, scan0: float,
+) -> tuple[int, tuple[tuple[int, float], ...]]:
+    """Scan the partition in telemetry-sized chunks, flushing progress.
+
+    Equivalence with the single-call path: each chunk call appends the
+    same ascending absolute indices, and the per-chunk scanned counts
+    (full chunk size, or ``k-th-match-offset + 1`` on early exit) sum to
+    exactly the single call's return value.
+    """
+    limit = task.spec.limit
+    num_rows = store.num_rows
+    chunk = telemetry.chunk_rows
+    scanned = 0
+    checkpoints: list[tuple[int, float]] = []
+    position = 0
+    while position < num_rows:
+        end = min(position + chunk, num_rows)
+        remaining = None if limit is None else limit - len(hits)
+        chunk0 = wall_clock()
+        sub = matcher(store.columns, position, end, remaining, hits.append)
+        chunk_wall = wall_clock() - chunk0
+        scanned += sub
+        checkpoints.append((scanned, wall_clock() - scan0))
+        telemetry.flush(
+            WorkerDelta(
+                job_id=task.job_id,
+                partition=task.ref.partition,
+                rows_scanned=scanned,
+                hits=len(hits),
+                chunk_rows=sub,
+                wall_s=chunk_wall,
+            )
+        )
+        # limit=0 deliberately never breaks: the generated matcher's
+        # early-exit check (``_n == _limit``) cannot fire for 0, so the
+        # single-call path scans everything and chunking must match.
+        if limit is not None and limit > 0 and len(hits) >= limit:
+            break
+        position = end
+    return scanned, tuple(checkpoints)
 
 
 def materialize_outputs(

@@ -296,3 +296,64 @@ class TestQueryLayouts:
         assert code == 0
         assert "l_orderkey" in text
         assert "4/4 partitions" in text
+
+
+class TestTelemetryCLI:
+    def test_metrics_format_prometheus_renders_trace(self, tmp_path):
+        from repro.obs.export import parse_exposition
+
+        trace_path = tmp_path / "run.jsonl"
+        code, _ = run_cli(
+            ["sample", "--scale", "5", "--seed", "0",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        code, text = run_cli(["metrics", str(trace_path), "--format", "prometheus"])
+        assert code == 0
+        samples = parse_exposition(text)  # strict: raises on malformation
+        assert "repro_records_processed_total" in samples
+        labels, value = samples["repro_records_processed_total"][0]
+        assert labels["scope"] == "job"
+        assert value > 0
+
+    def test_metrics_port_does_not_change_sample_output(self, capsys):
+        argv = ["sample", "--scale", "5", "--seed", "0"]
+        _, bare = run_cli(argv)
+        capsys.readouterr()
+        code, observed = run_cli(argv + ["--metrics-port", "0"])
+        assert code == 0
+        assert observed == bare
+        # The endpoint announcement goes to stderr, never stdout.
+        err = capsys.readouterr().err
+        assert "telemetry:" in err
+        assert "/metrics" in err
+
+    def test_top_renders_one_frame_from_live_exporter(self):
+        from repro.obs import TelemetryHub, TraceRecorder
+        from repro.obs.export import TelemetryExporter
+
+        recorder = TraceRecorder()
+        hub = TelemetryHub()
+        hub.attach(recorder)
+        recorder.record(0.0, "job_submitted", "j1", name="livejob", splits=2)
+        with TelemetryExporter(hub, port=0) as exporter:
+            code, text = run_cli(
+                ["top", "--port", str(exporter.port),
+                 "--iterations", "1", "--no-clear"]
+            )
+        assert code == 0
+        assert "livejob" in text
+        assert "events" in text
+
+    def test_top_requires_an_endpoint(self, capsys):
+        code, _ = run_cli(["top"])
+        assert code == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_top_unreachable_endpoint_fails_cleanly(self):
+        code, text = run_cli(
+            ["top", "--url", "http://127.0.0.1:9/telemetry.json",
+             "--iterations", "1", "--interval", "0.01"]
+        )
+        assert code == 1
+        assert "telemetry endpoint" in text

@@ -1,0 +1,123 @@
+"""Property-based tests for the mergeable quantile sketch.
+
+The telemetry hub merges per-worker and per-task sketches freely, so the
+merge operation must be order-independent and the merged sketch must
+answer exactly what a single sketch observing the whole stream would.
+The rank-error contract is the log-bucket guarantee: a reported quantile
+and the true sample quantile always share a bucket, so their ratio is
+bounded by one bucket width (``10 ** (1 / BUCKETS_PER_DECADE)``).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import BUCKETS_PER_DECADE, SNAPSHOT_QUANTILES
+from repro.obs.timeseries import QuantileSketch
+
+#: One log-bucket width; estimate and truth always share a bucket.
+BUCKET_FACTOR = 10.0 ** (1.0 / BUCKETS_PER_DECADE) * (1.0 + 1e-9)
+
+positive_values = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+any_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    max_size=200,
+)
+
+quantiles = st.floats(min_value=0.0, max_value=1.0)
+
+
+def sketch_of(values) -> QuantileSketch:
+    sketch = QuantileSketch("s")
+    for value in values:
+        sketch.observe(value)
+    return sketch
+
+
+def state(sketch: QuantileSketch) -> tuple:
+    """The mergeable state, excluding the float-summed total."""
+    return (
+        sketch.count,
+        sketch.min,
+        sketch.max,
+        sketch.underflow,
+        dict(sketch.buckets),
+    )
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(a=any_values, b=any_values)
+    def test_commutative(self, a, b):
+        ab = sketch_of(a).merge(sketch_of(b))
+        ba = sketch_of(b).merge(sketch_of(a))
+        assert state(ab) == state(ba)
+        assert math.isclose(ab.total, ba.total, rel_tol=1e-12, abs_tol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=any_values, b=any_values, c=any_values)
+    def test_associative(self, a, b, c):
+        left = sketch_of(a).merge(sketch_of(b)).merge(sketch_of(c))
+        right = sketch_of(a).merge(sketch_of(b).merge(sketch_of(c)))
+        assert state(left) == state(right)
+        # Float summation order differs, so totals agree only to rounding.
+        assert math.isclose(left.total, right.total, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=any_values, cut=st.integers(min_value=0, max_value=200))
+    def test_merge_equals_direct_observation(self, values, cut):
+        cut = min(cut, len(values))
+        merged = sketch_of(values[:cut]).merge(sketch_of(values[cut:]))
+        direct = sketch_of(values)
+        assert state(merged) == state(direct)
+        for _key, q in SNAPSHOT_QUANTILES:
+            assert merged.quantile(q) == direct.quantile(q)
+
+
+class TestRankError:
+    @settings(max_examples=50, deadline=None)
+    @given(values=positive_values, q=quantiles)
+    def test_quantile_within_one_bucket_of_truth(self, values, q):
+        sketch = sketch_of(values)
+        estimate = sketch.quantile(q)
+        rank = max(1, math.ceil(q * len(values)))
+        truth = sorted(values)[rank - 1]
+        assert estimate is not None
+        assert truth / BUCKET_FACTOR <= estimate <= truth * BUCKET_FACTOR
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=any_values, q=quantiles)
+    def test_quantile_clamped_to_observed_range(self, values, q):
+        sketch = sketch_of(values)
+        estimate = sketch.quantile(q)
+        if not values:
+            assert estimate is None
+        else:
+            assert min(values) <= estimate <= max(values)
+
+
+class TestEdges:
+    def test_empty_sketch(self):
+        sketch = QuantileSketch("s")
+        assert sketch.quantile(0.5) is None
+        assert sketch.quantiles() == {"p50": None, "p95": None, "p99": None}
+        # Merging an empty sketch is the identity.
+        other = sketch_of([1.0, 2.0])
+        assert state(other.merge(QuantileSketch("e"))) == state(sketch_of([1.0, 2.0]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        value=st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        q=quantiles,
+    )
+    def test_single_value_answers_exactly(self, value, q):
+        # min == max, so clamping collapses every quantile to the value.
+        assert sketch_of([value]).quantile(q) == value

@@ -1,0 +1,181 @@
+"""Unit tests for Prometheus exposition rendering, the strict parser,
+and the background HTTP exporter."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE,
+    ExpositionError,
+    TelemetryExporter,
+    parse_exposition,
+    render_hub_prometheus,
+    render_registry_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.hub import TelemetryHub
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("profile.scan.wall-s") == "profile_scan_wall_s"
+
+    def test_leading_digit_is_replaced(self):
+        assert sanitize_metric_name("9lives") == "_lives"
+
+    def test_empty_name(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestRegistryRendering:
+    def registry_snapshot(self) -> dict:
+        registry = MetricsRegistry(scope="scan")
+        registry.counter("rows.scanned").inc(1234)
+        registry.gauge("batch.size").set(4096)
+        hist = registry.histogram("map_task.wall_s")
+        for value in (0.01, 0.02, 0.5):
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_counter_gets_total_suffix(self):
+        text = render_registry_prometheus(self.registry_snapshot())
+        samples = parse_exposition(text)
+        assert samples["repro_rows_scanned_total"] == [({}, 1234.0)]
+
+    def test_gauge_and_histogram_summary(self):
+        text = render_registry_prometheus(self.registry_snapshot())
+        samples = parse_exposition(text)
+        assert samples["repro_batch_size"] == [({}, 4096.0)]
+        assert samples["repro_map_task_wall_s_count"] == [({}, 3.0)]
+        quantile_labels = [
+            labels["quantile"] for labels, _ in samples["repro_map_task_wall_s"]
+        ]
+        assert quantile_labels == ["0.5", "0.95", "0.99"]
+
+    def test_type_headers_emitted_once(self):
+        text = render_registry_prometheus(self.registry_snapshot())
+        type_lines = [l for l in text.splitlines() if l.startswith("# TYPE")]
+        assert len(type_lines) == len(set(type_lines))
+
+    def test_labels_are_escaped(self):
+        text = render_registry_prometheus(
+            {"x": {"kind": "gauge", "value": 1}},
+            labels={"job": 'a"b\\c\nd'},
+        )
+        samples = parse_exposition(text)
+        [(labels, value)] = samples["repro_x"]
+        assert labels == {"job": 'a"b\\c\nd'}
+        assert value == 1.0
+
+    def test_falsy_zero_values_render(self):
+        # A 0-valued counter/gauge is a real sample, never dropped.
+        text = render_registry_prometheus(
+            {
+                "hits": {"kind": "counter", "value": 0},
+                "util": {"kind": "gauge", "value": 0.0},
+            }
+        )
+        samples = parse_exposition(text)
+        assert samples["repro_hits_total"] == [({}, 0.0)]
+        assert samples["repro_util"] == [({}, 0.0)]
+
+    def test_none_gauge_renders_nan(self):
+        text = render_registry_prometheus({"x": {"kind": "gauge", "value": None}})
+        [(_, value)] = parse_exposition(text)["repro_x"]
+        assert value != value  # NaN
+
+
+class TestHubRendering:
+    def hub_snapshot(self) -> dict:
+        recorder = TraceRecorder()
+        hub = TelemetryHub()
+        hub.attach(recorder)
+        for job_id in ("j1", "j2"):
+            recorder.record(0.0, "job_submitted", job_id, name=job_id, splits=1)
+            recorder.provider_evaluation(
+                0.0, job_id=job_id, phase="initial", policy="LA", knobs={},
+                progress=None, cluster=None, response_kind="INPUT_AVAILABLE",
+                splits=1,
+            )
+            recorder.record(1.0, "map_started", job_id, task_id="t")
+            recorder.record(
+                2.0, "map_finished", job_id, task_id="t", records=100, outputs=2
+            )
+        return hub.snapshot()
+
+    def test_jobs_render_with_job_label(self):
+        text = render_hub_prometheus(self.hub_snapshot())
+        samples = parse_exposition(text)
+        rows = {
+            labels["job"]: value
+            for labels, value in samples["repro_job_rows_total"]
+        }
+        assert rows == {"j1": 100.0, "j2": 100.0}
+
+    def test_grab_to_grant_summary_for_concurrent_jobs(self):
+        text = render_hub_prometheus(self.hub_snapshot())
+        samples = parse_exposition(text)
+        latency = samples["repro_job_grab_to_grant_seconds"]
+        by_job: dict[str, set[str]] = {}
+        for labels, _value in latency:
+            by_job.setdefault(labels["job"], set()).add(labels["quantile"])
+        assert by_job == {
+            "j1": {"0.5", "0.95", "0.99"},
+            "j2": {"0.5", "0.95", "0.99"},
+        }
+        # The summary carries real _count/_sum samples.
+        for labels, value in samples["repro_job_grab_to_grant_seconds_count"]:
+            assert value == 1.0
+        for labels, value in samples["repro_job_grab_to_grant_seconds_sum"]:
+            assert value > 0.0
+
+    def test_whole_payload_parses(self):
+        text = render_hub_prometheus(self.hub_snapshot())
+        samples = parse_exposition(text)
+        assert samples  # non-empty and no ExpositionError raised
+
+
+class TestParser:
+    def test_rejects_bad_value(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition("metric abc\n")
+
+    def test_rejects_unterminated_labels(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition('metric{a="b" 1\n')
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(ExpositionError):
+            parse_exposition("1metric 5\n")
+
+    def test_accepts_timestamps_and_comments(self):
+        samples = parse_exposition("# HELP x y\n# TYPE x gauge\nx 1 1700000000\n")
+        assert samples["x"] == [({}, 1.0)]
+
+    def test_label_value_with_comma_and_quote(self):
+        samples = parse_exposition('m{a="x,y",b="q\\"z"} 2\n')
+        assert samples["m"] == [({"a": "x,y", "b": 'q"z'}, 2.0)]
+
+
+class TestExporter:
+    def test_http_round_trip(self):
+        recorder = TraceRecorder()
+        hub = TelemetryHub()
+        hub.attach(recorder)
+        recorder.record(0.0, "job_submitted", "j1", name="q", splits=1)
+        with TelemetryExporter(hub, port=0) as exporter:
+            base = f"http://127.0.0.1:{exporter.port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                text = resp.read().decode()
+            parse_exposition(text)
+            with urllib.request.urlopen(f"{base}/telemetry.json", timeout=5) as resp:
+                snapshot = json.loads(resp.read().decode())
+            assert "j1" in snapshot["jobs"]
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"{base}/nope", timeout=5)
+        assert exporter.port is None  # stopped and released

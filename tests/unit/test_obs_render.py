@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.obs.render import _one_line, render_metrics, render_timeline
+from repro.obs.render import (
+    SPARK_TICKS,
+    _one_line,
+    format_duration,
+    percentile_row,
+    percentile_table,
+    progress_bar,
+    render_metrics,
+    render_timeline,
+    sparkline,
+)
 from repro.obs.trace import LIFECYCLE_EVENT_TYPES
 
 
@@ -223,3 +233,79 @@ class TestRenderMetrics:
             },
         )
         assert "count=0" in render_metrics([snapshot])
+
+
+class TestSparkline:
+    def test_empty_is_blank_of_width(self):
+        assert sparkline([], width=8) == " " * 8
+
+    def test_flat_series_is_lowest_tick(self):
+        # All-zero rates are real data, not absence: lowest tick, not blank.
+        line = sparkline([0.0, 0.0, 0.0], width=8)
+        assert line.strip() == SPARK_TICKS[0] * 3
+
+    def test_monotone_series_is_monotone_ticks(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0], width=8).strip()
+        assert list(line) == sorted(line)
+        assert line[-1] == SPARK_TICKS[-1]
+
+    def test_downsamples_to_width(self):
+        line = sparkline(range(100), width=10)
+        assert len(line) == 10
+
+    def test_short_series_right_aligned(self):
+        line = sparkline([1.0, 5.0], width=10)
+        assert len(line) == 10
+        assert line.startswith(" ")
+
+
+class TestProgressBar:
+    def test_halfway(self):
+        assert progress_bar(5, 10, width=10) == "[#####.....]  50%"
+
+    def test_zero_done_is_zero_percent_not_unknown(self):
+        assert progress_bar(0, 10, width=10) == "[..........]   0%"
+
+    def test_unknown_total(self):
+        assert progress_bar(3, None, width=4) == "[????]   ?%"
+        assert progress_bar(3, 0, width=4) == "[????]   ?%"
+
+    def test_clamps_overshoot(self):
+        assert progress_bar(15, 10, width=10) == "[##########] 100%"
+
+
+class TestFormatDuration:
+    def test_none_is_dash(self):
+        assert format_duration(None) == "-"
+
+    def test_zero_is_a_number_not_dash(self):
+        assert format_duration(0.0) == "0µs"
+
+    def test_tiers(self):
+        assert format_duration(5e-5) == "50µs"
+        assert format_duration(0.0215) == "21.5ms"
+        assert format_duration(5.5) == "5.50s"
+        assert format_duration(180.0) == "3.0m"
+
+
+class TestPercentileHelpers:
+    def test_empty_stats_is_dash(self):
+        assert percentile_row(None) == "-"
+        assert percentile_row({"count": 0}) == "-"
+
+    def test_zero_quantile_prints_as_number(self):
+        row = percentile_row({"count": 3, "p50": 0.0, "p95": 0.5, "p99": None})
+        assert row == "0µs/500.0ms/-"
+
+    def test_table_alignment_and_placeholder(self):
+        assert percentile_table({}) == "latency: (no samples)"
+        text = percentile_table(
+            {
+                "grab": {"count": 4, "p50": 1.0, "p95": 2.0, "p99": 2.0},
+                "idle": {"count": 0},
+            }
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "1.00s" in lines[1]
+        assert lines[2].split() == ["idle", "0", "-", "-", "-"]

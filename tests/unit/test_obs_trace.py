@@ -211,3 +211,44 @@ class TestRendering:
         text = render_metrics(self._recorded().raw_events)
         assert "records_processed" in text
         assert "10" in text
+
+
+class TestListenerIsolation:
+    """A broken listener must never kill the traced job (regression:
+    listener exceptions used to propagate out of ``record``)."""
+
+    def test_raising_listener_is_detached_not_propagated(self, capsys):
+        recorder = TraceRecorder()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("listener bug")
+
+        recorder.add_listener(broken)
+        recorder.add_listener(seen.append)
+        recorder.record(0.0, "job_submitted", "j1")  # must not raise
+        err = capsys.readouterr().err
+        assert "listener" in err and "RuntimeError" in err
+
+        # Exactly one stderr notice: the broken listener is detached and
+        # never re-entered on subsequent events.
+        recorder.record(1.0, "job_succeeded", "j1")
+        assert capsys.readouterr().err == ""
+        assert [e["type"] for e in seen] == ["job_submitted", "job_succeeded"]
+        assert len(recorder.raw_events) == 2
+
+    def test_healthy_listeners_survive_a_broken_sibling(self):
+        recorder = TraceRecorder()
+        seen = []
+        recorder.add_listener(lambda event: (_ for _ in ()).throw(ValueError()))
+        recorder.add_listener(seen.append)
+        recorder.record(0.0, "job_submitted", "j1")
+        assert len(seen) == 1
+
+    def test_remove_listener_is_idempotent(self):
+        recorder = TraceRecorder()
+        listener = lambda event: None  # noqa: E731
+        recorder.add_listener(listener)
+        recorder.remove_listener(listener)
+        recorder.remove_listener(listener)  # second remove: no error
+        recorder.record(0.0, "job_submitted", "j1")
