@@ -503,6 +503,50 @@ def _bench_e2e(quick: bool) -> dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# doctor: trace diagnosis (span graph + detectors + audit) throughput
+# ---------------------------------------------------------------------------
+def _bench_doctor(quick: bool) -> dict[str, float]:
+    from repro.core.sampling_job import make_sampling_conf
+    from repro.data.predicates import predicate_for_skew
+    from repro.experiments.setup import dataset_for, single_user_cluster
+    from repro.obs.doctor import diagnose
+    from repro.obs.trace import TraceRecorder
+
+    # Record one simulated run, then time repeated diagnosis of its
+    # event stream — the doctor is pure read-side, so the same events
+    # diagnose identically every pass.
+    scale = 5 if quick else 20
+    trace = TraceRecorder()
+    cluster = single_user_cluster(seed=0, trace=trace)
+    cluster.load_dataset("/bench/doctor", dataset_for(scale, 1, 0))
+    conf = make_sampling_conf(
+        name="bench_doctor", input_path="/bench/doctor",
+        predicate=predicate_for_skew(1), sample_size=10_000,
+        policy_name="LA",
+    )
+    cluster.run_job(conf)
+    events = trace.raw_events
+    repeats = 5 if quick else 20
+    start = wall_clock()
+    for _ in range(repeats):
+        diagnosis = diagnose(events)
+    elapsed = wall_clock() - start
+    if not diagnosis.model.jobs:
+        raise BenchError("doctor bench diagnosed an empty run")
+    graph = next(iter(diagnosis.graphs.values()))
+    # Deterministic canaries: the healthy simulated run must stay
+    # healthy, and the critical path must keep reconciling — a change
+    # that moves either altered diagnosis semantics, not speed.
+    return {
+        "doctor.events_per_sec": (
+            len(events) * repeats / elapsed if elapsed > 0 else 0.0
+        ),
+        "doctor.findings": float(len(diagnosis.findings)),
+        "doctor.critical_path_spans": float(len(graph.critical_path)),
+    }
+
+
+# ---------------------------------------------------------------------------
 # sweep: a small grid through the sweep engine (serial, uncached)
 # ---------------------------------------------------------------------------
 def _bench_sweep(quick: bool) -> dict[str, float]:
@@ -543,6 +587,11 @@ SUITES: dict[str, Suite] = {
             _bench_approx,
         ),
         Suite("e2e", "one Figure 5 policy cell end to end (sim substrate)", _bench_e2e),
+        Suite(
+            "doctor",
+            "trace diagnosis: span graph + detectors + audit replay",
+            _bench_doctor,
+        ),
         Suite("sweep", "sweep engine over a small Figure 5 grid", _bench_sweep),
     )
 }

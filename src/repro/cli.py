@@ -244,13 +244,26 @@ def _telemetry(args, trace):
 
     with TelemetryHub() as hub:
         hub.attach(trace)
-        with TelemetryExporter(hub, port=port) as exporter:
+        exporter = TelemetryExporter(hub, port=port)
+        try:
+            exporter.start()
+        except OSError as exc:
+            # A taken port is an operator mistake, not a crash: one
+            # line, exit 2, no traceback.
+            print(
+                f"error: cannot serve telemetry on port {port}: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from exc
+        try:
             print(
                 f"telemetry: http://127.0.0.1:{exporter.port}/metrics  "
                 f"(live view: repro top --port {exporter.port})",
                 file=sys.stderr,
             )
             yield hub
+        finally:
+            exporter.stop()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -537,8 +550,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("path", help="JSONL trace file written by --trace-out")
     audit.add_argument(
+        "--format", default="text", choices=("text", "json"), dest="fmt",
+        help=(
+            "output format (default: text); json emits stable-key-order "
+            "findings for machine consumers"
+        ),
+    )
+    audit.add_argument(
         "--no-validate", action="store_true",
         help="skip schema validation while loading",
+    )
+
+    doctor = commands.add_parser(
+        "doctor",
+        help=(
+            "diagnose a recorded run: critical path, anomaly findings "
+            "(stragglers, stalls, skew, drift, CI stalls), suggested "
+            "knob changes (exit 1 when findings exist)"
+        ),
+    )
+    doctor.add_argument("path", help="JSONL trace file written by --trace-out")
+    doctor.add_argument(
+        "--diff", default=None, metavar="TRACE",
+        help="compare against a second trace (findings that appeared/"
+        "resolved, per-job wall-time deltas) instead of gating",
+    )
+    doctor.add_argument(
+        "--format", default="md", choices=("md", "json"), dest="fmt",
+        help="report format (default: md); --diff renders md only",
+    )
+    doctor.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report here (a summary line still goes to stdout)",
+    )
+    doctor.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation while loading",
+    )
+
+    slo = commands.add_parser(
+        "slo",
+        help="declare run-quality objectives in YAML and gate CI on them",
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_sub.add_parser(
+        "check",
+        help=(
+            "evaluate an SLO spec against traces and/or a bench run "
+            "record (exit 1 when any objective is missed)"
+        ),
+    )
+    slo_check.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="YAML SLO spec (see DESIGN.md §9e for the schema)",
+    )
+    slo_check.add_argument(
+        "traces", nargs="*", metavar="TRACE",
+        help="JSONL trace file(s) to hold against the spec",
+    )
+    slo_check.add_argument(
+        "--bench", default=None, metavar="RECORD",
+        help=(
+            "bench run record for the spec's bench section: a JSON file "
+            "(repro bench run --out), or 'latest'/'previous'/a run id "
+            "with --history-dir"
+        ),
+    )
+    slo_check.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="bench history store to resolve --bench references against",
+    )
+    slo_check.add_argument(
+        "--format", default="text", choices=("text", "json"), dest="fmt",
+        help="output format (default: text)",
+    )
+    slo_check.add_argument(
+        "--no-validate", action="store_true",
+        help="skip trace schema validation while loading",
     )
 
     report = commands.add_parser(
@@ -1016,12 +1104,108 @@ def cmd_top(args, out) -> int:
 
 
 def cmd_audit(args, out) -> int:
-    from repro.obs.audit import audit_events, render_audit
+    from repro.obs.audit import audit_events, audit_json, render_audit
 
     events = load_trace(args.path, validate=not args.no_validate)
     audit = audit_events(events)
-    print(render_audit(audit), file=out)
+    if getattr(args, "fmt", "text") == "json":
+        out.write(audit_json(audit))
+    else:
+        print(render_audit(audit), file=out)
     return 0 if audit.ok else 1
+
+
+def cmd_doctor(args, out) -> int:
+    from pathlib import Path
+
+    from repro.obs.doctor import (
+        diagnose,
+        doctor_json,
+        render_doctor,
+        render_doctor_diff,
+    )
+
+    events = load_trace(args.path, validate=not args.no_validate)
+    diagnosis = diagnose(events)
+    if args.diff is not None:
+        if args.fmt != "md":
+            print("error: --diff renders markdown only", file=sys.stderr)
+            return 2
+        other = diagnose(load_trace(args.diff, validate=not args.no_validate))
+        rendered = render_doctor_diff(
+            diagnosis, other, names=(args.path, args.diff)
+        )
+    elif args.fmt == "json":
+        rendered = doctor_json(diagnosis)
+    else:
+        rendered = render_doctor(diagnosis)
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"wrote {args.out}", file=out)
+    else:
+        out.write(rendered)
+    if args.diff is not None:
+        return 0  # Diffing is exploratory, not a gate.
+    if diagnosis.findings:
+        print(
+            f"doctor: {len(diagnosis.findings)} finding(s) in {args.path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_slo(args, out) -> int:
+    from repro.errors import BenchError
+    from repro.obs.slo import (
+        SloSpecError,
+        evaluate_bench_slo,
+        evaluate_trace_slo,
+        parse_slo_spec,
+        render_slo,
+        slo_json,
+    )
+
+    if not args.traces and args.bench is None:
+        print(
+            "error: repro slo check needs at least one TRACE or --bench",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = parse_slo_spec(Path(args.spec).read_text())
+    except OSError as exc:
+        print(f"error: cannot read SLO spec: {exc}", file=sys.stderr)
+        return 2
+    except SloSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if spec.get("bench") and args.bench is None:
+        print(
+            "error: the spec has a bench section; pass --bench RECORD",
+            file=sys.stderr,
+        )
+        return 2
+    reports = []
+    try:
+        for path in args.traces:
+            events = load_trace(path, validate=not args.no_validate)
+            reports.append(evaluate_trace_slo(spec, events, source=path))
+        if args.bench is not None:
+            record = _bench_resolve(
+                args.bench, args.history_dir, what="bench record"
+            )
+            reports.append(
+                evaluate_bench_slo(spec, record, source=f"bench:{args.bench}")
+            )
+    except (SloSpecError, BenchError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        out.write(slo_json(reports))
+    else:
+        out.write(render_slo(reports))
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def cmd_report(args, out) -> int:
@@ -1316,6 +1500,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "metrics": cmd_metrics,
         "top": cmd_top,
         "audit": cmd_audit,
+        "doctor": cmd_doctor,
+        "slo": cmd_slo,
         "report": cmd_report,
         "policies": cmd_policies,
         "bench": cmd_bench,

@@ -34,7 +34,18 @@ On top of the stream sit pure read-side consumers:
   jobs, fed by trace events and cross-process worker deltas;
 * :mod:`repro.obs.export` — Prometheus text exposition plus the
   background HTTP exporter (``--metrics-port``);
-* :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard.
+* :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard;
+* :mod:`repro.obs.spans` — the causal span graph: job → grant →
+  attempt → reduce dependencies with retry linkage, the critical path
+  that bounded job latency, and per-edge slack;
+* :mod:`repro.obs.detect` — deterministic anomaly detectors over the
+  span graph (stragglers, starvation, stalls, skew, drift, pruning
+  regressions, CI stalls), each with a suggested knob change;
+* :mod:`repro.obs.doctor` — ``repro doctor``: the byte-deterministic
+  findings report with the critical path rendered, a two-trace diff,
+  and the live :class:`Watchdog` behind the hub's alert gauges;
+* :mod:`repro.obs.slo` — ``repro slo check``: YAML run-quality
+  objectives evaluated against traces or bench records for CI gating.
 
 Everything here is pure read-side: attaching a registry or recorder
 consumes no randomness and changes no job output bytes.
@@ -59,8 +70,24 @@ _LAZY = {
     "JobModel": "repro.obs.analyze",
     "audit_events": "repro.obs.audit",
     "render_audit": "repro.obs.audit",
+    "audit_json": "repro.obs.audit",
     "AuditReport": "repro.obs.audit",
     "Violation": "repro.obs.audit",
+    "SpanGraph": "repro.obs.spans",
+    "build_span_graph": "repro.obs.spans",
+    "build_graphs": "repro.obs.spans",
+    "Finding": "repro.obs.detect",
+    "run_detectors": "repro.obs.detect",
+    "Diagnosis": "repro.obs.doctor",
+    "diagnose": "repro.obs.doctor",
+    "render_doctor": "repro.obs.doctor",
+    "doctor_json": "repro.obs.doctor",
+    "render_doctor_diff": "repro.obs.doctor",
+    "Watchdog": "repro.obs.doctor",
+    "parse_slo_spec": "repro.obs.slo",
+    "evaluate_trace_slo": "repro.obs.slo",
+    "evaluate_bench_slo": "repro.obs.slo",
+    "render_slo": "repro.obs.slo",
     "build_report": "repro.obs.report",
     "render_report": "repro.obs.report",
     "ProgressReporter": "repro.obs.progress",
@@ -107,8 +134,24 @@ __all__ = [
     "JobModel",
     "audit_events",
     "render_audit",
+    "audit_json",
     "AuditReport",
     "Violation",
+    "SpanGraph",
+    "build_span_graph",
+    "build_graphs",
+    "Finding",
+    "run_detectors",
+    "Diagnosis",
+    "diagnose",
+    "render_doctor",
+    "doctor_json",
+    "render_doctor_diff",
+    "Watchdog",
+    "parse_slo_spec",
+    "evaluate_trace_slo",
+    "evaluate_bench_slo",
+    "render_slo",
     "build_report",
     "render_report",
     "ProgressReporter",

@@ -52,6 +52,7 @@ exits non-zero on any violation so CI can gate on it.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -417,3 +418,29 @@ def render_audit(report: AuditReport) -> str:
         for violation in report.violations:
             lines.append(f"  {violation.describe()}")
     return "\n".join(lines)
+
+
+def audit_json(report: AuditReport) -> str:
+    """Machine-readable audit outcome (``repro audit --format json``).
+
+    Stable key order and a trailing newline, so the doctor and CI can
+    consume audits without parsing the human text — and so two runs of
+    the same trace compare byte-for-byte.
+    """
+    payload = {
+        "ok": report.ok,
+        "jobs_checked": report.jobs_checked,
+        "evaluations_checked": report.evaluations_checked,
+        "attempts_checked": report.attempts_checked,
+        "notes": list(report.notes),
+        "violations": [
+            {
+                "check": violation.check,
+                "job_id": violation.job_id,
+                "seq": violation.seq,
+                "message": violation.message,
+            }
+            for violation in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

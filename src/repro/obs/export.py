@@ -188,6 +188,31 @@ def render_hub_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
         lines.sample(name, {"state": "done"}, sweep.get("done", 0))
         lines.sample(name, {"state": "cached"}, sweep.get("cached", 0))
 
+    # Watchdog alerts: the count gauge is emitted whenever the snapshot
+    # carries the key (even at 0), so a scraper can tell "no alerts"
+    # apart from "producer predates the watchdog"; one labelled gauge
+    # per active alert carries the detail.
+    alerts = snapshot.get("alerts")
+    if alerts is not None:
+        name = f"{prefix}_alerts_active"
+        lines.type_header(name, "gauge", "Active watchdog alerts.")
+        lines.sample(name, None, len(alerts))
+        if alerts:
+            name = f"{prefix}_alert"
+            lines.type_header(
+                name, "gauge", "One sample per active watchdog alert."
+            )
+            for alert in alerts:
+                lines.sample(
+                    name,
+                    {
+                        "job": alert.get("job_id") or "",
+                        "detector": alert.get("detector") or "",
+                        "severity": alert.get("severity") or "",
+                    },
+                    1,
+                )
+
     for job_id, job in (snapshot.get("jobs") or {}).items():
         labels = {"job": job_id}
         for key, kind, help_text in (

@@ -177,6 +177,12 @@ class TelemetryHub:
         scan layer's default. Small values make workers flush often —
         useful in tests and for watching very slow scans."""
         self.started_wall = clock()
+        # The live watchdog: incremental anomaly detectors over the same
+        # event stream (imported lazily — doctor sits above the hub in
+        # the obs layering).
+        from repro.obs.doctor import Watchdog
+
+        self.watchdog = Watchdog()
         self.jobs: dict[str, JobTelemetry] = {}
         self.slot_series = TimeSeries(capacity)
         self.slots_total: int | None = None
@@ -241,6 +247,12 @@ class TelemetryHub:
             handler = _EVENT_HANDLERS.get(event["type"])
             if handler is not None:
                 handler(self, event, self._clock())
+            try:
+                self.watchdog.on_event(event)
+            except Exception:
+                # A watchdog bug must never cost the hub its listener
+                # slot (the recorder detaches listeners that raise).
+                pass
 
     def _job(self, job_id: str, wall: float) -> JobTelemetry:
         job = self.jobs.get(job_id)
@@ -515,6 +527,7 @@ class TelemetryHub:
                     "series": self.slot_series.points(),
                 },
                 "sweep": dict(self.sweep) if self.sweep is not None else None,
+                "alerts": self.watchdog.alerts(),
                 "jobs": {job_id: job.snapshot() for job_id, job in self.jobs.items()},
                 "registries": self._sample_registries_locked(wall),
             }

@@ -1,0 +1,404 @@
+"""Causal span graph: why did this job take as long as it did?
+
+:mod:`repro.obs.analyze` rebuilds *what* happened — attempts, waves,
+evaluations. This module rebuilds *why the clock advanced*: a directed
+graph of causal spans per job
+
+* the **job** span (submission to completion),
+* one **grant** span per input increment (the provider's initial grab
+  plus every INPUT_AVAILABLE answer — the paper's waves, §III-A),
+* one **attempt** span per map-task attempt, linked to the grant that
+  made its split available, to the failed attempt it retries, and to
+  the attempt whose slot it inherited,
+* the **reduce** span.
+
+On top of the graph sits the **critical path**: the single chain of
+spans whose waits and durations sum exactly to the job's recorded
+response time (time-to-k). Every path segment carries the wait it
+inflicted, so ``repro doctor`` can say "8.0 s of this run is one retry
+chain" instead of pointing at a timeline. Edges that are *not* on the
+path carry slack — how much later that dependency could have finished
+without moving the job's completion.
+
+Everything is a pure function of the analyzed :class:`JobModel`;
+rebuilding the graph twice yields identical structures (the doctor's
+byte-determinism rests on this). LocalRunner traces record no task
+lifecycle and stamp every event 0.0 — their graphs have no attempt
+spans and an empty critical path, which downstream renderers treat as
+"no latency structure recorded".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.analyze import JobModel, RunModel
+
+#: Edge kinds, in binding-priority order (used to break exact ties when
+#: two predecessors end at the same instant).
+_EDGE_PRIORITY = {"retry": 0, "dispatch": 1, "threshold": 2, "slot": 3, "submit": 4}
+
+
+@dataclass
+class Span:
+    """One node of the causal graph."""
+
+    span_id: str  # "job" | "grant:<wave>" | "attempt:<task_id>" | "reduce"
+    kind: str  # "job" | "grant" | "attempt" | "reduce"
+    label: str
+    start: float
+    end: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Edge:
+    """A causal dependency: ``dst`` could not start before ``src`` ended.
+
+    ``slack`` is ``dst.start - src.end`` — how long the dependent span
+    waited after this prerequisite was satisfied. The *binding*
+    predecessor of a span is the incoming edge with the smallest slack;
+    the critical path is the chain of binding edges from job completion
+    back to submission.
+    """
+
+    src: str
+    dst: str
+    kind: str  # "grant" | "dispatch" | "retry" | "slot" | "threshold" | "reduce"
+    slack: float
+
+
+@dataclass
+class PathSegment:
+    """One span on the critical path, with the wait that preceded it."""
+
+    span: Span
+    wait: float  # gap after the previous path span ended (or job submit)
+    edge_kind: str  # how this span depended on its predecessor
+
+
+@dataclass
+class SpanGraph:
+    """The causal graph and critical path for one job."""
+
+    job_id: str
+    spans: dict[str, Span] = field(default_factory=dict)
+    edges: list[Edge] = field(default_factory=list)
+    critical_path: list[PathSegment] = field(default_factory=list)
+    tail: float = 0.0
+    """Time between the last critical-path span ending and the job
+    finishing (completion bookkeeping after the reduce)."""
+    attempt_waves: dict[str, int] = field(default_factory=dict)
+    """task_id -> wave index, as assigned by :func:`build_span_graph`."""
+
+    @property
+    def critical_path_length(self) -> float:
+        """Sum of waits + durations along the path, plus the tail.
+
+        Reconciles exactly with the job's recorded response time when a
+        path exists (asserted by the test suite, relied on by doctor).
+        """
+        return sum(s.wait + s.span.duration for s in self.critical_path) + self.tail
+
+
+def build_graphs(model: RunModel) -> dict[str, SpanGraph]:
+    """One :class:`SpanGraph` per job, in trace first-appearance order."""
+    return {job_id: build_span_graph(job) for job_id, job in model.jobs.items()}
+
+
+def build_span_graph(job: JobModel) -> SpanGraph:
+    """Assemble the causal span graph for one analyzed job."""
+    graph = SpanGraph(job_id=job.job_id)
+    submit = job.submit_time if job.submit_time is not None else 0.0
+    finish = job.finish_time if job.finish_time is not None else submit
+    graph.spans["job"] = Span(
+        span_id="job",
+        kind="job",
+        label=f"{job.job_id} ({job.state or 'open'})",
+        start=submit,
+        end=finish,
+        meta={"policy": job.policy, "name": job.name},
+    )
+
+    # Grant spans: instantaneous nodes at each input increment.
+    for wave in job.waves:
+        span_id = f"grant:{wave.index}"
+        graph.spans[span_id] = Span(
+            span_id=span_id,
+            kind="grant",
+            label=f"wave {wave.index} (+{wave.splits} splits, {wave.source})",
+            start=wave.time,
+            end=wave.time,
+            meta={"splits": wave.splits, "source": wave.source},
+        )
+
+    # Attempt spans, for attempts the trace actually timed.
+    timed: list = []
+    for task_id in job.attempt_order:
+        attempt = job.attempts[task_id]
+        if attempt.start is None or attempt.end is None:
+            continue
+        timed.append(attempt)
+        span_id = f"attempt:{task_id}"
+        graph.spans[span_id] = Span(
+            span_id=span_id,
+            kind="attempt",
+            label=f"{task_id} [{attempt.outcome or 'open'}]",
+            start=attempt.start,
+            end=attempt.end,
+            meta={
+                "node": attempt.node,
+                "outcome": attempt.outcome,
+                "records": attempt.records,
+                "outputs": attempt.outputs,
+            },
+        )
+
+    graph.attempt_waves = _assign_waves(job, timed)
+    for task_id, wave_index in graph.attempt_waves.items():
+        span = graph.spans.get(f"attempt:{task_id}")
+        if span is not None:
+            span.meta["wave"] = wave_index
+
+    if job.reduce_start is not None and job.reduce_end is not None:
+        graph.spans["reduce"] = Span(
+            span_id="reduce",
+            kind="reduce",
+            label="reduce",
+            start=job.reduce_start,
+            end=job.reduce_end,
+            meta={"outputs": job.reduce_outputs},
+        )
+
+    _build_edges(job, graph, timed, submit)
+    _walk_critical_path(job, graph, timed, submit, finish)
+    return graph
+
+
+def _assign_waves(job: JobModel, timed: list) -> dict[str, int]:
+    """Map each attempt to the wave whose grant made its split runnable.
+
+    The trace does not record which grant a split came from, but the
+    scheduler dispatches grants in order: first attempts, sorted by
+    start time, chunk into waves by each wave's split count. Retries
+    inherit the wave of the attempt they re-execute.
+    """
+    retry_ids = {
+        a.retried_as for a in job.attempts.values() if a.retried_as is not None
+    }
+    firsts = sorted(
+        (a for a in timed if a.task_id not in retry_ids),
+        key=lambda a: (a.start, a.task_id),
+    )
+    assignment: dict[str, int] = {}
+    cursor = 0
+    for wave in job.waves:
+        for attempt in firsts[cursor : cursor + wave.splits]:
+            assignment[attempt.task_id] = wave.index
+        cursor += wave.splits
+    # Attempts beyond the recorded grants (shouldn't happen on a clean
+    # trace) fall into the last wave rather than vanishing.
+    last_wave = job.waves[-1].index if job.waves else 0
+    for attempt in firsts[cursor:]:
+        assignment[attempt.task_id] = last_wave
+    # Retries inherit their original's wave (transitively).
+    retry_of = {
+        a.retried_as: a.task_id
+        for a in job.attempts.values()
+        if a.retried_as is not None
+    }
+    for attempt in timed:
+        if attempt.task_id in assignment:
+            continue
+        origin = attempt.task_id
+        seen = set()
+        while origin in retry_of and origin not in seen:
+            seen.add(origin)
+            origin = retry_of[origin]
+        assignment[attempt.task_id] = assignment.get(origin, last_wave)
+    return assignment
+
+
+def _build_edges(job: JobModel, graph: SpanGraph, timed: list, submit: float) -> None:
+    edges = graph.edges
+    for wave in job.waves:
+        edges.append(
+            Edge("job", f"grant:{wave.index}", "grant", wave.time - submit)
+        )
+    retry_of = {
+        a.retried_as: a.task_id
+        for a in job.attempts.values()
+        if a.retried_as is not None
+    }
+    for attempt in timed:
+        dst = f"attempt:{attempt.task_id}"
+        origin = retry_of.get(attempt.task_id)
+        if origin is not None and f"attempt:{origin}" in graph.spans:
+            src_span = graph.spans[f"attempt:{origin}"]
+            edges.append(
+                Edge(src_span.span_id, dst, "retry", attempt.start - src_span.end)
+            )
+        wave_index = graph.attempt_waves.get(attempt.task_id)
+        grant_id = f"grant:{wave_index}"
+        if wave_index is not None and grant_id in graph.spans:
+            grant = graph.spans[grant_id]
+            edges.append(Edge(grant_id, dst, "dispatch", attempt.start - grant.start))
+    # Threshold edges: each periodic grant waited on map progress — the
+    # binding completion is the latest attempt ending at or before it.
+    for wave in job.waves:
+        if wave.source == "initial":
+            continue
+        binding = _latest_ending(timed, wave.time)
+        if binding is not None:
+            edges.append(
+                Edge(
+                    f"attempt:{binding.task_id}",
+                    f"grant:{wave.index}",
+                    "threshold",
+                    wave.time - binding.end,
+                )
+            )
+    if "reduce" in graph.spans:
+        reduce_span = graph.spans["reduce"]
+        binding = _latest_ending(timed, reduce_span.start)
+        if binding is not None:
+            edges.append(
+                Edge(
+                    f"attempt:{binding.task_id}",
+                    "reduce",
+                    "reduce",
+                    reduce_span.start - binding.end,
+                )
+            )
+
+
+def _latest_ending(timed: list, cutoff: float):
+    """The attempt with the greatest end time ≤ cutoff (ties: task_id)."""
+    best = None
+    for attempt in timed:
+        if attempt.end > cutoff:
+            continue
+        if (
+            best is None
+            or attempt.end > best.end
+            or (attempt.end == best.end and attempt.task_id < best.task_id)
+        ):
+            best = attempt
+    return best
+
+
+def _walk_critical_path(
+    job: JobModel, graph: SpanGraph, timed: list, submit: float, finish: float
+) -> None:
+    """Backward walk from job completion along binding predecessors."""
+    if not timed:
+        return  # LocalRunner trace: no latency structure recorded.
+
+    retry_of = {
+        a.retried_as: a.task_id
+        for a in job.attempts.values()
+        if a.retried_as is not None
+    }
+
+    # Terminal span: the reduce, else the last-finishing attempt.
+    if "reduce" in graph.spans:
+        current = graph.spans["reduce"]
+    else:
+        last = max(timed, key=lambda a: (a.end, a.task_id))
+        current = graph.spans[f"attempt:{last.task_id}"]
+
+    # chain[i] depends on chain[i+1] via kinds[i]; the chronologically
+    # first span depends on the submission itself ("submit").
+    chain: list[Span] = [current]
+    kinds: list[str] = []
+    visited = {current.span_id}
+    while True:
+        predecessor, edge_kind = _binding_predecessor(
+            graph, timed, retry_of, current, submit
+        )
+        if predecessor is None or predecessor.span_id in visited:
+            kinds.append("submit")
+            break
+        kinds.append(edge_kind)
+        chain.append(predecessor)
+        visited.add(predecessor.span_id)
+        current = predecessor
+
+    chain.reverse()
+    kinds.reverse()
+    previous_end = submit
+    for span, edge_kind in zip(chain, kinds):
+        wait = span.start - previous_end
+        graph.critical_path.append(
+            PathSegment(span=span, wait=wait, edge_kind=edge_kind)
+        )
+        previous_end = span.end
+    graph.tail = finish - previous_end
+
+
+def _binding_predecessor(
+    graph: SpanGraph, timed: list, retry_of: dict, span: Span, submit: float
+):
+    """The latest-ending prerequisite of ``span`` (its binding wait).
+
+    Candidates depend on span kind:
+
+    * attempt — the failed attempt it retries, the grant that made its
+      split available, or the same-job attempt whose slot it took over;
+    * reduce — the last map attempt finishing before it;
+    * grant — for periodic grants, the completion that satisfied the
+      WorkThreshold (latest attempt ending ≤ grant time). The initial
+      grant (and anything reaching the submission time) terminates the
+      walk.
+    """
+    candidates: list[tuple[float, int, str, Span, str]] = []
+
+    def consider(candidate: Span, kind: str) -> None:
+        if candidate.end > span.start + 1e-12:
+            return
+        candidates.append(
+            (
+                candidate.end,
+                -_EDGE_PRIORITY.get(kind, 9),
+                candidate.span_id,
+                candidate,
+                kind,
+            )
+        )
+
+    if span.kind == "attempt":
+        task_id = span.span_id.split(":", 1)[1]
+        origin = retry_of.get(task_id)
+        if origin is not None and f"attempt:{origin}" in graph.spans:
+            consider(graph.spans[f"attempt:{origin}"], "retry")
+        wave_index = graph.attempt_waves.get(task_id)
+        if wave_index is not None and f"grant:{wave_index}" in graph.spans:
+            consider(graph.spans[f"grant:{wave_index}"], "dispatch")
+        slot = _latest_ending(
+            [a for a in timed if f"attempt:{a.task_id}" != span.span_id], span.start
+        )
+        if slot is not None:
+            consider(graph.spans[f"attempt:{slot.task_id}"], "slot")
+    elif span.kind == "reduce":
+        binding = _latest_ending(timed, span.start)
+        if binding is not None:
+            consider(graph.spans[f"attempt:{binding.task_id}"], "reduce")
+    elif span.kind == "grant":
+        meta_source = span.meta.get("source")
+        if meta_source == "initial" or span.start <= submit + 1e-12:
+            return None, ""
+        binding = _latest_ending(timed, span.start)
+        if binding is not None:
+            consider(graph.spans[f"attempt:{binding.task_id}"], "threshold")
+
+    if not candidates:
+        return None, ""
+    # Binding = latest end; ties prefer retry > dispatch > threshold >
+    # slot, then the lexicographically-smallest span id — deterministic.
+    candidates.sort(key=lambda c: (-c[0], -c[1], c[2]))
+    best = candidates[0]
+    return best[3], best[4]

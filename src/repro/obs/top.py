@@ -126,6 +126,17 @@ def render_top(snapshot: dict, *, name_width: int = 18) -> str:
         header += f", {events} events"
     lines.append(header)
 
+    # Watchdog alert banner. Older producers serve snapshots without an
+    # "alerts" key at all — render nothing rather than guessing.
+    alerts = snapshot.get("alerts")
+    if alerts:
+        for alert in alerts:
+            lines.append(
+                f"! ALERT [{alert.get('severity') or '?'}] "
+                f"{alert.get('job_id') or '?'} "
+                f"{alert.get('detector') or '?'}: {alert.get('message') or ''}"
+            )
+
     slots = snapshot.get("slots") or {}
     utilization = slots.get("utilization")
     if utilization is not None:

@@ -1,0 +1,239 @@
+"""Write pathological variants of the golden trace for doctor tests/CI.
+
+``repro doctor`` must report **zero** findings on the golden trace and
+must flag each seeded anomaly class on the traces this script writes.
+Generating the mutants (instead of checking them in) keeps them in
+lock-step with the golden trace and the schema, exactly like
+``make_mutated_trace.py`` does for the auditor.
+
+Every mutation is *performance-shaped*, not contract-breaking: the
+output traces still pass ``repro audit`` (the doctor folds audit
+violations in as findings, and these tests need the anomaly detectors
+to be the only reporters). Metrics-snapshot counters are adjusted in
+step with any record/output edits so ``counter_consistency`` holds.
+
+Anomalies (pass any subset as ``--anomaly``, default is all):
+
+straggler   one final-wave retry attempt runs ~5x the wave median
+            (the last wave, so the extra runtime lands in the job's
+            tail instead of masking the inter-wave idle gaps that the
+            starvation mutant seeds)
+stall       everything after wave 2's grant slips 10s, so the granted
+            splits sit undispatched far past the EvaluationInterval
+starvation  every wave slips a further 6s per wave index, draining the
+            cluster between waves (WorkThreshold-too-high signature)
+skew        one wave-2 split carries 4x the median rows
+drift       the predicate's hit rate jumps 8x in the last two waves
+
+Usage::
+
+    PYTHONPATH=src python tests/data/make_slow_trace.py [OUT] \
+        [--anomaly NAME ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "golden_trace.jsonl"
+
+ANOMALIES = ("straggler", "stall", "starvation", "skew", "drift")
+
+#: Per-wave slip for the starvation mutant (seconds per wave index).
+STARVATION_SLIP_S = 6.0
+#: Dispatch slip for the stall mutant (seconds; > 2x EvaluationInterval).
+STALL_SLIP_S = 10.0
+#: Extra runtime for the straggler attempt (seconds; ~5x the 8s median).
+STRAGGLER_EXTRA_S = 30.0
+#: Row multiplier for the skewed split (> the detector's 2x-median bar).
+SKEW_FACTOR = 4
+#: Output multiplier for late waves (> the detector's 4x drift ratio).
+DRIFT_FACTOR = 8
+
+
+def _wave_grant_times(events: list[dict]) -> list[float]:
+    """Grant instants (initial grab + every granting INPUT_AVAILABLE)."""
+    times = []
+    for event in events:
+        if event["type"] != "provider_evaluation":
+            continue
+        if (event.get("response") or {}).get("splits"):
+            times.append(event["time"])
+    return times
+
+
+def _attempt_waves(events: list[dict], grants: list[float]) -> dict[str, int]:
+    """task_id -> wave, by chunking first attempts in start order."""
+    splits = []
+    for event in events:
+        if event["type"] == "provider_evaluation":
+            count = (event.get("response") or {}).get("splits") or 0
+            if count:
+                splits.append(count)
+    starts: dict[str, float] = {}
+    retries = set()
+    for event in events:
+        if event["type"] == "map_started":
+            starts.setdefault(event["task_id"], event["time"])
+        elif event["type"] == "map_retried":
+            retries.add(event["task_id"])
+    firsts = sorted(
+        (t for t in starts if t not in retries), key=lambda t: (starts[t], t)
+    )
+    waves: dict[str, int] = {}
+    cursor = 0
+    for index, count in enumerate(splits):
+        for task_id in firsts[cursor : cursor + count]:
+            waves[task_id] = index
+        cursor += count
+    for task_id in retries:
+        base = task_id.split("#", 1)[0]
+        # Retry ids extend the original's id; inherit its wave.
+        for first in firsts:
+            if first == base:
+                waves[task_id] = waves[first]
+                break
+    return waves
+
+
+def _finished_retries_by_wave(
+    events: list[dict], waves: dict[str, int]
+) -> dict[int, list[str]]:
+    finished: dict[int, list[str]] = {}
+    for event in events:
+        if event["type"] != "map_finished":
+            continue
+        task_id = event["task_id"]
+        wave = waves.get(task_id)
+        if wave is None:
+            continue
+        finished.setdefault(wave, []).append(task_id)
+    for wave in finished:
+        finished[wave].sort()
+    return finished
+
+
+def _bump_counter(events: list[dict], job_id: str, name: str, delta: int) -> None:
+    """Keep the job's final metrics snapshot consistent with edits."""
+    for event in events:
+        if (
+            event["type"] == "metrics_snapshot"
+            and event.get("scope") == "job"
+            and event.get("job_id") == job_id
+        ):
+            entry = (event.get("metrics") or {}).get(name)
+            if entry is not None:
+                entry["value"] += delta
+
+
+def mutate(events: list[dict], anomalies: tuple[str, ...]) -> list[dict]:
+    unknown = set(anomalies) - set(ANOMALIES)
+    if unknown:
+        raise SystemExit(f"unknown anomaly: {', '.join(sorted(unknown))}")
+    grants = _wave_grant_times(events)
+    waves = _attempt_waves(events, grants)
+    finished = _finished_retries_by_wave(events, waves)
+    if len(grants) < 4:
+        raise SystemExit("golden trace has fewer waves than the mutants need")
+    reduce_start = next(
+        (e["time"] for e in events if e["type"] == "reduce_started"), None
+    )
+    if reduce_start is None:
+        raise SystemExit("golden trace has no reduce phase")
+
+    # Time shifts are computed from *original* times in one pass, so the
+    # anomalies compose without fighting each other: a nondecreasing
+    # step function of t keeps event order, attempt durations (except
+    # the seeded straggler), and the work-threshold replay windows
+    # intact — the audit still passes.
+    def shift(t: float) -> float:
+        total = 0.0
+        if "starvation" in anomalies:
+            for index, grant_time in enumerate(grants):
+                if index > 0 and t >= grant_time:
+                    total += STARVATION_SLIP_S
+        if "stall" in anomalies and t > grants[2]:
+            total += STALL_SLIP_S
+        if "straggler" in anomalies and t >= reduce_start:
+            # The straggler below ends STRAGGLER_EXTRA_S late; the
+            # reduce phase (and everything after) has to wait for it.
+            total += STRAGGLER_EXTRA_S
+        return total
+
+    for event in events:
+        event["time"] = event["time"] + shift(event["time"])
+
+    if "straggler" in anomalies:
+        target = finished.get(len(grants) - 1, [None])[0]
+        if target is None:
+            raise SystemExit("no finished final-wave attempt to stretch")
+        for event in events:
+            if event["type"] == "map_finished" and event["task_id"] == target:
+                event["time"] += STRAGGLER_EXTRA_S
+
+    if "skew" in anomalies:
+        target = finished.get(2, [None])[0]
+        if target is None:
+            raise SystemExit("no finished wave-2 attempt to inflate")
+        for event in events:
+            if event["type"] == "map_finished" and event["task_id"] == target:
+                detail = event.get("detail") or {}
+                before = detail.get("records", 0)
+                detail["records"] = before * SKEW_FACTOR
+                _bump_counter(
+                    events,
+                    event["job_id"],
+                    "records_processed",
+                    detail["records"] - before,
+                )
+
+    if "drift" in anomalies:
+        late = {len(grants) - 2, len(grants) - 1}
+        for event in events:
+            if event["type"] != "map_finished":
+                continue
+            if waves.get(event["task_id"]) not in late:
+                continue
+            detail = event.get("detail") or {}
+            before = detail.get("outputs", 0)
+            detail["outputs"] = before * DRIFT_FACTOR
+            _bump_counter(
+                events,
+                event["job_id"],
+                "outputs_produced",
+                detail["outputs"] - before,
+            )
+
+    return events
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "out",
+        nargs="?",
+        default=str(GOLDEN.with_name("slow_trace.jsonl")),
+        help="output JSONL path",
+    )
+    parser.add_argument(
+        "--anomaly",
+        action="append",
+        choices=ANOMALIES,
+        default=None,
+        help="seed only these anomalies (repeatable; default: all)",
+    )
+    args = parser.parse_args()
+    anomalies = tuple(args.anomaly) if args.anomaly else ANOMALIES
+    events = [json.loads(line) for line in GOLDEN.read_text().splitlines() if line]
+    mutate(events, anomalies)
+    out = Path(args.out)
+    with out.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    print(f"wrote {out} (seeded: {', '.join(anomalies)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -216,6 +216,37 @@ class TestObservability:
             traced = runner.run(conf, splits)
         assert fingerprint(traced) == fingerprint(bare)
 
+    def test_raising_listener_is_detached_under_process_executor(
+        self, mmap_splits, capsys
+    ):
+        # The detach-don't-propagate contract must hold when worker
+        # processes feed the recorder through the result-drain path: the
+        # job completes with identical output, the broken listener is
+        # dropped after one stderr notice, and healthy listeners keep
+        # receiving every event.
+        predicate, _dataset, splits = mmap_splits
+        conf = make_scan_conf(name="q", input_path="/t", predicate=predicate)
+        with LocalRunner(map_executor="process", map_workers=2) as runner:
+            bare = runner.run(conf, splits)
+        recorder = TraceRecorder()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("listener bug")
+
+        recorder.add_listener(broken)
+        recorder.add_listener(seen.append)
+        with LocalRunner(
+            map_executor="process", map_workers=2, trace=recorder
+        ) as runner:
+            result = runner.run(conf, splits)
+        assert fingerprint(result) == fingerprint(bare)
+        err = capsys.readouterr().err
+        assert err.count("RuntimeError") == 1  # detached after one notice
+        assert [e["type"] for e in seen] == [e["type"] for e in recorder.raw_events]
+        spans = [e for e in seen if e["type"] == "scan_span"]
+        assert len(spans) == len(splits)
+
 
 class TestBothSubstrates:
     def _datasets(self, tmp_path):

@@ -42,7 +42,8 @@ class TestSuites:
 
     def test_registry_contents(self):
         assert set(suites.SUITES) == {
-            "kernel", "scan", "scan_mp", "scan_prune", "approx", "e2e", "sweep"
+            "kernel", "scan", "scan_mp", "scan_prune", "approx", "e2e",
+            "doctor", "sweep",
         }
 
     def test_resolve_suites_default_and_validation(self):
@@ -66,6 +67,14 @@ class TestSuites:
     def test_kernel_suite_runs_quick(self):
         metrics = suites.SUITES["kernel"].runner(True)
         assert metrics["kernel.events_per_sec"] > 0
+
+    def test_doctor_suite_runs_quick_and_stays_healthy(self):
+        metrics = suites.SUITES["doctor"].runner(True)
+        assert metrics["doctor.events_per_sec"] > 0
+        # Semantic canaries: a clean simulated run must diagnose clean
+        # and carry a non-trivial critical path.
+        assert metrics["doctor.findings"] == 0.0
+        assert metrics["doctor.critical_path_spans"] > 0
 
 
 @pytest.fixture

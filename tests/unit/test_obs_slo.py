@@ -1,0 +1,210 @@
+"""Unit tests for SLO gates (:mod:`repro.obs.slo`).
+
+The mini-YAML fallback matters most: CI images carry no PyYAML, so the
+built-in parser must handle every documented spec shape (and agree with
+PyYAML wherever that is installed). Evaluation is pinned against the
+golden trace — a fully deterministic run, so targets can be exact.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.slo import (
+    SloSpecError,
+    _mini_yaml,
+    evaluate_bench_slo,
+    evaluate_trace_slo,
+    parse_slo_spec,
+    render_slo,
+    slo_json,
+)
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_trace.jsonl"
+
+SPEC_TEXT = """\
+# nightly gate for the golden configuration
+latency:
+  p50_s: 120.0
+  max_s: 150.0
+  mean_s: 120.0
+throughput:
+  rows_per_sec_floor: 100000
+stragglers:
+  max_ratio: 0.05
+accuracy:
+  ci_coverage_floor: 1.0
+findings:
+  max_critical: 0
+  max_warning: 0
+  max_total: 0
+"""
+
+
+def _golden_events() -> list[dict]:
+    return [json.loads(line) for line in GOLDEN.read_text().splitlines() if line]
+
+
+class TestMiniYaml:
+    def test_parses_the_documented_spec_shape(self):
+        spec = _mini_yaml(SPEC_TEXT)
+        assert spec["latency"] == {"p50_s": 120.0, "max_s": 150.0, "mean_s": 120.0}
+        assert spec["throughput"] == {"rows_per_sec_floor": 100000}
+        assert spec["findings"]["max_total"] == 0
+
+    def test_agrees_with_pyyaml_when_available(self):
+        yaml = pytest.importorskip("yaml")
+        assert _mini_yaml(SPEC_TEXT) == yaml.safe_load(SPEC_TEXT)
+
+    def test_nested_maps_comments_and_scalars(self):
+        spec = _mini_yaml(
+            "bench:\n"
+            "  floors:\n"
+            "    kernel.events_per_sec: 1.0e6  # trailing comment\n"
+            "  ceilings:\n"
+            "    e2e.sim_response_s: 30\n"
+            "latency:\n"
+            "  p99_s: 10.5\n"
+        )
+        assert spec["bench"]["floors"]["kernel.events_per_sec"] == 1.0e6
+        assert spec["bench"]["ceilings"]["e2e.sim_response_s"] == 30
+        assert spec["latency"]["p99_s"] == 10.5
+
+    def test_rejects_lists(self):
+        with pytest.raises(SloSpecError, match="lists"):
+            _mini_yaml("latency:\n  - p50_s\n")
+
+    def test_rejects_tab_indentation(self):
+        with pytest.raises(SloSpecError, match="tabs"):
+            _mini_yaml("latency:\n\tp50_s: 1\n")
+
+    def test_rejects_bare_tokens(self):
+        with pytest.raises(SloSpecError, match="key: value"):
+            _mini_yaml("latency\n")
+
+
+class TestParseSpec:
+    def test_unknown_section_is_an_error(self):
+        with pytest.raises(SloSpecError, match="unknown SLO section"):
+            parse_slo_spec("latencies:\n  p50_s: 1\n")
+
+    def test_unknown_latency_key_is_an_error(self):
+        with pytest.raises(SloSpecError, match="unknown latency objective"):
+            parse_slo_spec("latency:\n  p42_s: 1\n")
+
+    def test_empty_spec_is_a_valid_no_op(self):
+        assert parse_slo_spec("# nothing\n") == {}
+
+
+class TestTraceEvaluation:
+    def test_golden_trace_passes_the_nightly_spec(self):
+        report = evaluate_trace_slo(parse_slo_spec(SPEC_TEXT), _golden_events())
+        assert report.ok, [c for c in report.checks if not c.ok]
+        assert len(report.checks) == 9
+
+    def test_latency_objectives_use_recorded_wall_time(self):
+        spec = parse_slo_spec("latency:\n  max_s: 100.0\n")
+        report = evaluate_trace_slo(spec, _golden_events())
+        (check,) = report.checks
+        # The golden job's recorded response time (109.56s) misses a
+        # 100s ceiling — the check must carry the measured value.
+        assert not check.ok
+        assert check.actual == pytest.approx(109.5576234)
+
+    def test_findings_cap_fails_on_a_dirty_trace(self):
+        import importlib.util
+
+        spec_path = GOLDEN.parent / "make_slow_trace.py"
+        loader = importlib.util.spec_from_file_location("mst", spec_path)
+        mst = importlib.util.module_from_spec(loader)
+        loader.loader.exec_module(mst)
+        events = mst.mutate(_golden_events(), ("stall",))
+        spec = parse_slo_spec("findings:\n  max_critical: 0\n")
+        report = evaluate_trace_slo(spec, events)
+        (check,) = report.checks
+        assert not check.ok
+        assert check.actual == 1.0
+
+    def test_accuracy_floor_is_vacuous_without_accuracy_jobs(self):
+        spec = parse_slo_spec("accuracy:\n  ci_coverage_floor: 1.0\n")
+        report = evaluate_trace_slo(spec, _golden_events())
+        (check,) = report.checks
+        assert check.ok
+        assert check.actual is None
+        assert "no accuracy jobs" in check.detail
+
+    def test_straggler_ratio_counts_distinct_attempts(self):
+        spec = parse_slo_spec("stragglers:\n  max_ratio: 0.0\n")
+        report = evaluate_trace_slo(spec, _golden_events())
+        (check,) = report.checks
+        assert check.ok
+        assert check.actual == 0.0
+        assert "36 finished attempts" in check.detail
+
+
+class TestBenchEvaluation:
+    RECORD = {
+        "suites": {
+            "kernel": {
+                "metrics": {
+                    "kernel.events_per_sec": {"median": 2.0e6, "mad": 0.0,
+                                              "direction": "higher"},
+                }
+            },
+            "e2e": {
+                "metrics": {
+                    "e2e.sim_response_s": {"median": 25.0, "mad": 0.0,
+                                           "direction": "lower"},
+                }
+            },
+        }
+    }
+
+    def test_floors_and_ceilings(self):
+        spec = parse_slo_spec(
+            "bench:\n"
+            "  floors:\n"
+            "    kernel.events_per_sec: 1.0e6\n"
+            "  ceilings:\n"
+            "    e2e.sim_response_s: 30.0\n"
+        )
+        report = evaluate_bench_slo(spec, self.RECORD)
+        assert report.ok
+        assert [c.objective for c in report.checks] == [
+            "bench.floors.kernel.events_per_sec",
+            "bench.ceilings.e2e.sim_response_s",
+        ]
+
+    def test_missed_floor_fails(self):
+        spec = parse_slo_spec("bench:\n  floors:\n    kernel.events_per_sec: 1.0e9\n")
+        report = evaluate_bench_slo(spec, self.RECORD)
+        assert not report.ok
+
+    def test_unknown_metric_fails_with_inventory(self):
+        spec = parse_slo_spec("bench:\n  floors:\n    kernel.typo: 1\n")
+        (check,) = evaluate_bench_slo(spec, self.RECORD).checks
+        assert not check.ok
+        assert "not in bench record" in check.detail
+        assert "kernel.events_per_sec" in check.detail
+
+
+class TestRendering:
+    def _reports(self):
+        spec = parse_slo_spec("latency:\n  max_s: 100.0\n  p50_s: 120.0\n")
+        return [evaluate_trace_slo(spec, _golden_events(), source="golden")]
+
+    def test_text_lists_pass_and_fail_lines(self):
+        text = render_slo(self._reports())
+        assert "slo check — golden" in text
+        assert "[FAIL] latency.max_s" in text
+        assert "[PASS] latency.p50_s" in text
+        assert text.rstrip().endswith("1 objective(s) missed")
+
+    def test_json_round_trips_with_stable_keys(self):
+        first = slo_json(self._reports())
+        second = slo_json(self._reports())
+        assert first == second
+        payload = json.loads(first)
+        assert payload["ok"] is False
+        assert len(payload["reports"][0]["checks"]) == 2

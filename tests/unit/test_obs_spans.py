@@ -1,0 +1,188 @@
+"""Unit tests for the causal span graph (:mod:`repro.obs.spans`).
+
+The load-bearing property is reconciliation: the critical path's waits
+and durations (plus the completion tail) must sum *exactly* to the
+job's recorded response time — ``repro doctor`` prints the path as an
+accounting of the run's wall clock, and an unreconciled path would be
+a wrong answer, not a rounding artifact.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs.analyze import analyze_trace
+from repro.obs.spans import build_graphs, build_span_graph
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_trace.jsonl"
+
+_SEQ = 0
+
+
+def _event(type_: str, *, time: float = 0.0, **fields) -> dict:
+    global _SEQ
+    event = {"v": 1, "seq": _SEQ, "time": time, "type": type_, **fields}
+    _SEQ += 1
+    return event
+
+
+def _golden_events() -> list[dict]:
+    return [json.loads(line) for line in GOLDEN.read_text().splitlines() if line]
+
+
+def _golden_graph():
+    model = analyze_trace(_golden_events())
+    job = next(iter(model.jobs.values()))
+    return job, build_span_graph(job)
+
+
+class TestCriticalPathReconciliation:
+    def test_path_length_equals_response_time_exactly(self):
+        job, graph = _golden_graph()
+        assert graph.critical_path, "golden trace must yield a critical path"
+        assert graph.critical_path_length == job.response_time
+
+    def test_path_is_a_contiguous_accounting(self):
+        # Each segment's wait is measured from the previous segment's
+        # end; walking the path forward must land on the job's finish
+        # minus the tail, with no overlaps or gaps unaccounted.
+        job, graph = _golden_graph()
+        clock = job.submit_time
+        for segment in graph.critical_path:
+            assert segment.wait >= 0.0
+            assert segment.span.start == clock + segment.wait
+            clock = segment.span.end
+        assert clock + graph.tail == job.finish_time
+
+    def test_first_segment_depends_on_submission(self):
+        _job, graph = _golden_graph()
+        assert graph.critical_path[0].edge_kind == "submit"
+
+    def test_path_ends_at_reduce_when_recorded(self):
+        _job, graph = _golden_graph()
+        assert graph.critical_path[-1].span.kind == "reduce"
+
+    def test_golden_path_walks_every_wave(self):
+        # The golden run's waves are serialized by the WorkThreshold,
+        # so each grant must appear on the path, bound by a threshold
+        # edge from the completion that satisfied it.
+        _job, graph = _golden_graph()
+        grants = [s for s in graph.critical_path if s.span.kind == "grant"]
+        assert [g.span.span_id for g in grants] == [
+            f"grant:{i}" for i in range(5)
+        ]
+        assert all(
+            g.edge_kind == ("submit" if g.span.span_id == "grant:0" else "threshold")
+            for g in grants
+        )
+
+
+class TestWaveAssignment:
+    def test_golden_first_attempts_chunk_by_grant_sizes(self):
+        job, graph = _golden_graph()
+        firsts = [t for t in graph.attempt_waves if "#" not in t]
+        sizes = [sum(1 for t in firsts if graph.attempt_waves[t] == w) for w in range(5)]
+        assert sizes == [wave.splits for wave in job.waves] == [8, 8, 8, 8, 4]
+
+    def test_retries_inherit_origin_wave(self):
+        _job, graph = _golden_graph()
+        retries = [t for t in graph.attempt_waves if "#" in t]
+        assert retries, "golden trace seeds retries"
+        for task_id in retries:
+            origin = task_id.split("#", 1)[0]
+            assert graph.attempt_waves[task_id] == graph.attempt_waves[origin]
+
+    def test_every_timed_attempt_is_assigned(self):
+        job, graph = _golden_graph()
+        timed = {
+            t for t, a in job.attempts.items()
+            if a.start is not None and a.end is not None
+        }
+        assert set(graph.attempt_waves) == timed
+
+
+class TestEdges:
+    def test_retry_edges_link_failed_origin_to_retry(self):
+        job, graph = _golden_graph()
+        retry_edges = [e for e in graph.edges if e.kind == "retry"]
+        assert len(retry_edges) == job.failed_attempts
+        for edge in retry_edges:
+            origin = graph.spans[edge.src]
+            retry = graph.spans[edge.dst]
+            assert origin.meta["outcome"] == "failed"
+            assert edge.slack == retry.start - origin.end
+            assert edge.slack >= 0.0
+
+    def test_dispatch_edges_have_nonnegative_slack(self):
+        _job, graph = _golden_graph()
+        dispatch = [e for e in graph.edges if e.kind == "dispatch"]
+        assert dispatch
+        assert all(e.slack >= 0.0 for e in dispatch)
+
+    def test_threshold_edges_point_at_latest_prior_completion(self):
+        _job, graph = _golden_graph()
+        threshold = [e for e in graph.edges if e.kind == "threshold"]
+        # One per non-initial wave.
+        assert sorted(e.dst for e in threshold) == [f"grant:{i}" for i in range(1, 5)]
+        for edge in threshold:
+            grant = graph.spans[edge.dst]
+            binding = graph.spans[edge.src]
+            assert binding.end <= grant.start
+            assert edge.slack == grant.start - binding.end
+
+
+class TestDeterminism:
+    def test_rebuilding_yields_identical_structures(self):
+        model_a = analyze_trace(_golden_events())
+        model_b = analyze_trace(_golden_events())
+        graphs_a = build_graphs(model_a)
+        graphs_b = build_graphs(model_b)
+        assert list(graphs_a) == list(graphs_b)
+        for job_id in graphs_a:
+            a, b = graphs_a[job_id], graphs_b[job_id]
+            assert a.spans == b.spans
+            assert a.edges == b.edges
+            assert [
+                (s.span.span_id, s.wait, s.edge_kind) for s in a.critical_path
+            ] == [(s.span.span_id, s.wait, s.edge_kind) for s in b.critical_path]
+            assert a.tail == b.tail
+
+
+class TestDegenerateTraces:
+    def test_local_runner_style_trace_has_empty_path(self):
+        # LocalRunner traces stamp every event 0.0 and record no task
+        # lifecycle: no attempt spans, no critical path — downstream
+        # renderers treat that as "no latency structure recorded".
+        events = [
+            _event("job_submitted", job_id="j1",
+                   detail={"name": "local", "dynamic": False, "splits": 4,
+                           "input_complete": True, "total_splits": 4}),
+            _event("scan_span", job_id="j1", task_id="t0",
+                   detail={"split_id": "/d:0", "mode": "batch", "rows": 100,
+                           "outputs": 2, "elapsed_s": 0.0}),
+            _event("job_succeeded", job_id="j1", detail={"outputs": 2}),
+        ]
+        model = analyze_trace(events)
+        graph = build_span_graph(model.jobs["j1"])
+        assert graph.critical_path == []
+        assert graph.attempt_waves == {}
+        assert graph.critical_path_length == 0.0
+
+    def test_open_job_without_reduce_ends_at_last_attempt(self):
+        events = [
+            _event("job_submitted", time=0.0, job_id="j1",
+                   detail={"name": "open", "dynamic": True, "splits": 2,
+                           "input_complete": False, "total_splits": 2}),
+            _event("map_started", time=1.0, job_id="j1", task_id="m1",
+                   detail={"attempt": 1, "node": "n1", "local": True}),
+            _event("map_started", time=1.0, job_id="j1", task_id="m2",
+                   detail={"attempt": 1, "node": "n2", "local": True}),
+            _event("map_finished", time=3.0, job_id="j1", task_id="m1",
+                   detail={"records": 10, "outputs": 1}),
+            _event("map_finished", time=5.0, job_id="j1", task_id="m2",
+                   detail={"records": 10, "outputs": 1}),
+            _event("job_succeeded", time=5.5, job_id="j1", detail={"outputs": 2}),
+        ]
+        model = analyze_trace(events)
+        graph = build_span_graph(model.jobs["j1"])
+        assert graph.critical_path[-1].span.span_id == "attempt:m2"
+        assert graph.critical_path_length == model.jobs["j1"].response_time
